@@ -1,0 +1,21 @@
+//! # dike-baselines — the schedulers Dike is compared against
+//!
+//! * [`StaticSpread`] — the Linux-CFS stand-in: contention-oblivious, never
+//!   migrates (the paper's zero line in Figure 6).
+//! * [`Dio`] — Distributed Intensity Online [Zhuravlev et al. 2010]: sorts
+//!   by LLC miss rate, pairs extremes, swaps all pairs every quantum with
+//!   no prediction and no overhead awareness.
+//! * [`RandomScheduler`] — random swaps, the sanity floor.
+//! * [`SortOnce`] — a one-shot contention-aware static placement,
+//!   separating "get the mapping right once" from Dike's continuous
+//!   adaptation.
+
+pub mod cfs;
+pub mod dio;
+pub mod random_sched;
+pub mod sort_once;
+
+pub use cfs::StaticSpread;
+pub use dio::Dio;
+pub use random_sched::RandomScheduler;
+pub use sort_once::SortOnce;

@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each bench
+//! times the full comparison run with one Dike mechanism altered, so
+//! regressions in the *cost* of a mechanism show up here. The *quality*
+//! effect of each ablation is reported by the `ablations` binary in
+//! `dike-experiments` (benchmarks time, binaries measure outcomes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dike_bench::bench_opts;
+use dike_experiments::{run_cell, SchedKind};
+use dike_machine::presets;
+use dike_scheduler::{CoreBwEstimate, CoreRanking, DikeConfig};
+use dike_workloads::paper;
+use std::hint::black_box;
+
+fn ablation_configs() -> Vec<(&'static str, DikeConfig)> {
+    vec![
+        ("dike_default", DikeConfig::default()),
+        (
+            "dike_no_prediction",
+            DikeConfig {
+                use_prediction: false,
+                ..DikeConfig::default()
+            },
+        ),
+        (
+            "dike_no_cooldown",
+            DikeConfig {
+                cooldown: false,
+                ..DikeConfig::default()
+            },
+        ),
+        (
+            "dike_demand_gated_corebw",
+            DikeConfig {
+                core_bw_estimate: CoreBwEstimate::DemandGated,
+                ..DikeConfig::default()
+            },
+        ),
+        (
+            "dike_observed_bw_ranking",
+            DikeConfig {
+                core_ranking: CoreRanking::ObservedBandwidth,
+                ..DikeConfig::default()
+            },
+        ),
+    ]
+}
+
+fn ablation_runs(c: &mut Criterion) {
+    let opts = bench_opts();
+    let machine = presets::paper_machine(opts.seed);
+    let wl = paper::workload(1);
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (name, cfg) in ablation_configs() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cell = run_cell(
+                    black_box(&machine),
+                    &wl,
+                    &SchedKind::DikeCustom(cfg.clone()),
+                    &opts,
+                );
+                black_box((cell.fairness, cell.swaps))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, ablation_runs);
+criterion_main!(ablations);

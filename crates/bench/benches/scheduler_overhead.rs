@@ -1,0 +1,87 @@
+//! Scheduler decision-latency microbenchmarks.
+//!
+//! The paper claims "low scheduling overhead": Dike trades a little
+//! prediction work per quantum for a large reduction in migrations. These
+//! benches time a single `on_quantum` decision at the paper's scale (40
+//! threads, 40 cores) for each policy, isolating the userspace-daemon cost
+//! from the machine simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
+use dike_counters::RateSample;
+use dike_machine::topology::CoreKind;
+use dike_machine::{AppId, SimTime, ThreadCounters, ThreadId, VCoreId};
+use dike_sched_core::{Actions, CoreObservation, Scheduler, SystemView, ThreadObservation};
+use dike_scheduler::Dike;
+use std::hint::black_box;
+
+/// Build a realistic 40-thread, 40-core view: five 8-thread apps with
+/// distinct access-rate bands and some in-app spread.
+fn paper_scale_view(quantum_index: u64) -> SystemView {
+    let mut threads = Vec::new();
+    for app in 0..5u32 {
+        let base = match app {
+            0 | 1 => 9e6, // memory apps
+            4 => 4e6,     // kmeans-like
+            _ => 1e6,     // compute apps
+        };
+        for k in 0..8u32 {
+            let id = app * 8 + k;
+            let rate = base * (1.0 + 0.05 * k as f64);
+            threads.push(ThreadObservation {
+                id: ThreadId(id),
+                app: AppId(app),
+                vcore: VCoreId(id),
+                rates: RateSample {
+                    access_rate: rate,
+                    instr_rate: rate * 40.0,
+                    miss_ratio: 0.02,
+                    llc_miss_rate: if base > 5e6 { 0.12 } else { 0.02 },
+                    ipc: 1.2,
+                },
+                cumulative: ThreadCounters::default(),
+                migrated_last_quantum: false,
+            });
+        }
+    }
+    let cores = (0..40u32)
+        .map(|c| CoreObservation {
+            id: VCoreId(c),
+            kind: if c < 20 { CoreKind::FAST } else { CoreKind::SLOW },
+            bandwidth: threads[c as usize].rates.access_rate,
+            occupants: vec![ThreadId(c)],
+        })
+        .collect();
+    SystemView {
+        now: SimTime::from_ms(500 * (quantum_index + 1)),
+        quantum: SimTime::from_ms(500),
+        quantum_index,
+        threads,
+        cores,
+    }
+}
+
+fn bench_policy(c: &mut Criterion, name: &str, mut sched: impl Scheduler) {
+    let mut q = 0u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let view = paper_scale_view(q);
+            q += 1;
+            let mut actions = Actions::default();
+            sched.on_quantum(black_box(&view), &mut actions);
+            black_box(actions.migrations.len())
+        })
+    });
+}
+
+fn decision_latency(c: &mut Criterion) {
+    bench_policy(c, "on_quantum/dike", Dike::new());
+    bench_policy(c, "on_quantum/dike_af", Dike::adaptive_fairness());
+    bench_policy(c, "on_quantum/dio", Dio::new());
+    bench_policy(c, "on_quantum/cfs", StaticSpread::new());
+    bench_policy(c, "on_quantum/random", RandomScheduler::new(1));
+    bench_policy(c, "on_quantum/sort_once", SortOnce::new());
+}
+
+criterion_group!(overhead, decision_latency);
+criterion_main!(overhead);

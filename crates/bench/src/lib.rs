@@ -1,0 +1,34 @@
+//! # dike-bench — benchmark support library
+//!
+//! Shared helpers for the Criterion benchmark targets in `benches/`:
+//! one bench per paper table/figure (regenerating each artefact at a
+//! reduced, benchmark-friendly scale) plus scheduler-overhead and
+//! simulator-throughput microbenchmarks and the design-choice ablations.
+
+use dike_experiments::RunOptions;
+
+/// The reduced scale used by the figure-regeneration benches: large enough
+/// for every scheduler mechanism to engage (several dozen quanta), small
+/// enough for Criterion to iterate.
+pub const BENCH_SCALE: f64 = 0.03;
+
+/// Run options for benchmark iterations.
+pub fn bench_opts() -> RunOptions {
+    RunOptions {
+        scale: BENCH_SCALE,
+        deadline_s: 60.0,
+        ..RunOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_opts_are_small_but_nontrivial() {
+        let o = bench_opts();
+        assert!(o.scale > 0.0 && o.scale < 0.2);
+        assert!(o.deadline_s >= 30.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # dike-counters — performance-counter plumbing for contention-aware scheduling
+//!
+//! The paper's Observer "keeps track of memory access rate per thread by
+//! reading hardware performance counters". This crate contains the
+//! machine-independent half of that observation pipeline:
+//!
+//! * [`RateSample`] — per-quantum rates (access rate, instruction rate,
+//!   miss ratio, IPC) derived from raw counter deltas;
+//! * [`Estimator`] implementations — [`MovingMean`] (the paper's `CoreBW`
+//!   estimator), [`WindowedMean`], [`Ewma`] and [`LastSample`] — pluggable
+//!   so the estimator choice can be ablated.
+//!
+//! The machine-dependent half (how counters are read from the simulated
+//! hardware each quantum) lives in `dike-sched-core`.
+
+pub mod estimators;
+pub mod rates;
+
+pub use estimators::{build, Estimator, EstimatorKind, Ewma, LastSample, MovingMean, WindowedMean};
+pub use rates::RateSample;

@@ -1,0 +1,102 @@
+//! Turning raw counter deltas into the per-quantum rates schedulers consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-quantum rates derived from hardware-counter deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RateSample {
+    /// Memory accesses (LLC misses) per second — the paper's "memory access
+    /// rate", its primary contention metric.
+    pub access_rate: f64,
+    /// Instructions per second.
+    pub instr_rate: f64,
+    /// LLC misses per instruction.
+    pub miss_ratio: f64,
+    /// LLC misses per LLC access — the paper's classification quantity
+    /// ("if a thread's LLC miss rate is more than 10 %, it is considered
+    /// memory intensive").
+    pub llc_miss_rate: f64,
+    /// Instructions per cycle (the metric the paper argues *against* for
+    /// heterogeneous machines — kept for the IPC-ablation benchmark).
+    pub ipc: f64,
+}
+
+impl RateSample {
+    /// Derive rates from counter deltas over `dt_s` seconds.
+    ///
+    /// Returns a zero sample when `dt_s` is not positive (e.g. the first
+    /// quantum, before any counters were captured).
+    pub fn from_deltas(
+        d_instructions: f64,
+        d_misses: f64,
+        d_accesses: f64,
+        d_cycles: f64,
+        dt_s: f64,
+    ) -> Self {
+        if dt_s <= 0.0 {
+            return RateSample::default();
+        }
+        RateSample {
+            access_rate: d_misses / dt_s,
+            instr_rate: d_instructions / dt_s,
+            miss_ratio: if d_instructions > 0.0 {
+                d_misses / d_instructions
+            } else {
+                0.0
+            },
+            llc_miss_rate: if d_accesses > 0.0 {
+                d_misses / d_accesses
+            } else {
+                0.0
+            },
+            ipc: if d_cycles > 0.0 {
+                d_instructions / d_cycles
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// LLC miss rate as a percentage of LLC accesses — directly comparable
+    /// to the paper's 10 % boundary.
+    pub fn miss_rate_percent(&self) -> f64 {
+        self.llc_miss_rate * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_from_simple_deltas() {
+        let r = RateSample::from_deltas(1000.0, 50.0, 400.0, 2000.0, 0.5);
+        assert_eq!(r.instr_rate, 2000.0);
+        assert_eq!(r.access_rate, 100.0);
+        assert_eq!(r.miss_ratio, 0.05);
+        assert_eq!(r.llc_miss_rate, 0.125);
+        assert_eq!(r.ipc, 0.5);
+        assert_eq!(r.miss_rate_percent(), 12.5);
+    }
+
+    #[test]
+    fn zero_duration_yields_zero_sample() {
+        assert_eq!(
+            RateSample::from_deltas(100.0, 1.0, 5.0, 10.0, 0.0),
+            RateSample::default()
+        );
+        assert_eq!(
+            RateSample::from_deltas(100.0, 1.0, 5.0, 10.0, -1.0),
+            RateSample::default()
+        );
+    }
+
+    #[test]
+    fn idle_thread_has_zero_ratios() {
+        let r = RateSample::from_deltas(0.0, 0.0, 0.0, 0.0, 1.0);
+        assert_eq!(r.miss_ratio, 0.0);
+        assert_eq!(r.llc_miss_rate, 0.0);
+        assert_eq!(r.ipc, 0.0);
+        assert_eq!(r.access_rate, 0.0);
+    }
+}

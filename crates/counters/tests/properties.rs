@@ -1,0 +1,105 @@
+//! Property tests on the estimators and rate derivations.
+
+use dike_counters::{build, Estimator, EstimatorKind, Ewma, MovingMean, RateSample, WindowedMean};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn estimates_stay_within_observed_range(
+        samples in prop::collection::vec(0.0f64..1e9, 1..100),
+        kind_sel in 0usize..4,
+        window in 1usize..20,
+        alpha in 0.01f64..1.0,
+    ) {
+        let kind = match kind_sel {
+            0 => EstimatorKind::MovingMean,
+            1 => EstimatorKind::WindowedMean(window),
+            2 => EstimatorKind::Ewma(alpha),
+            _ => EstimatorKind::LastSample,
+        };
+        let mut e = build(kind);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in &samples {
+            e.update(*s);
+            min = min.min(*s);
+            max = max.max(*s);
+            let v = e.value();
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9,
+                "{kind:?} estimate {v} outside [{min},{max}]");
+        }
+        prop_assert_eq!(e.len(), samples.len());
+        e.reset();
+        prop_assert!(e.is_empty());
+        prop_assert_eq!(e.value(), 0.0);
+    }
+
+    #[test]
+    fn moving_mean_equals_arithmetic_mean(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let mut e = MovingMean::new();
+        for s in &samples {
+            e.update(*s);
+        }
+        let expect = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn windowed_mean_matches_naive_tail_mean(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..100),
+        window in 1usize..20,
+    ) {
+        let mut e = WindowedMean::new(window);
+        for s in &samples {
+            e.update(*s);
+        }
+        let tail: Vec<f64> = samples
+            .iter()
+            .rev()
+            .take(window)
+            .copied()
+            .collect();
+        let expect = tail.iter().sum::<f64>() / tail.len() as f64;
+        prop_assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn ewma_is_a_convex_combination(
+        samples in prop::collection::vec(0.0f64..1e6, 2..100),
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut e = Ewma::new(alpha);
+        e.update(samples[0]);
+        let mut prev = e.value();
+        for s in &samples[1..] {
+            e.update(*s);
+            let v = e.value();
+            let lo = prev.min(*s) - 1e-9;
+            let hi = prev.max(*s) + 1e-9;
+            prop_assert!(v >= lo && v <= hi);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn rate_sample_fields_are_consistent(
+        instr in 0.0f64..1e12,
+        misses_frac in 0.0f64..0.5,
+        accesses_extra in 1.0f64..4.0,
+        cycles in 1.0f64..1e12,
+        dt in 0.001f64..10.0,
+    ) {
+        let misses = instr * misses_frac;
+        let accesses = misses * accesses_extra;
+        let r = RateSample::from_deltas(instr, misses, accesses, cycles, dt);
+        prop_assert!((r.instr_rate * dt - instr).abs() < 1e-6 * (1.0 + instr));
+        prop_assert!((r.access_rate * dt - misses).abs() < 1e-6 * (1.0 + misses));
+        if accesses > 0.0 {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.llc_miss_rate));
+        }
+        prop_assert!(r.ipc >= 0.0);
+        prop_assert!(r.miss_rate_percent() >= 0.0);
+    }
+}

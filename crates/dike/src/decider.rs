@@ -1,0 +1,148 @@
+//! The Decider: accept or reject each candidate swap (Section III-D).
+//!
+//! Two rules, evaluated independently per pair:
+//!
+//! 1. **Cooldown** — "Dike does not swap a thread in consecutive quanta":
+//!    a pair is skipped when either member migrated during the last
+//!    quantum.
+//! 2. **Profit** — "the decider ignores pairs with negative totalProfit":
+//!    the Predictor's Eqn 3 total must be positive.
+//!
+//! Both rules are individually switchable for the ablation benchmarks
+//! ("Dike minus predictor" accepts every Selector pair, which degenerates
+//! toward DIO's migration volume).
+
+use crate::observer::Observation;
+use crate::predictor::SwapPrediction;
+use crate::selector::Pair;
+
+/// Why a pair was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// A member migrated last quantum.
+    Cooldown,
+    /// Predicted total profit was not positive.
+    NegativeProfit,
+}
+
+/// The Decider's verdict for one pair.
+pub type Verdict = Result<(), Rejection>;
+
+/// Decide one pair.
+pub fn decide(
+    obs: &Observation,
+    pair: &Pair,
+    prediction: &SwapPrediction,
+    cooldown: bool,
+    use_prediction: bool,
+) -> Verdict {
+    if cooldown {
+        let recently_moved = |id| {
+            obs.threads
+                .iter()
+                .find(|t| t.id == id)
+                .map(|t| t.migrated_last_quantum)
+                .unwrap_or(false)
+        };
+        if recently_moved(pair.low) || recently_moved(pair.high) {
+            return Err(Rejection::Cooldown);
+        }
+    }
+    if use_prediction && prediction.total_profit() <= 0.0 {
+        return Err(Rejection::NegativeProfit);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{ObservedThread, ThreadClass};
+    use dike_machine::{AppId, ThreadId, VCoreId};
+
+    fn obs(migrated: [bool; 2]) -> Observation {
+        let threads = (0..2)
+            .map(|i| ObservedThread {
+                id: ThreadId(i),
+                app: AppId(0),
+                vcore: VCoreId(i),
+                access_rate: 10.0,
+                llc_miss_rate: 0.2,
+                class: ThreadClass::Memory,
+                migrated_last_quantum: migrated[i as usize],
+            })
+            .collect();
+        Observation {
+            threads,
+            high_bw: vec![true, false],
+            core_bw: vec![0.0, 0.0],
+            fairness_cv: 1.0,
+            memory_fraction: 1.0,
+        }
+    }
+
+    fn pair() -> Pair {
+        Pair {
+            low: ThreadId(0),
+            low_vcore: VCoreId(0),
+            high: ThreadId(1),
+            high_vcore: VCoreId(1),
+        }
+    }
+
+    fn prediction(total: f64) -> SwapPrediction {
+        SwapPrediction {
+            profit_low: total,
+            profit_high: 0.0,
+            predicted_low: 1.0,
+            predicted_high: 1.0,
+        }
+    }
+
+    #[test]
+    fn accepts_profitable_cool_pairs() {
+        assert_eq!(
+            decide(&obs([false, false]), &pair(), &prediction(5.0), true, true),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn cooldown_rejects_recently_swapped_members() {
+        for migrated in [[true, false], [false, true], [true, true]] {
+            assert_eq!(
+                decide(&obs(migrated), &pair(), &prediction(5.0), true, true),
+                Err(Rejection::Cooldown)
+            );
+        }
+        // Disabled cooldown lets them through.
+        assert_eq!(
+            decide(&obs([true, true]), &pair(), &prediction(5.0), false, true),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn negative_profit_is_rejected_unless_prediction_disabled() {
+        assert_eq!(
+            decide(&obs([false, false]), &pair(), &prediction(-1.0), true, true),
+            Err(Rejection::NegativeProfit)
+        );
+        assert_eq!(
+            decide(&obs([false, false]), &pair(), &prediction(0.0), true, true),
+            Err(Rejection::NegativeProfit)
+        );
+        assert_eq!(
+            decide(&obs([false, false]), &pair(), &prediction(-1.0), true, false),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn cooldown_checked_before_profit() {
+        assert_eq!(
+            decide(&obs([true, false]), &pair(), &prediction(-1.0), true, true),
+            Err(Rejection::Cooldown)
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! The Observer: thread classification and core identification
+//! (Section III-A).
+//!
+//! Each quantum the Observer
+//!
+//! * classifies every thread as **memory-intensive (M)** or
+//!   **compute-intensive (C)** by its LLC miss rate against the 10 %
+//!   boundary ("if a thread's LLC miss rate is more than 10 %, it is
+//!   considered memory intensive"), reclassifying every quantum because
+//!   "memory intensity of a thread dynamically changes as [the] thread goes
+//!   through execution phases";
+//! * partitions cores into **higher and lower memory bandwidth** halves;
+//! * maintains `CoreBW`, the moving mean of each core's served bandwidth,
+//!   which the Predictor uses as the expected access rate of a thread
+//!   migrated to that core.
+
+use crate::config::{CoreBwEstimate, CoreRanking, DikeConfig};
+use dike_counters::{Estimator, MovingMean};
+use dike_machine::{AppId, ThreadId, VCoreId};
+use dike_sched_core::SystemView;
+
+/// A thread's observed class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadClass {
+    /// Memory-intensive (paper's "M").
+    Memory,
+    /// Compute-intensive (paper's "C").
+    Compute,
+}
+
+/// One thread as the Observer sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedThread {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Owning app.
+    pub app: AppId,
+    /// Current core.
+    pub vcore: VCoreId,
+    /// Memory access rate over the last quantum (accesses/s).
+    pub access_rate: f64,
+    /// LLC miss rate (misses per access) over the last quantum.
+    pub llc_miss_rate: f64,
+    /// Classification against the boundary.
+    pub class: ThreadClass,
+    /// True if the thread migrated during the last quantum.
+    pub migrated_last_quantum: bool,
+}
+
+/// The Observer's per-quantum output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Alive threads with classes and rates, in thread-id order.
+    pub threads: Vec<ObservedThread>,
+    /// `high_bw[core] == true` for the higher-bandwidth half of the cores.
+    pub high_bw: Vec<bool>,
+    /// Current `CoreBW` moving means (accesses/s), indexed by core.
+    pub core_bw: Vec<f64>,
+    /// Worst per-application coefficient of variation of thread access
+    /// rates — the fairness-gate quantity of Algorithms 1 and 2 (the
+    /// runtime analogue of Eqn 4's per-benchmark runtime CV; max rather
+    /// than mean so a single unfairly-treated application keeps the gate
+    /// open).
+    pub fairness_cv: f64,
+    /// Fraction of alive threads classified memory-intensive (workload-type
+    /// input for the Optimizer).
+    pub memory_fraction: f64,
+}
+
+impl Observation {
+    /// True when the system is fair w.r.t. threshold θ_f.
+    pub fn is_fair(&self, threshold: f64) -> bool {
+        self.fairness_cv < threshold
+    }
+}
+
+/// Persistent Observer state.
+///
+/// See [`CoreBwEstimate`] for the two `CoreBW` estimators: the
+/// paper-literal per-core moving mean (default; swap acceptance is then
+/// driven by phase noise around a ≈ −overhead expectation, matching Table
+/// III's per-class swap counts) and the demand-gated capability variant
+/// (deterministic corrective swaps, used as an ablation).
+#[derive(Debug)]
+pub struct Observer {
+    boundary: f64,
+    ranking: CoreRanking,
+    estimate: CoreBwEstimate,
+    /// Per-core bandwidth moving means (all quanta for
+    /// [`CoreBwEstimate::PerCoreMean`], consumed quanta only for
+    /// [`CoreBwEstimate::DemandGated`]).
+    core_bw: Vec<MovingMean>,
+    /// Per-frequency-class consumed-bandwidth moving means, keyed by the
+    /// class's frequency bits (f64 frequencies are finite machine config).
+    /// Used only by the demand-gated estimator's fallback.
+    class_bw: Vec<(u64, MovingMean)>,
+}
+
+impl Observer {
+    /// An Observer for a machine with `num_cores` virtual cores.
+    pub fn new(cfg: &DikeConfig, num_cores: usize) -> Self {
+        Observer {
+            boundary: cfg.classify_boundary,
+            ranking: cfg.core_ranking,
+            estimate: cfg.core_bw_estimate,
+            core_bw: vec![MovingMean::new(); num_cores],
+            class_bw: Vec::new(),
+        }
+    }
+
+    fn class_mean_mut(&mut self, freq_hz: f64) -> &mut MovingMean {
+        let key = freq_hz.to_bits();
+        if let Some(pos) = self.class_bw.iter().position(|(k, _)| *k == key) {
+            return &mut self.class_bw[pos].1;
+        }
+        self.class_bw.push((key, MovingMean::new()));
+        &mut self.class_bw.last_mut().expect("just pushed").1
+    }
+
+    fn class_mean(&self, freq_hz: f64) -> Option<f64> {
+        let key = freq_hz.to_bits();
+        self.class_bw
+            .iter()
+            .find(|(k, e)| *k == key && !e.is_empty())
+            .map(|(_, e)| e.value())
+    }
+
+    /// Ingest one quantum's view and produce the observation.
+    pub fn observe(&mut self, view: &SystemView) -> Observation {
+        assert_eq!(
+            view.cores.len(),
+            self.core_bw.len(),
+            "view core count changed mid-run"
+        );
+        // Update the CoreBW estimate.
+        let core_bw: Vec<f64> = match self.estimate {
+            CoreBwEstimate::PerCoreMean => {
+                // Paper-literal: every quantum contributes to every core's
+                // moving mean.
+                for core in &view.cores {
+                    self.core_bw[core.id.index()].update(core.bandwidth);
+                }
+                self.core_bw.iter().map(|e| e.value()).collect()
+            }
+            CoreBwEstimate::DemandGated => {
+                // Capability variant: classify occupants first, sample only
+                // consumed cores, fall back to class means.
+                let memory_thread: std::collections::HashSet<_> = view
+                    .threads
+                    .iter()
+                    .filter(|t| t.rates.llc_miss_rate > self.boundary)
+                    .map(|t| t.id)
+                    .collect();
+                for core in &view.cores {
+                    let consumed = core.occupants.iter().any(|t| memory_thread.contains(t));
+                    if consumed {
+                        self.core_bw[core.id.index()].update(core.bandwidth);
+                        self.class_mean_mut(core.kind.freq_hz).update(core.bandwidth);
+                    }
+                }
+                view.cores
+                    .iter()
+                    .map(|core| {
+                        let own = &self.core_bw[core.id.index()];
+                        if !own.is_empty() {
+                            own.value()
+                        } else if let Some(class) = self.class_mean(core.kind.freq_hz) {
+                            class
+                        } else {
+                            core.bandwidth
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        // Rank cores into high/low-bandwidth halves.
+        let n = view.cores.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        match self.ranking {
+            CoreRanking::Frequency => {
+                order.sort_by(|&a, &b| {
+                    view.cores[b]
+                        .kind
+                        .freq_hz
+                        .partial_cmp(&view.cores[a].kind.freq_hz)
+                        .expect("frequencies are finite")
+                        .then(a.cmp(&b))
+                });
+            }
+            CoreRanking::ObservedBandwidth => {
+                order.sort_by(|&a, &b| {
+                    core_bw[b]
+                        .partial_cmp(&core_bw[a])
+                        .expect("bandwidths are finite")
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        let mut high_bw = vec![false; n];
+        for &c in order.iter().take(n / 2) {
+            high_bw[c] = true;
+        }
+
+        // Classify threads.
+        let threads: Vec<ObservedThread> = view
+            .threads
+            .iter()
+            .map(|t| ObservedThread {
+                id: t.id,
+                app: t.app,
+                vcore: t.vcore,
+                access_rate: t.rates.access_rate,
+                llc_miss_rate: t.rates.llc_miss_rate,
+                class: if t.rates.llc_miss_rate > self.boundary {
+                    ThreadClass::Memory
+                } else {
+                    ThreadClass::Compute
+                },
+                migrated_last_quantum: t.migrated_last_quantum,
+            })
+            .collect();
+
+        // Fairness gate: the paper's getSystemFairness() mirrors its Eqn 4
+        // metric — dispersion *within each application* ("fairness in an
+        // application means that threads' runtime are approximately close
+        // together"; "fairness in a system means that applications are not
+        // unpredictably impeded"). The gate takes the *worst* application's
+        // CV: the system is fair only when every application is. A global
+        // CV over a mixed workload would never drop below any sensible
+        // threshold (the M/C rate gap alone is a CV above 1), and a mean
+        // per-app CV lets one badly-split application hide behind several
+        // fair ones, closing the gate prematurely.
+        let mut apps: Vec<_> = threads.iter().map(|t| t.app).collect();
+        apps.sort_unstable();
+        apps.dedup();
+        let fairness_cv = if apps.is_empty() {
+            0.0
+        } else {
+            apps.iter()
+                .map(|&a| {
+                    let rates: Vec<f64> = threads
+                        .iter()
+                        .filter(|t| t.app == a)
+                        .map(|t| t.access_rate)
+                        .collect();
+                    coefficient_of_variation(&rates)
+                })
+                .fold(0.0, f64::max)
+        };
+        let memory_fraction = if threads.is_empty() {
+            0.0
+        } else {
+            threads
+                .iter()
+                .filter(|t| t.class == ThreadClass::Memory)
+                .count() as f64
+                / threads.len() as f64
+        };
+
+        Observation {
+            threads,
+            high_bw,
+            core_bw,
+            fairness_cv,
+            memory_fraction,
+        }
+    }
+
+    /// Current `CoreBW` moving mean of one core.
+    pub fn core_bw_of(&self, core: VCoreId) -> f64 {
+        self.core_bw[core.index()].value()
+    }
+}
+
+/// Standard-deviation-over-mean (duplicated from `dike-metrics` to keep the
+/// scheduler crate free of the evaluation crate; the metrics tests
+/// cross-check the two implementations agree).
+fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_counters::RateSample;
+    use dike_machine::topology::CoreKind;
+    use dike_machine::{SimTime, ThreadCounters};
+    use dike_sched_core::{CoreObservation, ThreadObservation};
+
+    fn mk_view(rates_and_miss: &[(f64, f64)], fast_cores: usize) -> SystemView {
+        let threads: Vec<ThreadObservation> = rates_and_miss
+            .iter()
+            .enumerate()
+            .map(|(i, &(access_rate, llc_miss_rate))| ThreadObservation {
+                id: ThreadId(i as u32),
+                app: AppId(i as u32 / 2),
+                vcore: VCoreId(i as u32),
+                rates: RateSample {
+                    access_rate,
+                    llc_miss_rate,
+                    ..RateSample::default()
+                },
+                cumulative: ThreadCounters::default(),
+                migrated_last_quantum: false,
+            })
+            .collect();
+        let n = rates_and_miss.len();
+        let cores: Vec<CoreObservation> = (0..n)
+            .map(|c| CoreObservation {
+                id: VCoreId(c as u32),
+                kind: if c < fast_cores {
+                    CoreKind::FAST
+                } else {
+                    CoreKind::SLOW
+                },
+                bandwidth: rates_and_miss[c].0,
+                occupants: vec![ThreadId(c as u32)],
+            })
+            .collect();
+        SystemView {
+            now: SimTime::from_ms(500),
+            quantum: SimTime::from_ms(500),
+            quantum_index: 0,
+            threads,
+            cores,
+        }
+    }
+
+    #[test]
+    fn classification_uses_the_ten_percent_boundary() {
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let view = mk_view(&[(5e7, 0.15), (4e7, 0.12), (1e6, 0.05), (2e6, 0.02)], 2);
+        let o = obs.observe(&view);
+        assert_eq!(o.threads[0].class, ThreadClass::Memory);
+        assert_eq!(o.threads[1].class, ThreadClass::Memory);
+        assert_eq!(o.threads[2].class, ThreadClass::Compute);
+        assert_eq!(o.threads[3].class, ThreadClass::Compute);
+        assert_eq!(o.memory_fraction, 0.5);
+    }
+
+    #[test]
+    fn frequency_ranking_marks_fast_half_high_bw() {
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let view = mk_view(&[(1.0, 0.0), (1.0, 0.0), (9.0, 0.0), (9.0, 0.0)], 2);
+        let o = obs.observe(&view);
+        assert_eq!(o.high_bw, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn observed_bandwidth_ranking_follows_corebw() {
+        let cfg = DikeConfig {
+            core_ranking: CoreRanking::ObservedBandwidth,
+            ..DikeConfig::default()
+        };
+        let mut obs = Observer::new(&cfg, 4);
+        // Cores 2,3 serve more bandwidth despite being "slow".
+        let view = mk_view(&[(1.0, 0.0), (2.0, 0.0), (90.0, 0.0), (80.0, 0.0)], 2);
+        let o = obs.observe(&view);
+        assert_eq!(o.high_bw, vec![false, false, true, true]);
+    }
+
+    fn gated_cfg() -> DikeConfig {
+        DikeConfig {
+            core_bw_estimate: crate::config::CoreBwEstimate::DemandGated,
+            ..DikeConfig::default()
+        }
+    }
+
+    #[test]
+    fn per_core_mean_is_the_papers_plain_moving_mean() {
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let v1 = mk_view(&[(10.0, 0.15), (4.0, 0.0), (3.0, 0.02), (2.0, 0.0)], 2);
+        let v2 = mk_view(&[(30.0, 0.15), (8.0, 0.0), (9.0, 0.02), (4.0, 0.0)], 2);
+        obs.observe(&v1);
+        let o = obs.observe(&v2);
+        // Every core's mean updates every quantum, consumed or not.
+        assert_eq!(o.core_bw, vec![20.0, 6.0, 6.0, 3.0]);
+    }
+
+    #[test]
+    fn core_bw_is_a_demand_gated_moving_mean() {
+        let mut obs = Observer::new(&gated_cfg(), 4);
+        // Core 0 hosts a memory thread (miss rate 0.15): its bandwidth is
+        // sampled. Core 2 hosts a compute thread: not sampled.
+        let v1 = mk_view(&[(10.0, 0.15), (0.0, 0.0), (3.0, 0.02), (0.0, 0.0)], 2);
+        let v2 = mk_view(&[(30.0, 0.15), (0.0, 0.0), (9.0, 0.02), (0.0, 0.0)], 2);
+        obs.observe(&v1);
+        let o = obs.observe(&v2);
+        assert_eq!(o.core_bw[0], 20.0); // mean of 10 and 30
+        assert_eq!(obs.core_bw_of(VCoreId(0)), 20.0);
+        // Core 1 never consumed: falls back to its class mean. Cores 0 and
+        // 1 share the FAST class, so the class mean equals core 0's mean.
+        assert_eq!(o.core_bw[1], 20.0);
+        // Core 3 (SLOW class, no class history): falls back to its own
+        // current served bandwidth.
+        assert_eq!(o.core_bw[3], 0.0);
+    }
+
+    #[test]
+    fn unconsumed_cores_inherit_class_capability() {
+        let mut obs = Observer::new(&gated_cfg(), 4);
+        // Memory thread on fast core 0 and slow core 2; cores 1 and 3 host
+        // compute threads.
+        let v = mk_view(&[(50.0, 0.2), (1.0, 0.01), (30.0, 0.2), (1.0, 0.01)], 2);
+        let o = obs.observe(&v);
+        assert_eq!(o.core_bw[0], 50.0);
+        assert_eq!(o.core_bw[1], 50.0); // fast-class capability
+        assert_eq!(o.core_bw[2], 30.0);
+        assert_eq!(o.core_bw[3], 30.0); // slow-class capability
+    }
+
+    #[test]
+    fn fairness_gate_uses_mean_per_app_cv_of_access_rates() {
+        // mk_view assigns app = thread_index / 2: threads (0,1) are one app
+        // and (2,3) another.
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let even = mk_view(&[(10.0, 0.0), (10.0, 0.0), (10.0, 0.0), (10.0, 0.0)], 2);
+        let o = obs.observe(&even);
+        assert!(o.fairness_cv < 1e-12);
+        assert!(o.is_fair(0.1));
+
+        // Dispersion inside app 0: unfair.
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let skew = mk_view(&[(1.0, 0.0), (100.0, 0.0), (1.0, 0.0), (1.0, 0.0)], 2);
+        let o = obs.observe(&skew);
+        assert!(o.fairness_cv > 0.4, "cv {}", o.fairness_cv);
+        assert!(!o.is_fair(0.1));
+
+        // A huge rate gap *between* apps with none inside: fair — this is
+        // what makes the gate meaningful for mixed M/C workloads.
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let between = mk_view(&[(100.0, 0.0), (100.0, 0.0), (1.0, 0.0), (1.0, 0.0)], 2);
+        let o = obs.observe(&between);
+        assert!(o.fairness_cv < 1e-12, "cv {}", o.fairness_cv);
+        assert!(o.is_fair(0.1));
+    }
+
+    #[test]
+    fn cv_matches_metrics_crate() {
+        let xs = [3.0, 7.0, 9.0, 1.0];
+        assert!(
+            (coefficient_of_variation(&xs) - dike_metrics::coefficient_of_variation(&xs)).abs()
+                < 1e-12
+        );
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! The Dike scheduler: Observer → Selector → Predictor → Decider →
+//! Migrator, plus the adaptive Optimizer (Figure 3's loop).
+
+use crate::config::{AdaptationGoal, DikeConfig, SchedConfig};
+use crate::decider::{decide, Rejection};
+use crate::observer::Observer;
+use crate::optimizer;
+use crate::predictor::Predictor;
+use crate::selector::select_pairs;
+use dike_machine::SimTime;
+use dike_sched_core::{Actions, Scheduler, SystemView};
+use std::collections::HashMap;
+
+/// Counters describing what Dike did during a run (for tests, the swap
+/// accounting of Table III, and the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DikeStats {
+    /// Quanta observed.
+    pub quanta: u64,
+    /// Quanta skipped because the system was fair (the Algorithm 1 gate).
+    pub fair_quanta: u64,
+    /// Pairs proposed by the Selector.
+    pub pairs_proposed: u64,
+    /// Pairs rejected by the Decider's cooldown rule.
+    pub rejected_cooldown: u64,
+    /// Pairs rejected for non-positive predicted profit.
+    pub rejected_profit: u64,
+    /// Swaps actually performed.
+    pub swaps: u64,
+    /// Optimizer steps taken (adaptive modes only).
+    pub optimizer_steps: u64,
+}
+
+/// The Dike scheduler.
+///
+/// Construct with [`Dike::new`] (non-adaptive ⟨8, 500⟩ default),
+/// [`Dike::adaptive_fairness`] (Dike-AF) or [`Dike::adaptive_performance`]
+/// (Dike-AP), or from an explicit [`DikeConfig`] via [`Dike::with_config`].
+#[derive(Debug)]
+pub struct Dike {
+    cfg: DikeConfig,
+    sched: SchedConfig,
+    observer: Option<Observer>,
+    predictor: Predictor,
+    stats: DikeStats,
+    name: String,
+}
+
+impl Dike {
+    /// The paper's non-adaptive "Dike": fixed ⟨swapSize 8, quantum 500 ms⟩.
+    pub fn new() -> Self {
+        Dike::with_config(DikeConfig::default())
+    }
+
+    /// Dike-AF: adaptive, favouring fairness.
+    pub fn adaptive_fairness() -> Self {
+        Dike::with_config(DikeConfig::adaptive_fairness())
+    }
+
+    /// Dike-AP: adaptive, favouring performance.
+    pub fn adaptive_performance() -> Self {
+        Dike::with_config(DikeConfig::adaptive_performance())
+    }
+
+    /// Non-adaptive Dike with an explicit ⟨swapSize, quantaLength⟩ (the
+    /// configuration-grid experiments of Figures 2/4/5).
+    pub fn fixed(sched: SchedConfig) -> Self {
+        Dike::with_config(DikeConfig::fixed(sched))
+    }
+
+    /// Build from a full configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn with_config(cfg: DikeConfig) -> Self {
+        cfg.validate().expect("invalid Dike configuration");
+        let name = match cfg.adaptation {
+            None => "Dike".to_string(),
+            Some(AdaptationGoal::Fairness) => "Dike-AF".to_string(),
+            Some(AdaptationGoal::Performance) => "Dike-AP".to_string(),
+        };
+        Dike {
+            sched: cfg.sched,
+            predictor: Predictor::new(cfg.swap_oh_ms),
+            observer: None,
+            stats: DikeStats::default(),
+            name,
+            cfg,
+        }
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> DikeStats {
+        self.stats
+    }
+
+    /// The current ⟨swapSize, quantaLength⟩ (changes in adaptive modes).
+    pub fn current_config(&self) -> SchedConfig {
+        self.sched
+    }
+
+    /// The Predictor's scored error samples (Figures 7/8).
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// The full configuration.
+    pub fn config(&self) -> &DikeConfig {
+        &self.cfg
+    }
+}
+
+impl Default for Dike {
+    fn default() -> Self {
+        Dike::new()
+    }
+}
+
+impl Scheduler for Dike {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initial_quantum(&self) -> SimTime {
+        self.sched.quantum()
+    }
+
+    fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
+        self.stats.quanta += 1;
+        let observer = self
+            .observer
+            .get_or_insert_with(|| Observer::new(&self.cfg, view.cores.len()));
+        let obs = observer.observe(view);
+
+        // Close the prediction loop: score last quantum's predictions.
+        self.predictor.score(&obs, view.now);
+
+        // Optimizer (adaptive modes): one unit of configuration movement.
+        let before = self.sched;
+        if optimizer::step(&self.cfg, &obs, &mut self.sched).is_some() {
+            self.stats.optimizer_steps += 1;
+            if self.sched.quantum_ms != before.quantum_ms {
+                actions.set_quantum = Some(self.sched.quantum());
+            }
+        }
+
+        // Fairness gate.
+        if obs.is_fair(self.cfg.fairness_threshold) {
+            self.stats.fair_quanta += 1;
+            self.predictor.commit(&obs, &HashMap::new());
+            return;
+        }
+
+        // Selector → Predictor → Decider → Migrator.
+        let pairs = select_pairs(&obs, self.sched.swap_size, self.cfg.fairness_threshold);
+        self.stats.pairs_proposed += pairs.len() as u64;
+        let mut swapped_predictions: HashMap<dike_machine::ThreadId, f64> = HashMap::new();
+        for pair in &pairs {
+            let prediction = self.predictor.evaluate(&obs, pair, self.sched.quantum());
+            if std::env::var("DIKE_TRACE").is_ok() {
+                let low = obs.threads.iter().find(|t| t.id == pair.low).unwrap();
+                let high = obs.threads.iter().find(|t| t.id == pair.high).unwrap();
+                eprintln!(
+                    "t={:.1} pair low={:?}@{:?}(r={:.2e},{:?}) high={:?}@{:?}(r={:.2e},{:?}) bw_l_dest={:.2e} bw_h_dest={:.2e} profit={:.2e}",
+                    view.now.as_secs_f64(),
+                    pair.low, pair.low_vcore, low.access_rate, low.class,
+                    pair.high, pair.high_vcore, high.access_rate, high.class,
+                    obs.core_bw[pair.high_vcore.index()],
+                    obs.core_bw[pair.low_vcore.index()],
+                    prediction.total_profit()
+                );
+            }
+            match decide(
+                &obs,
+                pair,
+                &prediction,
+                self.cfg.cooldown,
+                self.cfg.use_prediction,
+            ) {
+                Ok(()) => {
+                    actions.swap((pair.low, pair.low_vcore), (pair.high, pair.high_vcore));
+                    swapped_predictions.insert(pair.low, prediction.predicted_low);
+                    swapped_predictions.insert(pair.high, prediction.predicted_high);
+                    self.stats.swaps += 1;
+                }
+                Err(Rejection::Cooldown) => self.stats.rejected_cooldown += 1,
+                Err(Rejection::NegativeProfit) => self.stats.rejected_profit += 1,
+            }
+        }
+
+        // Commit next-quantum predictions for every thread.
+        self.predictor.commit(&obs, &swapped_predictions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_machine::{presets, Machine, SimTime};
+    use dike_sched_core::run;
+    use dike_workloads::{Placement, Workload};
+    use dike_workloads::apps::AppKind;
+
+    fn small_workload() -> Workload {
+        let mut w = Workload::plain(
+            "test",
+            vec![AppKind::Jacobi, AppKind::Leukocyte],
+        );
+        w.threads_per_app = 4;
+        w
+    }
+
+    fn run_dike(mut dike: Dike) -> (dike_sched_core::RunResult, Dike) {
+        let mut machine = Machine::new(presets::small_machine(3));
+        small_workload().spawn(&mut machine, Placement::Interleaved, 0.2);
+        let result = run(&mut machine, &mut dike, SimTime::from_secs_f64(300.0));
+        (result, dike)
+    }
+
+    #[test]
+    fn dike_names_match_paper_policies() {
+        assert_eq!(Dike::new().name(), "Dike");
+        assert_eq!(Dike::adaptive_fairness().name(), "Dike-AF");
+        assert_eq!(Dike::adaptive_performance().name(), "Dike-AP");
+    }
+
+    #[test]
+    fn default_quantum_is_500ms() {
+        assert_eq!(Dike::new().initial_quantum(), SimTime::from_ms(500));
+        let custom = Dike::fixed(SchedConfig {
+            swap_size: 4,
+            quantum_ms: 100,
+        });
+        assert_eq!(custom.initial_quantum(), SimTime::from_ms(100));
+    }
+
+    #[test]
+    fn dike_completes_a_mixed_workload_and_swaps_sparingly() {
+        let (result, dike) = run_dike(Dike::new());
+        assert!(result.completed, "workload did not finish");
+        let stats = dike.stats();
+        assert!(stats.quanta > 0);
+        // Dike performs *some* swaps on an unfair mixed workload…
+        assert!(stats.swaps > 0, "expected at least one swap: {stats:?}");
+        // …but sparingly: nowhere near DIO's every-pair-every-quantum.
+        assert!(
+            stats.swaps < 2 * stats.quanta,
+            "swapping like DIO: {stats:?}"
+        );
+        assert_eq!(result.swaps, stats.swaps);
+    }
+
+    #[test]
+    fn prediction_errors_are_recorded_and_bounded() {
+        let (_, dike) = run_dike(Dike::new());
+        let errs = dike.predictor().error_values();
+        assert!(!errs.is_empty(), "no prediction errors recorded");
+        let wild = errs.iter().filter(|e| e.abs() > 2.0).count();
+        assert!(
+            (wild as f64) < 0.1 * errs.len() as f64,
+            "too many wild errors: {wild}/{}",
+            errs.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_modes_move_the_configuration() {
+        let (_, af) = run_dike(Dike::adaptive_fairness());
+        assert!(af.stats().optimizer_steps > 0);
+        assert!(af.current_config().quantum_ms < 500);
+
+        let (_, ap) = run_dike(Dike::adaptive_performance());
+        assert!(ap.stats().optimizer_steps > 0);
+        assert_eq!(ap.current_config().quantum_ms, 1000);
+    }
+
+    #[test]
+    fn non_adaptive_config_never_moves() {
+        let (_, dike) = run_dike(Dike::new());
+        assert_eq!(dike.current_config(), SchedConfig::DEFAULT);
+        assert_eq!(dike.stats().optimizer_steps, 0);
+    }
+
+    #[test]
+    fn cooldown_prevents_consecutive_swaps_of_same_thread() {
+        // With prediction disabled every selector pair is accepted except
+        // for the cooldown, so consecutive quanta cannot move one thread
+        // twice. Verify via the machine event log.
+        let cfg = DikeConfig {
+            use_prediction: false,
+            ..DikeConfig::default()
+        };
+        let mut machine = Machine::new(presets::small_machine(3));
+        small_workload().spawn(&mut machine, Placement::Interleaved, 0.2);
+        let mut dike = Dike::with_config(cfg);
+        let _ = run(&mut machine, &mut dike, SimTime::from_secs_f64(120.0));
+        use dike_machine::MachineEvent;
+        let mut last_move: std::collections::HashMap<u32, u64> = Default::default();
+        for e in machine.events() {
+            if let MachineEvent::Migrated { thread, at, .. } = e {
+                if let Some(&prev) = last_move.get(&thread.0) {
+                    assert!(
+                        at.as_ms_f64() as u64 - prev >= 500,
+                        "thread {thread} moved twice within a quantum"
+                    );
+                }
+                last_move.insert(thread.0, at.as_ms_f64() as u64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Dike configuration")]
+    fn bad_config_panics_at_construction() {
+        let _ = Dike::with_config(DikeConfig {
+            fairness_threshold: -1.0,
+            ..DikeConfig::default()
+        });
+    }
+}

@@ -1,0 +1,262 @@
+//! The Selector: Algorithm 1 — fairness gate and violator pairing.
+//!
+//! The Selector sorts threads by memory access rate and pairs a low-access
+//! thread `t_l` with a high-access thread `t_h` such that swapping their
+//! cores moves the system toward the *placement rule* (high-access threads
+//! on high-bandwidth cores, low-access threads on low-bandwidth cores).
+//!
+//! Interpretation notes (the paper's pseudocode is ambiguous about the
+//! violator scan when violators exist on only one side):
+//!
+//! * the head-side candidate is the **lowest-access thread residing on a
+//!   high-bandwidth core** — if it is compute-classified this is exactly a
+//!   placement violator; if all threads are memory-intensive it is the
+//!   thread wasting the most fast-core capacity, which realises the paper's
+//!   "all threads same type: pairs are generated from both ends regardless
+//!   of the placement rule" branch and the natural rotation that obeys the
+//!   rule "on average, across several quanta";
+//! * symmetrically, the tail-side candidate is the **highest-access thread
+//!   on a low-bandwidth core**;
+//! * pairing stops when either side runs out (the paper's "pointers cross
+//!   each other") or when the tail candidate's rate no longer exceeds the
+//!   head candidate's (a swap would be a strict loss, and the Predictor
+//!   would reject it anyway).
+
+use crate::observer::Observation;
+use dike_machine::{ThreadId, VCoreId};
+
+/// A candidate swap pair ⟨t_l, t_h⟩.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair {
+    /// The low-access thread (currently on a high-bandwidth core).
+    pub low: ThreadId,
+    /// Core of `low`.
+    pub low_vcore: VCoreId,
+    /// The high-access thread (currently on a low-bandwidth core).
+    pub high: ThreadId,
+    /// Core of `high`.
+    pub high_vcore: VCoreId,
+}
+
+/// Form up to `swap_size / 2` swap pairs from an observation.
+///
+/// Returns an empty vector when the system is already fair (the Algorithm 1
+/// early-out: `fairness < θ_f`).
+pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) -> Vec<Pair> {
+    if obs.is_fair(fairness_threshold) {
+        return Vec::new();
+    }
+    let want = (swap_size / 2) as usize;
+    if want == 0 || obs.threads.len() < 2 {
+        return Vec::new();
+    }
+
+    // Sort thread indices by access rate, ascending.
+    let mut by_rate: Vec<usize> = (0..obs.threads.len()).collect();
+    by_rate.sort_by(|&a, &b| {
+        obs.threads[a]
+            .access_rate
+            .partial_cmp(&obs.threads[b].access_rate)
+            .expect("rates are finite")
+            .then(obs.threads[a].id.cmp(&obs.threads[b].id))
+    });
+
+    let on_high_bw = |i: usize| obs.high_bw[obs.threads[i].vcore.index()];
+    // A class violator breaks the placement rule: a memory thread on a
+    // low-bandwidth core or a compute thread on a high-bandwidth core.
+    let violator = |i: usize| match obs.threads[i].class {
+        crate::observer::ThreadClass::Memory => !obs.high_bw[obs.threads[i].vcore.index()],
+        crate::observer::ThreadClass::Compute => obs.high_bw[obs.threads[i].vcore.index()],
+    };
+
+    let mut used = vec![false; obs.threads.len()];
+    let mut pairs = Vec::with_capacity(want);
+
+    while pairs.len() < want {
+        // Head: lowest-access unused thread on a high-bandwidth core
+        // (scanning up from the low end of the sorted order).
+        let low = by_rate
+            .iter()
+            .copied()
+            .find(|&idx| !used[idx] && on_high_bw(idx));
+        let Some(li) = low else { break };
+
+        // Tail: highest-access unused thread on a low-bandwidth core
+        // (scanning down from the high end).
+        let high = by_rate
+            .iter()
+            .rev()
+            .copied()
+            .find(|&idx| !used[idx] && !on_high_bw(idx) && idx != li);
+        let Some(hi) = high else { break };
+
+        // Pointers effectively crossed: when *neither* side breaks the
+        // placement rule, a swap is pointless unless the "high" thread
+        // really accesses memory more than the "low" one. When either side
+        // is a class violator the pair is always forwarded — the Predictor
+        // and Decider arbitrate. This is what sustains the rotation that
+        // obeys the rule "on average, across several quanta" in unbalanced
+        // workloads, where one side's violators (extra memory threads on
+        // slow cores, or extra compute threads on fast cores) have no
+        // opposite-side violator to meet.
+        if !violator(li)
+            && !violator(hi)
+            && obs.threads[hi].access_rate <= obs.threads[li].access_rate
+        {
+            break;
+        }
+        used[li] = true;
+        used[hi] = true;
+        pairs.push(Pair {
+            low: obs.threads[li].id,
+            low_vcore: obs.threads[li].vcore,
+            high: obs.threads[hi].id,
+            high_vcore: obs.threads[hi].vcore,
+        });
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{ObservedThread, ThreadClass};
+    use dike_machine::AppId;
+
+    /// Build an observation: `(access_rate, on_high_bw_core)` per thread,
+    /// thread i on vcore i.
+    fn obs_from(threads: &[(f64, bool)]) -> Observation {
+        let n = threads.len();
+        let ts: Vec<ObservedThread> = threads
+            .iter()
+            .enumerate()
+            .map(|(i, &(access_rate, _high))| ObservedThread {
+                id: ThreadId(i as u32),
+                app: AppId(0),
+                vcore: VCoreId(i as u32),
+                access_rate,
+                llc_miss_rate: if access_rate > 1e7 { 0.15 } else { 0.02 },
+                class: if access_rate > 1e7 {
+                    ThreadClass::Memory
+                } else {
+                    ThreadClass::Compute
+                },
+                migrated_last_quantum: false,
+            })
+            .collect();
+        let high_bw: Vec<bool> = threads.iter().map(|&(_, h)| h).collect();
+        let rates: Vec<f64> = ts.iter().map(|t| t.access_rate).collect();
+        let mean = rates.iter().sum::<f64>() / n as f64;
+        let var = rates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64;
+        Observation {
+            threads: ts,
+            high_bw,
+            core_bw: vec![0.0; n],
+            fairness_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+            memory_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn fair_system_selects_nothing() {
+        let o = obs_from(&[(10.0, true), (10.0, false), (10.0, true), (10.0, false)]);
+        assert!(o.fairness_cv < 0.1);
+        assert!(select_pairs(&o, 8, 0.1).is_empty());
+    }
+
+    #[test]
+    fn classic_violators_pair_compute_on_fast_with_memory_on_slow() {
+        // t0: C on fast (violator, lowest rate), t1: M on slow (violator,
+        // highest rate), t2: M on fast (fine), t3: C on slow (fine).
+        let o = obs_from(&[(1e6, true), (9e7, false), (8e7, true), (2e6, false)]);
+        let pairs = select_pairs(&o, 2, 0.1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].low, ThreadId(0));
+        assert_eq!(pairs[0].high, ThreadId(1));
+        assert_eq!(pairs[0].low_vcore, VCoreId(0));
+        assert_eq!(pairs[0].high_vcore, VCoreId(1));
+    }
+
+    #[test]
+    fn swap_size_limits_pair_count() {
+        // Four C-on-fast and four M-on-slow violators.
+        let o = obs_from(&[
+            (1e6, true),
+            (2e6, true),
+            (3e6, true),
+            (4e6, true),
+            (6e7, false),
+            (7e7, false),
+            (8e7, false),
+            (9e7, false),
+        ]);
+        assert_eq!(select_pairs(&o, 2, 0.1).len(), 1);
+        assert_eq!(select_pairs(&o, 4, 0.1).len(), 2);
+        assert_eq!(select_pairs(&o, 8, 0.1).len(), 4);
+        // Asking for more than available yields what exists.
+        assert_eq!(select_pairs(&o, 16, 0.1).len(), 4);
+    }
+
+    #[test]
+    fn pairs_are_disjoint_and_ordered_by_extremity() {
+        let o = obs_from(&[
+            (1e6, true),
+            (2e6, true),
+            (6e7, false),
+            (9e7, false),
+        ]);
+        let pairs = select_pairs(&o, 4, 0.1);
+        assert_eq!(pairs.len(), 2);
+        // Most extreme pair first.
+        assert_eq!(pairs[0].low, ThreadId(0));
+        assert_eq!(pairs[0].high, ThreadId(3));
+        assert_eq!(pairs[1].low, ThreadId(1));
+        assert_eq!(pairs[1].high, ThreadId(2));
+        // Disjoint.
+        let mut ids: Vec<u32> = pairs.iter().flat_map(|p| [p.low.0, p.high.0]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn all_memory_threads_rotate_extremes_across_core_types() {
+        // All M (unbalanced-memory case): weakest-on-fast pairs with
+        // strongest-on-slow, realising the paper's same-type branch.
+        let o = obs_from(&[
+            (3e7, true),
+            (4e7, true),
+            (5e7, false),
+            (9e7, false),
+        ]);
+        let pairs = select_pairs(&o, 2, 0.1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].low, ThreadId(0)); // weakest on a fast core
+        assert_eq!(pairs[0].high, ThreadId(3)); // strongest on a slow core
+    }
+
+    #[test]
+    fn no_pair_when_one_side_is_empty() {
+        // Everything already on high-BW cores: no tail candidates.
+        let o = obs_from(&[(1e6, true), (9e7, true)]);
+        assert!(select_pairs(&o, 4, 0.1).is_empty());
+        // Everything on low-BW cores: no head candidates.
+        let o = obs_from(&[(1e6, false), (9e7, false)]);
+        assert!(select_pairs(&o, 4, 0.1).is_empty());
+    }
+
+    #[test]
+    fn no_pair_when_swap_would_not_help() {
+        // The only high-BW occupant already has the higher rate.
+        let o = obs_from(&[(9e7, true), (1e6, false)]);
+        assert!(select_pairs(&o, 4, 0.1).is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let o = obs_from(&[(5.0, true)]);
+        assert!(select_pairs(&o, 4, 1e-9).is_empty());
+        let o = obs_from(&[(1e6, true), (9e7, false)]);
+        assert!(select_pairs(&o, 0, 0.1).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests on Dike's components: selector pairing, configuration
+//! ladder, optimizer convergence, and decider consistency.
+
+use dike_machine::{AppId, ThreadId, VCoreId};
+use dike_scheduler::observer::{Observation, ObservedThread, ThreadClass};
+use dike_scheduler::{select_pairs, AdaptationGoal, DikeConfig, SchedConfig};
+use proptest::prelude::*;
+
+/// Build an observation from `(access_rate, on_high_bw, is_memory)` tuples.
+fn obs_from(threads: &[(f64, bool, bool)]) -> Observation {
+    let ts: Vec<ObservedThread> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, &(access_rate, _, memory))| ObservedThread {
+            id: ThreadId(i as u32),
+            app: AppId((i % 4) as u32),
+            vcore: VCoreId(i as u32),
+            access_rate,
+            llc_miss_rate: if memory { 0.15 } else { 0.02 },
+            class: if memory {
+                ThreadClass::Memory
+            } else {
+                ThreadClass::Compute
+            },
+            migrated_last_quantum: false,
+        })
+        .collect();
+    let high_bw = threads.iter().map(|&(_, h, _)| h).collect();
+    Observation {
+        threads: ts,
+        high_bw,
+        core_bw: vec![1.0; threads.len()],
+        fairness_cv: 10.0, // force the gate open
+        memory_fraction: 0.5,
+    }
+}
+
+proptest! {
+    #[test]
+    fn selector_pairs_are_disjoint_directed_and_bounded(
+        threads in prop::collection::vec(
+            (0.0f64..1e8, any::<bool>(), any::<bool>()),
+            2..40
+        ),
+        swap_size in 0u32..20,
+    ) {
+        let obs = obs_from(&threads);
+        let pairs = select_pairs(&obs, swap_size, 0.1);
+        // Bounded by swapSize/2.
+        prop_assert!(pairs.len() <= (swap_size / 2) as usize);
+        // Disjoint thread ids.
+        let mut ids: Vec<u32> = pairs.iter().flat_map(|p| [p.low.0, p.high.0]).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "a thread appears in two pairs");
+        for p in &pairs {
+            // Direction: low member sits on a high-BW core, high member on
+            // a low-BW core (that is what the swap corrects).
+            prop_assert!(obs.high_bw[p.low_vcore.index()]);
+            prop_assert!(!obs.high_bw[p.high_vcore.index()]);
+            // Reported vcores match the threads'.
+            let low = obs.threads.iter().find(|t| t.id == p.low).unwrap();
+            let high = obs.threads.iter().find(|t| t.id == p.high).unwrap();
+            prop_assert_eq!(low.vcore, p.low_vcore);
+            prop_assert_eq!(high.vcore, p.high_vcore);
+        }
+    }
+
+    #[test]
+    fn selector_respects_the_fairness_gate(
+        threads in prop::collection::vec(
+            (1.0f64..1e8, any::<bool>(), any::<bool>()),
+            2..20
+        ),
+    ) {
+        let mut obs = obs_from(&threads);
+        obs.fairness_cv = 0.05; // fair system
+        prop_assert!(select_pairs(&obs, 8, 0.1).is_empty());
+    }
+
+    #[test]
+    fn config_ladder_moves_stay_on_the_grid(
+        moves in prop::collection::vec(0u8..4, 0..40),
+        start_idx in 0usize..32,
+    ) {
+        let grid = SchedConfig::grid();
+        let mut cfg = grid[start_idx];
+        for m in moves {
+            match m {
+                0 => cfg.decrease_quantum(100),
+                1 => cfg.increase_quantum(1000),
+                2 => cfg.increase_swap_size(),
+                _ => cfg.decrease_swap_size(),
+            }
+            prop_assert!(cfg.validate().is_ok(), "left the grid: {cfg:?}");
+            prop_assert!(grid.contains(&cfg));
+        }
+    }
+
+    #[test]
+    fn optimizer_converges_and_stays_valid(
+        memory_fraction in 0.0f64..1.0,
+        goal_sel in any::<bool>(),
+        steps in 1usize..20,
+    ) {
+        let goal = if goal_sel {
+            AdaptationGoal::Fairness
+        } else {
+            AdaptationGoal::Performance
+        };
+        let cfg = DikeConfig {
+            adaptation: Some(goal),
+            ..DikeConfig::default()
+        };
+        let obs = Observation {
+            threads: Vec::new(),
+            high_bw: Vec::new(),
+            core_bw: Vec::new(),
+            fairness_cv: 1.0,
+            memory_fraction,
+        };
+        let mut sched = SchedConfig::DEFAULT;
+        let mut prev = sched;
+        let mut converged = false;
+        for _ in 0..steps {
+            dike_scheduler::optimizer::step(&cfg, &obs, &mut sched);
+            prop_assert!(sched.validate().is_ok());
+            if sched == prev {
+                converged = true;
+            } else {
+                // Once converged, the config must never move again (the
+                // target is a fixed point for a fixed workload type).
+                prop_assert!(!converged, "left a fixed point");
+            }
+            prev = sched;
+        }
+    }
+
+    #[test]
+    fn dike_config_grid_round_trips_through_serde(idx in 0usize..32) {
+        let cfg = SchedConfig::grid()[idx];
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SchedConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,45 @@
+//! Runs every experiment in sequence (the full reproduction). At the
+//! default --scale 1.0 this takes roughly an hour on one core; use
+//! --quick for a ~6x faster smoke pass.
+
+use dike_experiments::{cli, fig1, fig2, fig4, fig5, fig6, fig7, fig8, table3};
+
+fn main() {
+    let args = cli::from_env();
+    let opts = &args.opts;
+
+    println!("=== Figure 1 ===\n");
+    print!("{}", fig1::render(&fig1::run(opts)).render());
+
+    println!("\n=== Figure 2 ===\n");
+    print!("{}", fig2::render(&fig2::run(opts)).render());
+
+    println!("\n=== Figure 4 ===\n");
+    for map in fig4::run(opts) {
+        println!("{}", map.render().render());
+    }
+
+    println!("\n=== Figure 5 (2 workloads/class) ===\n");
+    for c in fig5::run(opts, 2) {
+        println!("{}", c.fairness.render().render());
+        println!("{}", c.performance.render().render());
+    }
+
+    println!("\n=== Figure 6 ===\n");
+    let fig = fig6::run(opts);
+    print!("{}", fig6::render_fairness(&fig).render());
+    println!();
+    print!("{}", fig6::render_performance(&fig).render());
+
+    println!("\n=== Figure 7 ===\n");
+    print!("{}", fig7::render(&fig7::run(opts)).render());
+
+    println!("\n=== Figure 8 ===\n");
+    for trace in fig8::run(opts) {
+        println!("{}", trace.workload);
+        println!("{}", fig8::render(&trace, 30).render());
+    }
+
+    println!("\n=== Table III ===\n");
+    print!("{}", table3::render(&table3::run(opts)).render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 2: optimal vs default vs worst Dike configuration
+//! (normalised fairness/performance) for WL2, WL7 and WL13.
+
+use dike_experiments::{cli, fig2};
+
+fn main() {
+    let args = cli::from_env();
+    let rows = fig2::run(&args.opts);
+    let table = fig2::render(&rows);
+    println!("Figure 2 — optimal/default/worst scheduler configurations\n");
+    print!("{}", table.render());
+    if args.csv {
+        print!("\n{}", table.to_csv());
+    }
+}

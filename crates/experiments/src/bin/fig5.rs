@@ -1,0 +1,36 @@
+//! Regenerates Figure 5: per-class (B/UC/UM) optimisation contours, the
+//! data behind Algorithm 2's adaptation rules. Pass a positional integer
+//! to limit workloads per class (default 2; the full figure uses 6).
+
+use dike_experiments::{cli, fig5};
+use dike_experiments::fig4::Heatmap;
+use dike_experiments::fig5::ClassContours;
+
+fn main() {
+    let args = cli::from_env();
+    let per_class: usize = args
+        .rest
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    println!("Figure 5 — per-class optimisation space ({per_class} workloads/class)\n");
+    for c in fig5::run(&args.opts, per_class) {
+        println!("class {} (workloads: {})", c.class.label(), c.workloads.join(", "));
+        for map in [&c.fairness, &c.performance] {
+            let t = map.render();
+            println!("{}", t.render());
+            if args.csv {
+                println!("{}", t.to_csv());
+            }
+        }
+        let (fq, fs) = ClassContours::peak(&c.fairness.values);
+        let (pq, ps) = ClassContours::peak(&c.performance.values);
+        println!(
+            "  fairness peak: quantum={}ms swapSize={}   performance peak: quantum={}ms swapSize={}\n",
+            Heatmap::quanta_ms()[fq],
+            Heatmap::swap_sizes()[fs],
+            Heatmap::quanta_ms()[pq],
+            Heatmap::swap_sizes()[ps],
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 6a: fairness improvement over the Linux baseline for
+//! DIO, Dike, Dike-AF and Dike-AP on all sixteen workloads.
+
+use dike_experiments::{cli, fig6};
+
+fn main() {
+    let args = cli::from_env();
+    let fig = fig6::run(&args.opts);
+    let t = fig6::render_fairness(&fig);
+    println!("Figure 6a — fairness improvement over Linux-CFS\n");
+    print!("{}", t.render());
+    if args.csv {
+        print!("\n{}", t.to_csv());
+    }
+}

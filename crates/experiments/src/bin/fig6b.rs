@@ -1,0 +1,15 @@
+//! Regenerates Figure 6b: per-workload speedup over the Linux baseline for
+//! DIO, Dike, Dike-AF and Dike-AP.
+
+use dike_experiments::{cli, fig6};
+
+fn main() {
+    let args = cli::from_env();
+    let fig = fig6::run(&args.opts);
+    let t = fig6::render_performance(&fig);
+    println!("Figure 6b — speedup over Linux-CFS (mean benchmark runtime)\n");
+    print!("{}", t.render());
+    if args.csv {
+        print!("\n{}", t.to_csv());
+    }
+}

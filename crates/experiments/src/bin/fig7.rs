@@ -1,0 +1,15 @@
+//! Regenerates Figure 7: Dike's prediction error (min/avg/max of signed
+//! relative error) for every workload.
+
+use dike_experiments::{cli, fig7};
+
+fn main() {
+    let args = cli::from_env();
+    let rows = fig7::run(&args.opts);
+    let t = fig7::render(&rows);
+    println!("Figure 7 — Dike prediction error\n");
+    print!("{}", t.render());
+    if args.csv {
+        print!("\n{}", t.to_csv());
+    }
+}

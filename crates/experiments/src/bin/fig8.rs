@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: the prediction-error trend over time for WL6 and
+//! WL11 (per-quantum mean signed relative error).
+
+use dike_experiments::{cli, fig8};
+
+fn main() {
+    let args = cli::from_env();
+    println!("Figure 8 — prediction-error trend\n");
+    for trace in fig8::run(&args.opts) {
+        println!("{} ({} quanta scored)", trace.workload, trace.series.len());
+        let t = fig8::render(&trace, 40);
+        println!("{}", t.render());
+        if args.csv {
+            println!("{}", t.to_csv());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration scratchpad (not part of the paper reproduction): prints the
+//! headline comparison for a few workloads so model parameters can be
+//! sanity-checked quickly. Kept in-tree because it is the fastest way to
+//! eyeball the simulator after a model change.
+
+use dike_experiments::{run_cell, RunOptions, SchedKind};
+use dike_machine::presets;
+use dike_workloads::paper;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    let cfg = presets::paper_machine(1);
+    let opts = RunOptions {
+        scale,
+        deadline_s: 600.0,
+        ..RunOptions::default()
+    };
+    println!(
+        "{:<6} {:<10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>5}",
+        "wl", "sched", "fairness", "meanApp", "makespan", "swaps", "quanta", "done"
+    );
+    for n in [1usize, 9, 13] {
+        let w = paper::workload(n);
+        for kind in SchedKind::comparison_set() {
+            let c = run_cell(&cfg, &w, &kind, &opts);
+            println!(
+                "{:<6} {:<10} {:>9.4} {:>9.2} {:>9.2} {:>7} {:>7} {:>5}  fairq={} prop={} rejP={} rejC={}",
+                c.workload,
+                c.scheduler,
+                c.fairness,
+                c.mean_app_runtime_s,
+                c.makespan_s,
+                c.swaps,
+                c.quanta,
+                c.completed,
+                c.fair_quanta,
+                c.pairs_proposed,
+                c.rejected_profit,
+                c.rejected_cooldown
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table III: swap counts per workload under DIO, Dike,
+//! Dike-AF and Dike-AP.
+
+use dike_experiments::{cli, table3};
+
+fn main() {
+    let args = cli::from_env();
+    let t3 = table3::run(&args.opts);
+    let t = table3::render(&t3);
+    println!("Table III — swap counts\n");
+    print!("{}", t.render());
+    if args.csv {
+        print!("\n{}", t.to_csv());
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 7: Dike's prediction error per workload — minimum, average and
+//! maximum signed relative error across all scored (thread, quantum)
+//! samples. The paper reports averages within 0–3 % and bounds of −9 % to
+//! +10 %, with UC workloads hardest to predict.
+
+use crate::runner::{run_cell, RunOptions, SchedKind};
+use dike_machine::presets;
+use dike_metrics::{Summary, TextTable};
+use dike_scheduler::SchedConfig;
+use dike_workloads::paper;
+
+/// One workload's error summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub workload: String,
+    /// Error summary (signed relative errors).
+    pub summary: Summary,
+}
+
+/// Run the prediction-error experiment over the given workloads.
+pub fn run_subset(opts: &RunOptions, workload_numbers: &[usize]) -> Vec<Fig7Row> {
+    let cfg = presets::paper_machine(opts.seed);
+    workload_numbers
+        .iter()
+        .map(|&n| {
+            let w = paper::workload(n);
+            let cell = run_cell(&cfg, &w, &SchedKind::Dike(SchedConfig::DEFAULT), opts);
+            Fig7Row {
+                workload: w.name,
+                summary: Summary::of(&cell.prediction_errors),
+            }
+        })
+        .collect()
+}
+
+/// Run over all sixteen workloads.
+pub fn run(opts: &RunOptions) -> Vec<Fig7Row> {
+    run_subset(opts, &(1..=16).collect::<Vec<_>>())
+}
+
+/// Render as the figure's min/avg/max series.
+pub fn render(rows: &[Fig7Row]) -> TextTable {
+    let mut t = TextTable::new(vec!["workload", "min", "avg", "max", "samples"]);
+    for r in rows {
+        t.row(vec![
+            r.workload.clone(),
+            format!("{:+.1}%", r.summary.min * 100.0),
+            format!("{:+.1}%", r.summary.mean * 100.0),
+            format!("{:+.1}%", r.summary.max * 100.0),
+            format!("{}", r.summary.n),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_errors_are_small_on_average() {
+        let opts = RunOptions {
+            scale: 0.1,
+            deadline_s: 120.0,
+            ..RunOptions::default()
+        };
+        let rows = run_subset(&opts, &[1, 13]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.summary.n > 0, "{} recorded no samples", r.workload);
+            assert!(
+                r.summary.mean.abs() < 0.15,
+                "{} mean error {:.3} too large",
+                r.workload,
+                r.summary.mean
+            );
+            assert!(r.summary.min <= r.summary.mean && r.summary.mean <= r.summary.max);
+        }
+        let t = render(&rows);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dike-experiments — drivers reproducing every table and figure
+//!
+//! One module per experiment; each produces the same rows/series the paper
+//! reports and is exercised both by a binary (`cargo run -p
+//! dike-experiments --release --bin figN`) and by a Criterion bench
+//! target. See `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured values.
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`fig1`] | Figure 1 — standalone vs concurrent slowdown |
+//! | [`fig2`] | Figure 2 — optimal/default/worst configurations |
+//! | [`fig4`] | Figure 4 — configuration heatmaps |
+//! | [`fig5`] | Figure 5 — per-class optimisation contours |
+//! | [`fig6`] | Figure 6 — fairness & performance comparison |
+//! | [`fig7`] | Figure 7 — prediction error per workload |
+//! | [`fig8`] | Figure 8 — prediction-error traces |
+//! | [`table3`] | Table III — swap counts |
+//! | [`ablations`] | DESIGN.md §5 design-choice ablations |
+
+pub mod ablations;
+pub mod cli;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod runner;
+pub mod sweep;
+pub mod table3;
+
+pub use runner::{run_cell, run_cell_with, CellResult, RunOptions, SchedKind};

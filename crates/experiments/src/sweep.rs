@@ -1,0 +1,156 @@
+//! Configuration-grid sweeps over ⟨swapSize, quantaLength⟩ — the engine
+//! behind Figures 2, 4 and 5.
+
+use crate::runner::{run_cell, CellResult, RunOptions, SchedKind};
+use dike_machine::MachineConfig;
+use dike_metrics::relative_improvement;
+use dike_scheduler::SchedConfig;
+use dike_workloads::Workload;
+
+/// One grid cell: a configuration and its measured outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The configuration.
+    pub config: SchedConfig,
+    /// Full cell result.
+    pub result: CellResult,
+}
+
+/// A full 32-point sweep for one workload, plus the baseline cell used for
+/// normalisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline (Linux-CFS) result.
+    pub baseline: CellResult,
+    /// One cell per configuration, in [`SchedConfig::grid`] order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl Sweep {
+    /// Fairness improvement over the baseline for each cell.
+    pub fn fairness_improvements(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|c| relative_improvement(c.result.fairness, self.baseline.fairness))
+            .collect()
+    }
+
+    /// Speedup over the baseline (mean benchmark-app runtime) per cell.
+    pub fn speedups(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|c| self.baseline.mean_app_runtime_s / c.result.mean_app_runtime_s)
+            .collect()
+    }
+
+    /// Index of the best cell by fairness.
+    pub fn best_fairness(&self) -> usize {
+        argmax(&self.cells.iter().map(|c| c.result.fairness).collect::<Vec<_>>())
+    }
+
+    /// Index of the worst cell by fairness.
+    pub fn worst_fairness(&self) -> usize {
+        argmin(&self.cells.iter().map(|c| c.result.fairness).collect::<Vec<_>>())
+    }
+
+    /// Index of the best cell by performance (lowest mean app runtime).
+    pub fn best_performance(&self) -> usize {
+        argmin(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.result.mean_app_runtime_s)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Index of the worst cell by performance.
+    pub fn worst_performance(&self) -> usize {
+        argmax(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.result.mean_app_runtime_s)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The cell for a specific configuration.
+    pub fn cell(&self, config: SchedConfig) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| c.config == config)
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty sweep")
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty sweep")
+}
+
+/// Sweep all 32 configurations of one workload with non-adaptive Dike.
+pub fn sweep_workload(
+    machine_cfg: &MachineConfig,
+    workload: &Workload,
+    opts: &RunOptions,
+) -> Sweep {
+    let baseline = run_cell(machine_cfg, workload, &SchedKind::Cfs, opts);
+    let cells = SchedConfig::grid()
+        .into_iter()
+        .map(|config| SweepCell {
+            config,
+            result: run_cell(machine_cfg, workload, &SchedKind::Dike(config), opts),
+        })
+        .collect();
+    Sweep {
+        workload: workload.name.clone(),
+        baseline,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_machine::presets;
+    use dike_workloads::paper;
+
+    #[test]
+    fn sweep_covers_the_grid_and_finds_extremes() {
+        // Tiny scale: this runs 33 cells.
+        let opts = RunOptions {
+            scale: 0.02,
+            deadline_s: 60.0,
+            ..RunOptions::default()
+        };
+        let cfg = presets::paper_machine(1);
+        let sweep = sweep_workload(&cfg, &paper::workload(1), &opts);
+        assert_eq!(sweep.cells.len(), 32);
+        assert_eq!(sweep.fairness_improvements().len(), 32);
+        assert_eq!(sweep.speedups().len(), 32);
+        let bf = sweep.best_fairness();
+        let wf = sweep.worst_fairness();
+        assert!(
+            sweep.cells[bf].result.fairness >= sweep.cells[wf].result.fairness,
+            "best fairness below worst"
+        );
+        let bp = sweep.best_performance();
+        let wp = sweep.worst_performance();
+        assert!(
+            sweep.cells[bp].result.mean_app_runtime_s
+                <= sweep.cells[wp].result.mean_app_runtime_s
+        );
+        assert!(sweep.cell(SchedConfig::DEFAULT).is_some());
+    }
+}

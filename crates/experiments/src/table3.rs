@@ -1,0 +1,117 @@
+//! Table III: swap counts per workload under DIO, Dike, Dike-AF and
+//! Dike-AP.
+//!
+//! The paper's averages: DIO ≈ 2117, Dike ≈ 773, Dike-AF ≈ 289,
+//! Dike-AP ≈ 191 — with a strong class pattern for Dike (B workloads need
+//! ~10 swaps; UC workloads churn at DIO-like rates; UM workloads rotate at
+//! hundreds).
+
+use crate::runner::{run_cell, RunOptions, SchedKind};
+use dike_machine::presets;
+use dike_metrics::{mean, TextTable};
+use dike_scheduler::SchedConfig;
+use dike_workloads::paper;
+
+/// Swap counts per workload (rows) per scheduler (columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// Scheduler labels.
+    pub schedulers: Vec<String>,
+    /// Workload names.
+    pub workloads: Vec<String>,
+    /// `swaps[w][s]`.
+    pub swaps: Vec<Vec<u64>>,
+}
+
+impl Table3 {
+    /// Per-scheduler averages (the table's final column).
+    pub fn averages(&self) -> Vec<f64> {
+        (0..self.schedulers.len())
+            .map(|s| mean(&self.swaps.iter().map(|row| row[s] as f64).collect::<Vec<_>>()))
+            .collect()
+    }
+}
+
+/// The scheduler set of Table III.
+fn kinds() -> Vec<SchedKind> {
+    vec![
+        SchedKind::Dio,
+        SchedKind::Dike(SchedConfig::DEFAULT),
+        SchedKind::DikeAf,
+        SchedKind::DikeAp,
+    ]
+}
+
+/// Run the swap-count experiment for a subset of workloads.
+pub fn run_subset(opts: &RunOptions, workload_numbers: &[usize]) -> Table3 {
+    let cfg = presets::paper_machine(opts.seed);
+    let kinds = kinds();
+    let mut workloads = Vec::new();
+    let mut swaps = Vec::new();
+    for &n in workload_numbers {
+        let w = paper::workload(n);
+        workloads.push(w.name.clone());
+        swaps.push(
+            kinds
+                .iter()
+                .map(|k| run_cell(&cfg, &w, k, opts).swaps)
+                .collect(),
+        );
+    }
+    Table3 {
+        schedulers: kinds.iter().map(|k| k.label()).collect(),
+        workloads,
+        swaps,
+    }
+}
+
+/// Run for all sixteen workloads.
+pub fn run(opts: &RunOptions) -> Table3 {
+    run_subset(opts, &(1..=16).collect::<Vec<_>>())
+}
+
+/// Render in the paper's layout (schedulers as rows, workloads as columns).
+pub fn render(t3: &Table3) -> TextTable {
+    let mut header = vec!["scheduler".to_string()];
+    header.extend(t3.workloads.iter().map(|w| w.to_lowercase()));
+    header.push("Average".into());
+    let mut t = TextTable::new(header);
+    let avgs = t3.averages();
+    for (s, name) in t3.schedulers.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(t3.swaps.iter().map(|w| w[s].to_string()));
+        row.push(format!("{:.1}", avgs[s]));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_counts_follow_the_papers_ordering() {
+        let opts = RunOptions {
+            scale: 0.1,
+            deadline_s: 120.0,
+            ..RunOptions::default()
+        };
+        let t3 = run_subset(&opts, &[1, 13]);
+        assert_eq!(t3.schedulers, vec!["DIO", "Dike", "Dike-AF", "Dike-AP"]);
+        let avgs = t3.averages();
+        // DIO out-swaps the non-adaptive and performance-adaptive Dike
+        // variants clearly (paper ratio ~2.7x for Dike, ~11x for Dike-AP).
+        for s in [1usize, 3] {
+            assert!(
+                avgs[0] > 1.3 * avgs[s],
+                "DIO avg {} vs {} avg {}",
+                avgs[0],
+                t3.schedulers[s],
+                avgs[s]
+            );
+        }
+        let rendered = render(&t3);
+        assert_eq!(rendered.len(), 4);
+    }
+}

@@ -1,0 +1,275 @@
+//! Shared-resource contention models.
+//!
+//! The paper attributes contention-induced slowdown primarily to the shared
+//! memory system (memory controller plus on-chip interconnect) with a
+//! secondary effect from shared last-level cache capacity. Both effects are
+//! modelled here as pure functions so they can be tested and reasoned about
+//! in isolation from the execution engine.
+//!
+//! * **LLC pressure** ([`llc_inflation`]): when the sum of the running
+//!   threads' working sets exceeds the shared cache, every thread's miss
+//!   ratio inflates — misses that would have been hits in isolation. This is
+//!   why even compute-intensive applications slow down under co-location
+//!   (Figure 1 of the paper).
+//! * **Memory controller** ([`solve_memory`]): threads' miss streams queue at
+//!   one controller. Utilisation below saturation inflates the effective
+//!   per-miss latency with an M/M/1-style factor; demand beyond the peak
+//!   bandwidth is served proportionally to demand (bandwidth sharing).
+
+use crate::config::{LlcConfig, MemoryConfig};
+
+/// Miss-ratio inflation factor for a given total running working set.
+///
+/// Returns 1.0 while the combined working set fits in the cache and grows
+/// linearly with over-subscription up to [`LlcConfig::max_inflation`].
+pub fn llc_inflation(total_working_set_mib: f64, cfg: &LlcConfig) -> f64 {
+    let over = (total_working_set_mib / cfg.capacity_mib - 1.0).max(0.0);
+    (1.0 + cfg.sensitivity * over).min(cfg.max_inflation)
+}
+
+/// One thread's demand on the memory system for the current tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemDemand {
+    /// Seconds per instruction from the pipeline alone (already includes
+    /// the core's frequency, run-queue share and SMT factor).
+    pub base_time_per_instr: f64,
+    /// Effective LLC miss ratio (misses per instruction) after cache
+    /// pressure, warm-up and burstiness adjustments.
+    pub miss_ratio: f64,
+}
+
+/// The solved state of the memory system for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSolution {
+    /// Achieved instruction rate (instructions/second) per input demand.
+    pub rates: Vec<f64>,
+    /// Controller utilisation: achieved miss throughput over peak bandwidth.
+    pub utilisation: f64,
+    /// Effective per-miss latency (seconds) including queueing delay.
+    pub latency_s: f64,
+}
+
+/// Solve the coupled rate/latency fixed point for one tick.
+///
+/// Each thread's achieved instruction rate is
+/// `1 / (base_time + miss_ratio * latency)`, while the latency itself
+/// depends on total achieved miss throughput through the queueing factor
+/// `latency = base * (1 + gain * r / (1 - r))`, `r = min(rho, max_util)`.
+/// The fixed point is found by damped iteration (the map is monotone
+/// decreasing in `rho`, so damping guarantees convergence), after which any
+/// residual demand above peak bandwidth is cut by proportional sharing.
+pub fn solve_memory(demands: &[MemDemand], cfg: &MemoryConfig) -> MemSolution {
+    if demands.is_empty() {
+        return MemSolution {
+            rates: Vec::new(),
+            utilisation: 0.0,
+            latency_s: cfg.base_latency_s,
+        };
+    }
+
+    let bw = cfg.bandwidth_accesses_per_sec;
+    let mut rho = 0.0_f64;
+    let mut latency = cfg.base_latency_s;
+    let mut rates = vec![0.0; demands.len()];
+
+    for _ in 0..16 {
+        let r = rho.min(cfg.max_utilisation);
+        latency = cfg.base_latency_s * (1.0 + cfg.queue_gain * r / (1.0 - r));
+        let mut miss_throughput = 0.0;
+        for (rate, d) in rates.iter_mut().zip(demands) {
+            *rate = 1.0 / (d.base_time_per_instr + d.miss_ratio * latency);
+            miss_throughput += *rate * d.miss_ratio;
+        }
+        let new_rho = miss_throughput / bw;
+        // Damping: the undamped map can oscillate when demand >> bandwidth.
+        rho = 0.5 * rho + 0.5 * new_rho;
+    }
+
+    // Hard bandwidth cap: when total demand exceeds peak bandwidth, the
+    // controller serves each thread in proportion to its *unconstrained*
+    // demand (pipeline rate × miss ratio). A faster core issues misses
+    // faster and wins a proportionally larger share — this is what makes
+    // memory-bound threads frequency-sensitive under saturation, the
+    // effect behind the paper's "STREAM slows 4.6× on the heterogeneous
+    // machine vs 3.4× on the homogeneous one".
+    let miss_throughput: f64 = rates
+        .iter()
+        .zip(demands)
+        .map(|(rate, d)| rate * d.miss_ratio)
+        .sum();
+    let utilisation = if miss_throughput > bw {
+        let weights: Vec<f64> = demands
+            .iter()
+            .map(|d| d.miss_ratio / d.base_time_per_instr)
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+        for ((rate, d), w) in rates.iter_mut().zip(demands).zip(&weights) {
+            if d.miss_ratio > 0.0 && total_weight > 0.0 {
+                let share = bw * w / total_weight;
+                *rate = rate.min(share / d.miss_ratio);
+            }
+        }
+        let served: f64 = rates
+            .iter()
+            .zip(demands)
+            .map(|(rate, d)| rate * d.miss_ratio)
+            .sum();
+        (served / bw).min(1.0)
+    } else {
+        miss_throughput / bw
+    };
+
+    MemSolution {
+        rates,
+        utilisation,
+        latency_s: latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_cfg() -> MemoryConfig {
+        MemoryConfig::default()
+    }
+
+    #[test]
+    fn llc_no_pressure_below_capacity() {
+        let cfg = LlcConfig::default();
+        assert_eq!(llc_inflation(0.0, &cfg), 1.0);
+        assert_eq!(llc_inflation(10.0, &cfg), 1.0);
+        assert_eq!(llc_inflation(25.0, &cfg), 1.0);
+    }
+
+    #[test]
+    fn llc_inflation_grows_then_caps() {
+        let cfg = LlcConfig::default();
+        let a = llc_inflation(30.0, &cfg);
+        let b = llc_inflation(50.0, &cfg);
+        assert!(a > 1.0 && b > a);
+        assert_eq!(llc_inflation(10_000.0, &cfg), cfg.max_inflation);
+    }
+
+    #[test]
+    fn empty_memory_system_is_idle() {
+        let s = solve_memory(&[], &mem_cfg());
+        assert!(s.rates.is_empty());
+        assert_eq!(s.utilisation, 0.0);
+        assert_eq!(s.latency_s, mem_cfg().base_latency_s);
+    }
+
+    #[test]
+    fn single_compute_thread_nearly_unconstrained() {
+        // A pure compute thread: essentially no misses.
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 0.5 / 2.33e9,
+            miss_ratio: 1e-5,
+        };
+        let s = solve_memory(&[d], &cfg);
+        let unconstrained = 1.0 / d.base_time_per_instr;
+        assert!(s.rates[0] > 0.99 * unconstrained);
+        assert!(s.utilisation < 0.01);
+    }
+
+    #[test]
+    fn memory_thread_is_latency_bound() {
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.03,
+        };
+        let s = solve_memory(&[d], &cfg);
+        // Achieved rate should be well below pipeline rate.
+        assert!(s.rates[0] < 0.5 / d.base_time_per_instr);
+        // And consistent with the solved latency.
+        let expect = 1.0 / (d.base_time_per_instr + d.miss_ratio * s.latency_s);
+        assert!((s.rates[0] - expect).abs() / expect < 0.05);
+    }
+
+    #[test]
+    fn contention_slows_everyone_memory_threads_most() {
+        let cfg = mem_cfg();
+        let mem = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.03,
+        };
+        let comp = MemDemand {
+            base_time_per_instr: 0.6 / 2.33e9,
+            miss_ratio: 0.002,
+        };
+        let alone_mem = solve_memory(&[mem], &cfg).rates[0];
+        let alone_comp = solve_memory(&[comp], &cfg).rates[0];
+        // 16 memory threads + 16 compute threads contending.
+        let mut demands = vec![mem; 16];
+        demands.extend(vec![comp; 16]);
+        let s = solve_memory(&demands, &cfg);
+        let slow_mem = alone_mem / s.rates[0];
+        let slow_comp = alone_comp / s.rates[16];
+        assert!(slow_mem > 1.5, "memory slowdown {slow_mem}");
+        assert!(slow_comp > 1.05, "compute slowdown {slow_comp}");
+        assert!(
+            slow_mem > slow_comp,
+            "memory threads must suffer more: {slow_mem} vs {slow_comp}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_cap_is_respected() {
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.05,
+        };
+        let s = solve_memory(&vec![d; 64], &cfg);
+        let total_misses: f64 = s.rates.iter().map(|r| r * d.miss_ratio).sum();
+        assert!(total_misses <= cfg.bandwidth_accesses_per_sec * 1.0001);
+        assert!(s.utilisation <= 1.0);
+    }
+
+    #[test]
+    fn identical_demands_get_identical_rates() {
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 1.0 / 1.21e9,
+            miss_ratio: 0.03,
+        };
+        let s = solve_memory(&[d; 8], &cfg);
+        for r in &s.rates {
+            assert!((r - s.rates[0]).abs() < 1e-6 * s.rates[0]);
+        }
+    }
+
+    #[test]
+    fn faster_core_gets_more_bandwidth_share() {
+        // Same miss ratio, one thread on a faster core: it demands more and,
+        // under proportional sharing, achieves more.
+        let cfg = mem_cfg();
+        let fast = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.03,
+        };
+        let slow = MemDemand {
+            base_time_per_instr: 1.0 / 1.21e9,
+            miss_ratio: 0.03,
+        };
+        let mut demands = vec![fast; 20];
+        demands.extend(vec![slow; 20]);
+        let s = solve_memory(&demands, &cfg);
+        assert!(s.rates[0] > s.rates[20]);
+    }
+
+    #[test]
+    fn latency_increases_with_load() {
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.03,
+        };
+        let light = solve_memory(&[d], &cfg);
+        let heavy = solve_memory(&vec![d; 32], &cfg);
+        assert!(heavy.latency_s > light.latency_s);
+        assert!(heavy.latency_s <= cfg.base_latency_s * 25.0, "latency finite");
+    }
+}

@@ -1,0 +1,896 @@
+//! The tick-based execution engine.
+//!
+//! [`Machine`] advances simulated time in fixed ticks (default 1 ms). In each
+//! tick it:
+//!
+//! 1. determines which threads are runnable (alive, not parked at a barrier,
+//!    outside migration dead time) and how each virtual core's time is
+//!    shared among its runnable threads;
+//! 2. applies SMT interference (busy sibling contexts shrink pipeline share);
+//! 3. computes each thread's *effective* miss ratio: the phase's intrinsic
+//!    ratio, inflated by shared-LLC pressure, post-migration cache warm-up,
+//!    and deterministic burstiness noise;
+//! 4. solves the shared memory system for achieved instruction rates
+//!    ([`crate::contention::solve_memory`]);
+//! 5. advances threads, clamping at phase boundaries, barrier points and
+//!    program completion, and accumulates per-thread and per-core counters.
+//!
+//! Everything is deterministic given [`crate::config::MachineConfig::seed`]:
+//! the only stochastic element, phase burstiness, is derived from a hash of
+//! `(seed, thread, coarse tick)`, so a thread's intrinsic behaviour over time
+//! does not depend on scheduling decisions — exactly the property needed to
+//! compare schedulers fairly.
+
+use crate::config::MachineConfig;
+use crate::contention::{llc_inflation, solve_memory, MemDemand};
+use crate::ids::{AppId, BarrierId, SimTime, ThreadId, VCoreId};
+use crate::thread::{CoreCounters, ThreadCounters, ThreadSpec, ThreadState};
+use std::collections::BTreeMap;
+
+/// Notable events, for logs and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineEvent {
+    /// A thread was spawned on a core.
+    Spawned { thread: ThreadId, vcore: VCoreId },
+    /// A thread migrated between cores.
+    Migrated {
+        thread: ThreadId,
+        from: VCoreId,
+        to: VCoreId,
+        at: SimTime,
+    },
+    /// A thread retired all its instructions.
+    Finished { thread: ThreadId, at: SimTime },
+    /// The substrate load balancer moved a thread to an idle context.
+    Balanced {
+        thread: ThreadId,
+        from: VCoreId,
+        to: VCoreId,
+        at: SimTime,
+    },
+}
+
+/// Coarseness of the burstiness noise: the pseudo-random miss-ratio
+/// fluctuation is held constant for this many consecutive ticks, giving
+/// bursts a realistic multi-millisecond duration.
+const NOISE_WINDOW_TICKS: u64 = 8;
+
+/// The simulated machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    now: SimTime,
+    tick_index: u64,
+    threads: Vec<ThreadState>,
+    vcore_counters: Vec<CoreCounters>,
+    events: Vec<MachineEvent>,
+    /// Barrier bookkeeping: group -> member thread ids.
+    barrier_groups: BTreeMap<BarrierId, Vec<ThreadId>>,
+    /// Moves performed by the substrate balancer (not counted as policy
+    /// migrations).
+    balancer_moves: u64,
+    // Per-tick scratch buffers, reused to avoid per-tick allocation.
+    scratch_runnable: Vec<usize>,
+    scratch_demands: Vec<MemDemand>,
+    scratch_eff_mr: Vec<f64>,
+}
+
+impl Machine {
+    /// Create an empty machine.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let n_vcores = cfg.topology.num_vcores();
+        Machine {
+            cfg,
+            now: SimTime::ZERO,
+            tick_index: 0,
+            threads: Vec::new(),
+            vcore_counters: vec![CoreCounters::default(); n_vcores],
+            events: Vec::new(),
+            barrier_groups: BTreeMap::new(),
+            balancer_moves: 0,
+            scratch_runnable: Vec::new(),
+            scratch_demands: Vec::new(),
+            scratch_eff_mr: Vec::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Spawn a thread pinned to `vcore`.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid or the core id is out of range.
+    pub fn spawn(&mut self, spec: ThreadSpec, vcore: VCoreId) -> ThreadId {
+        spec.validate().expect("invalid thread spec");
+        assert!(
+            vcore.index() < self.cfg.topology.num_vcores(),
+            "vcore {vcore} out of range"
+        );
+        let id = ThreadId(self.threads.len() as u32);
+        if let Some(b) = &spec.barrier {
+            self.barrier_groups.entry(b.group).or_default().push(id);
+        }
+        self.threads.push(ThreadState::new(spec, vcore));
+        self.events.push(MachineEvent::Spawned { thread: id, vcore });
+        id
+    }
+
+    /// Move a thread to another virtual core. A move to the thread's current
+    /// core is a no-op; a real move costs the configured dead time and cache
+    /// warm-up and increments the thread's migration counter.
+    pub fn migrate(&mut self, thread: ThreadId, to: VCoreId) {
+        assert!(
+            to.index() < self.cfg.topology.num_vcores(),
+            "vcore {to} out of range"
+        );
+        let t = &mut self.threads[thread.index()];
+        if t.finished() || t.vcore == to {
+            return;
+        }
+        let from = t.vcore;
+        t.vcore = to;
+        t.dead_until = self.now + SimTime::from_us(self.cfg.migration.dead_time_us);
+        // Warm-up scales with the thread's current working set: a large
+        // footprint takes proportionally longer to refill on the new core.
+        let ws_mib = t
+            .spec
+            .program
+            .phase_at(t.retired)
+            .map(|p| p.working_set_mib)
+            .unwrap_or(0.0);
+        let warmup = self.cfg.migration.warmup_us
+            + (ws_mib * self.cfg.migration.warmup_us_per_mib as f64) as u64;
+        t.warmup_until =
+            self.now + SimTime::from_us(self.cfg.migration.dead_time_us + warmup);
+        t.counters.migrations += 1;
+        self.events.push(MachineEvent::Migrated {
+            thread,
+            from,
+            to,
+            at: self.now,
+        });
+    }
+
+    /// All thread ids ever spawned.
+    pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        (0..self.threads.len() as u32).map(ThreadId)
+    }
+
+    /// Thread ids that have not yet finished.
+    pub fn alive_threads(&self) -> Vec<ThreadId> {
+        self.thread_ids()
+            .filter(|t| !self.threads[t.index()].finished())
+            .collect()
+    }
+
+    /// True once every thread has finished.
+    pub fn all_done(&self) -> bool {
+        !self.threads.is_empty() && self.threads.iter().all(|t| t.finished())
+    }
+
+    /// Number of spawned threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The virtual core a thread is currently pinned to.
+    pub fn vcore_of(&self, thread: ThreadId) -> VCoreId {
+        self.threads[thread.index()].vcore
+    }
+
+    /// The application a thread belongs to.
+    pub fn app_of(&self, thread: ThreadId) -> AppId {
+        self.threads[thread.index()].spec.app
+    }
+
+    /// The application name a thread belongs to.
+    pub fn app_name_of(&self, thread: ThreadId) -> &str {
+        &self.threads[thread.index()].spec.app_name
+    }
+
+    /// Cumulative hardware counters of a thread.
+    pub fn counters(&self, thread: ThreadId) -> ThreadCounters {
+        self.threads[thread.index()].counters
+    }
+
+    /// Cumulative counters of a virtual core.
+    pub fn core_counters(&self, vcore: VCoreId) -> CoreCounters {
+        self.vcore_counters[vcore.index()]
+    }
+
+    /// Completion time of a thread, if finished.
+    pub fn finish_time(&self, thread: ThreadId) -> Option<SimTime> {
+        self.threads[thread.index()].finished_at
+    }
+
+    /// Fraction of a thread's instructions retired so far, in `[0, 1]`.
+    pub fn progress_of(&self, thread: ThreadId) -> f64 {
+        let t = &self.threads[thread.index()];
+        (t.retired / t.spec.program.total_instructions).min(1.0)
+    }
+
+    /// Event log (spawns, migrations, completions).
+    pub fn events(&self) -> &[MachineEvent] {
+        &self.events
+    }
+
+    /// Total policy migrations across all threads (balancer moves are
+    /// tracked separately in [`Machine::balancer_moves`]).
+    pub fn total_migrations(&self) -> u64 {
+        self.threads.iter().map(|t| t.counters.migrations).sum()
+    }
+
+    /// Moves performed by the substrate load balancer.
+    pub fn balancer_moves(&self) -> u64 {
+        self.balancer_moves
+    }
+
+    /// The OS's count-based idle balancer (see
+    /// [`crate::config::BalanceConfig`]): when the fast and slow halves
+    /// have unequal unfinished-thread counts and the lighter half has an
+    /// empty context, move threads over. A balanced move costs cache
+    /// warm-up (cold caches are physics) but no affinity dead time.
+    fn balance(&mut self) {
+        let topo = &self.cfg.topology;
+        let n = topo.num_vcores();
+        // Split vcores into the faster and slower halves by frequency.
+        let median = {
+            let mut freqs: Vec<f64> = (0..n).map(|v| topo.freq_of(VCoreId(v as u32))).collect();
+            freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            freqs[n / 2]
+        };
+        let is_fast = |v: usize| topo.freq_of(VCoreId(v as u32)) >= median;
+        if (0..n).all(is_fast) || !(0..n).any(is_fast) {
+            // Homogeneous: balance is about emptiness only; handled by the
+            // shared-vcore spreading below.
+            self.spread_shared_vcores();
+            return;
+        }
+        let mut occupancy = vec![0u32; n];
+        for t in &self.threads {
+            if !t.finished() {
+                occupancy[t.vcore.index()] += 1;
+            }
+        }
+        let count_half = |fast: bool| -> u32 {
+            (0..n)
+                .filter(|&v| is_fast(v) == fast)
+                .map(|v| occupancy[v])
+                .sum()
+        };
+        let mut fast_load = count_half(true);
+        let mut slow_load = count_half(false);
+        let min_imb = self.cfg.balance.min_imbalance;
+        let mut moves: Vec<(ThreadId, VCoreId)> = Vec::new();
+        while fast_load.abs_diff(slow_load) >= min_imb.max(1) {
+            let move_to_fast = slow_load > fast_load;
+            // An empty target context on the lighter half.
+            let target = (0..n)
+                .find(|&v| is_fast(v) == move_to_fast && occupancy[v] == 0)
+                .map(|v| VCoreId(v as u32));
+            let Some(target) = target else { break };
+            // Candidate: a thread on the heavier half, preferring doubled-up
+            // contexts, then the highest-occupancy context (deterministic
+            // lowest thread id).
+            let source = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    !t.finished() && is_fast(t.vcore.index()) != move_to_fast
+                })
+                .max_by_key(|(i, t)| (occupancy[t.vcore.index()], u32::MAX - *i as u32))
+                .map(|(i, _)| ThreadId(i as u32));
+            let Some(thread) = source else { break };
+            occupancy[self.threads[thread.index()].vcore.index()] -= 1;
+            occupancy[target.index()] += 1;
+            if move_to_fast {
+                fast_load += 1;
+                slow_load -= 1;
+            } else {
+                fast_load -= 1;
+                slow_load += 1;
+            }
+            moves.push((thread, target));
+        }
+        for (thread, target) in moves {
+            self.balancer_move(thread, target);
+        }
+        self.spread_shared_vcores();
+    }
+
+    /// Within each half, move threads off doubled-up contexts onto empty
+    /// ones (plain per-CPU balancing).
+    fn spread_shared_vcores(&mut self) {
+        let n = self.cfg.topology.num_vcores();
+        let mut occupancy = vec![0u32; n];
+        for t in &self.threads {
+            if !t.finished() {
+                occupancy[t.vcore.index()] += 1;
+            }
+        }
+        let mut moves: Vec<(ThreadId, VCoreId)> = Vec::new();
+        for i in 0..self.threads.len() {
+            let t = &self.threads[i];
+            if t.finished() {
+                continue;
+            }
+            let v = t.vcore.index();
+            if occupancy[v] >= 2 {
+                if let Some(empty) = (0..n).find(|&c| occupancy[c] == 0) {
+                    occupancy[v] -= 1;
+                    occupancy[empty] += 1;
+                    moves.push((ThreadId(i as u32), VCoreId(empty as u32)));
+                }
+            }
+        }
+        for (thread, target) in moves {
+            self.balancer_move(thread, target);
+        }
+    }
+
+    /// Apply one balancer move: re-home the thread with cache warm-up but
+    /// no affinity dead time, and without touching the policy migration
+    /// counter.
+    fn balancer_move(&mut self, thread: ThreadId, to: VCoreId) {
+        let t = &mut self.threads[thread.index()];
+        if t.finished() || t.vcore == to {
+            return;
+        }
+        let from = t.vcore;
+        t.vcore = to;
+        let ws_mib = t
+            .spec
+            .program
+            .phase_at(t.retired)
+            .map(|p| p.working_set_mib)
+            .unwrap_or(0.0);
+        let warmup = self.cfg.migration.warmup_us
+            + (ws_mib * self.cfg.migration.warmup_us_per_mib as f64) as u64;
+        t.warmup_until = self.now + SimTime::from_us(warmup);
+        self.balancer_moves += 1;
+        self.events.push(MachineEvent::Balanced {
+            thread,
+            from,
+            to,
+            at: self.now,
+        });
+    }
+
+    /// Deterministic burstiness multiplier for `(thread, tick)`.
+    fn noise_multiplier(&self, thread_idx: usize, burstiness: f64) -> f64 {
+        if burstiness == 0.0 {
+            return 1.0;
+        }
+        let window = self.tick_index / NOISE_WINDOW_TICKS;
+        let mut x = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((thread_idx as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(window.wrapping_mul(0x94D0_49BB_1331_11EB));
+        // splitmix64 finaliser
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        1.0 + burstiness * (2.0 * unit - 1.0)
+    }
+
+    /// Advance the machine by one tick.
+    pub fn tick(&mut self) {
+        // The OS balancer runs on its own coarse period.
+        if self.cfg.balance.enabled
+            && self.now.as_us().is_multiple_of(self.cfg.balance.interval_us)
+            && !self.threads.is_empty()
+        {
+            self.balance();
+        }
+        let dt_s = self.cfg.tick_us as f64 / 1e6;
+        let n_vcores = self.cfg.topology.num_vcores();
+
+        // 1. Runnable threads and per-vcore occupancy.
+        self.scratch_runnable.clear();
+        let mut vcore_load = vec![0u32; n_vcores];
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.runnable(self.now) {
+                self.scratch_runnable.push(i);
+                vcore_load[t.vcore.index()] += 1;
+            }
+        }
+
+        if !self.scratch_runnable.is_empty() {
+            // 2. SMT factors per vcore: does any sibling context have load?
+            let mut smt_factor = vec![1.0f64; n_vcores];
+            for v in 0..n_vcores {
+                if vcore_load[v] == 0 {
+                    continue;
+                }
+                let vid = VCoreId(v as u32);
+                let sibling_busy = self
+                    .cfg
+                    .topology
+                    .siblings_of(vid)
+                    .iter()
+                    .any(|s| vcore_load[s.index()] > 0);
+                if sibling_busy {
+                    smt_factor[v] = self.cfg.smt.busy_share;
+                }
+            }
+
+            // 3. Shared-LLC pressure from total running working set.
+            let total_ws: f64 = self
+                .scratch_runnable
+                .iter()
+                .map(|&i| {
+                    let t = &self.threads[i];
+                    t.spec
+                        .program
+                        .phase_at(t.retired)
+                        .map(|p| p.working_set_mib)
+                        .unwrap_or(0.0)
+                })
+                .sum();
+            let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
+
+            // Effective per-thread miss ratios and pipeline times.
+            self.scratch_demands.clear();
+            self.scratch_eff_mr.clear();
+            for &i in &self.scratch_runnable {
+                let t = &self.threads[i];
+                let phase = t
+                    .spec
+                    .program
+                    .phase_at(t.retired)
+                    .expect("runnable thread must have an active phase");
+                let mut mr = phase.miss_ratio() * llc_factor;
+                let mut cpi = phase.cpi_exec;
+                if self.now < t.warmup_until {
+                    mr *= self.cfg.migration.warmup_miss_multiplier;
+                    cpi *= self.cfg.migration.warmup_cpi_multiplier;
+                }
+                mr *= self.noise_multiplier(i, phase.burstiness);
+                mr = mr.clamp(0.0, 1.0);
+                let v = t.vcore.index();
+                let share = 1.0 / vcore_load[v] as f64;
+                let freq = self.cfg.topology.freq_of(t.vcore);
+                let base_time = cpi / (freq * share * smt_factor[v]);
+                self.scratch_demands.push(MemDemand {
+                    base_time_per_instr: base_time,
+                    miss_ratio: mr,
+                });
+                self.scratch_eff_mr.push(mr);
+            }
+
+            // 4. Memory system.
+            let solution = solve_memory(&self.scratch_demands, &self.cfg.memory);
+
+            // 5. Advance threads.
+            let mut vcore_busy = vec![false; n_vcores];
+            for (k, &i) in self.scratch_runnable.iter().enumerate() {
+                let rate = solution.rates[k];
+                let mr = self.scratch_eff_mr[k];
+                let t = &mut self.threads[i];
+                let freq = self.cfg.topology.freq_of(t.vcore);
+
+                // Advance through as many phase boundaries as the tick
+                // allows (the achieved rate is held constant within the
+                // tick; phase boundaries only clamp barrier/completion
+                // crossings exactly).
+                let mut time_left = dt_s;
+                let mut advance = 0.0;
+                let mut hit_barrier = false;
+                for _ in 0..64 {
+                    if time_left <= 0.0 || rate <= 0.0 {
+                        break;
+                    }
+                    let pos = t.retired + advance;
+                    let to_boundary = t.spec.program.instructions_to_boundary(pos);
+                    let to_barrier = (t.next_barrier_at - pos).max(0.0);
+                    let limit = to_boundary.min(to_barrier);
+                    if limit <= 0.0 {
+                        hit_barrier = to_barrier <= 0.0 && to_barrier <= to_boundary;
+                        break;
+                    }
+                    let possible = rate * time_left;
+                    if possible < limit {
+                        advance += possible;
+                        time_left = 0.0;
+                    } else {
+                        advance += limit;
+                        time_left -= limit / rate;
+                        if to_barrier <= to_boundary {
+                            hit_barrier = true;
+                            break;
+                        }
+                    }
+                }
+
+                let apki = t
+                    .spec
+                    .program
+                    .phase_at(t.retired)
+                    .map(|p| p.apki)
+                    .unwrap_or(300.0);
+                t.retired += advance;
+                t.counters.instructions += advance;
+                t.counters.llc_misses += advance * mr;
+                t.counters.llc_accesses += advance * (apki / 1000.0).max(mr);
+                t.counters.cycles += freq * dt_s;
+                t.counters.busy_us += self.cfg.tick_us;
+                vcore_busy[t.vcore.index()] = true;
+                self.vcore_counters[t.vcore.index()].accesses +=
+                    advance * mr * self.cfg.memory.prefetch_factor;
+
+                if t.retired >= t.spec.program.total_instructions {
+                    t.finished_at = Some(self.now + SimTime::from_us(self.cfg.tick_us));
+                    t.at_barrier = false;
+                } else if hit_barrier {
+                    t.at_barrier = true;
+                }
+            }
+            for (v, busy) in vcore_busy.iter().enumerate() {
+                if *busy {
+                    self.vcore_counters[v].busy_us += self.cfg.tick_us;
+                }
+            }
+        }
+
+        // Barrier release: a group proceeds when every alive member waits.
+        for members in self.barrier_groups.values() {
+            let all_arrived = members.iter().all(|t| {
+                let s = &self.threads[t.index()];
+                s.finished() || s.at_barrier
+            });
+            if all_arrived {
+                for t in members {
+                    let s = &mut self.threads[t.index()];
+                    if !s.finished() && s.at_barrier {
+                        s.at_barrier = false;
+                        let interval = s
+                            .spec
+                            .barrier
+                            .expect("barrier member must have barrier spec")
+                            .interval_instructions;
+                        s.next_barrier_at += interval;
+                    }
+                }
+            }
+        }
+
+        // Record completions after the fact (events carry the finish tick).
+        let finished_now: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.finished_at == Some(self.now + SimTime::from_us(self.cfg.tick_us)))
+            .map(|(i, _)| ThreadId(i as u32))
+            .collect();
+        self.now += SimTime::from_us(self.cfg.tick_us);
+        self.tick_index += 1;
+        for t in finished_now {
+            self.events.push(MachineEvent::Finished {
+                thread: t,
+                at: self.now,
+            });
+        }
+    }
+
+    /// Run for a duration (must be a multiple of the tick length).
+    pub fn run_for(&mut self, dur: SimTime) {
+        assert_eq!(
+            dur.as_us() % self.cfg.tick_us,
+            0,
+            "duration {dur} is not a multiple of the tick"
+        );
+        let ticks = dur.as_us() / self.cfg.tick_us;
+        for _ in 0..ticks {
+            self.tick();
+        }
+    }
+
+    /// Run until all threads finish or `deadline` passes. Returns true if
+    /// everything finished.
+    pub fn run_until_done(&mut self, deadline: SimTime) -> bool {
+        while !self.all_done() && self.now < deadline {
+            self.tick();
+        }
+        self.all_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::presets;
+    use crate::ids::BarrierId;
+    use crate::phase::{Phase, PhaseProgram};
+    use crate::thread::BarrierSpec;
+
+    fn compute_spec(app: u32, instr: f64) -> ThreadSpec {
+        ThreadSpec {
+            app: AppId(app),
+            app_name: format!("comp{app}"),
+            program: PhaseProgram::single(Phase::steady(0.6, 1.5, 0.5, 1e6), instr),
+            barrier: None,
+        }
+    }
+
+    fn memory_spec(app: u32, instr: f64) -> ThreadSpec {
+        ThreadSpec {
+            app: AppId(app),
+            app_name: format!("mem{app}"),
+            program: PhaseProgram::single(Phase::steady(1.0, 30.0, 8.0, 1e6), instr),
+            barrier: None,
+        }
+    }
+
+    #[test]
+    fn single_thread_finishes_and_counts() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let t = m.spawn(compute_spec(0, 1e8), VCoreId(0));
+        assert!(m.run_until_done(SimTime::from_secs_f64(10.0)));
+        let c = m.counters(t);
+        assert!((c.instructions - 1e8).abs() < 1.0);
+        assert!(c.llc_misses > 0.0);
+        assert!(m.finish_time(t).is_some());
+        assert_eq!(m.progress_of(t), 1.0);
+        // Rough speed check: ~2.33e9/0.6 instr/s pipeline-limited, low misses.
+        let secs = m.finish_time(t).unwrap().as_secs_f64();
+        assert!(secs > 0.01 && secs < 0.2, "took {secs}s");
+    }
+
+    #[test]
+    fn fast_core_beats_slow_core() {
+        let mut fast = Machine::new(presets::small_machine(1));
+        let tf = fast.spawn(compute_spec(0, 1e8), VCoreId(0)); // fast vcore
+        fast.run_until_done(SimTime::from_secs_f64(10.0));
+
+        let mut slow = Machine::new(presets::small_machine(1));
+        let ts = slow.spawn(compute_spec(0, 1e8), VCoreId(4)); // slow vcore
+        slow.run_until_done(SimTime::from_secs_f64(10.0));
+
+        let ff = fast.finish_time(tf).unwrap().as_secs_f64();
+        let ss = slow.finish_time(ts).unwrap().as_secs_f64();
+        let ratio = ss / ff;
+        // Frequency ratio is 2.33/1.21 ≈ 1.93 for a compute-bound thread.
+        assert!(ratio > 1.6 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_thread_less_sensitive_to_core_speed() {
+        let run = |vcore: u32| {
+            let mut m = Machine::new(presets::small_machine(1));
+            let t = m.spawn(memory_spec(0, 1e8), VCoreId(vcore));
+            m.run_until_done(SimTime::from_secs_f64(30.0));
+            m.finish_time(t).unwrap().as_secs_f64()
+        };
+        let ratio = run(4) / run(0);
+        assert!(ratio > 1.0 && ratio < 1.7, "memory-bound ratio {ratio}");
+    }
+
+    #[test]
+    fn contention_slows_corunners() {
+        // One memory thread alone...
+        let mut alone = Machine::new(presets::small_machine(1));
+        let t0 = alone.spawn(memory_spec(0, 5e7), VCoreId(0));
+        alone.run_until_done(SimTime::from_secs_f64(30.0));
+        let t_alone = alone.finish_time(t0).unwrap().as_secs_f64();
+
+        // ... versus with seven co-running memory threads.
+        let mut crowd = Machine::new(presets::small_machine(1));
+        let t0c = crowd.spawn(memory_spec(0, 5e7), VCoreId(0));
+        for i in 1..8 {
+            crowd.spawn(memory_spec(1, 4e8), VCoreId(i));
+        }
+        crowd.run_until_done(SimTime::from_secs_f64(60.0));
+        let t_crowd = crowd.finish_time(t0c).unwrap().as_secs_f64();
+        let slowdown = t_crowd / t_alone;
+        assert!(slowdown > 1.5, "contention slowdown {slowdown}");
+    }
+
+    /// A small machine with the substrate balancer off, for tests that
+    /// deliberately co-locate threads.
+    fn small_machine_pinned(seed: u64) -> crate::config::MachineConfig {
+        let mut cfg = presets::small_machine(seed);
+        cfg.balance.enabled = false;
+        cfg
+    }
+
+    #[test]
+    fn smt_sibling_interferes() {
+        // Two compute threads on separate physical cores...
+        let mut apart = Machine::new(small_machine_pinned(1));
+        let a = apart.spawn(compute_spec(0, 1e8), VCoreId(0));
+        apart.spawn(compute_spec(1, 1e8), VCoreId(2));
+        apart.run_until_done(SimTime::from_secs_f64(10.0));
+        let t_apart = apart.finish_time(a).unwrap().as_secs_f64();
+
+        // ... versus on the two contexts of one physical core.
+        let mut together = Machine::new(small_machine_pinned(1));
+        let b = together.spawn(compute_spec(0, 1e8), VCoreId(0));
+        together.spawn(compute_spec(1, 1e8), VCoreId(1));
+        together.run_until_done(SimTime::from_secs_f64(10.0));
+        let t_together = together.finish_time(b).unwrap().as_secs_f64();
+
+        let ratio = t_together / t_apart;
+        let expect = 1.0 / presets::small_machine(1).smt.busy_share;
+        assert!(
+            ratio > 0.9 * expect && ratio < 1.1 * expect,
+            "SMT ratio {ratio}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn migration_costs_dead_time_and_counts() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let t = m.spawn(compute_spec(0, 1e9), VCoreId(0));
+        m.run_for(SimTime::from_ms(10));
+        let before = m.counters(t).instructions;
+        m.migrate(t, VCoreId(4));
+        assert_eq!(m.counters(t).migrations, 1);
+        // During dead time no progress.
+        m.run_for(SimTime::from_ms(2));
+        assert_eq!(m.counters(t).instructions, before);
+        m.run_for(SimTime::from_ms(10));
+        assert!(m.counters(t).instructions > before);
+        assert_eq!(m.vcore_of(t), VCoreId(4));
+        // A no-op migration neither counts nor costs.
+        m.migrate(t, VCoreId(4));
+        assert_eq!(m.counters(t).migrations, 1);
+    }
+
+    #[test]
+    fn two_threads_share_one_vcore() {
+        let mut m = Machine::new(small_machine_pinned(1));
+        let a = m.spawn(compute_spec(0, 1e8), VCoreId(0));
+        let b = m.spawn(compute_spec(1, 1e8), VCoreId(0));
+        m.run_until_done(SimTime::from_secs_f64(10.0));
+        // Each got half the core: both take roughly twice the solo time.
+        let mut solo = Machine::new(small_machine_pinned(1));
+        let s = solo.spawn(compute_spec(0, 1e8), VCoreId(0));
+        solo.run_until_done(SimTime::from_secs_f64(10.0));
+        let ratio_a = m.finish_time(a).unwrap().as_secs_f64()
+            / solo.finish_time(s).unwrap().as_secs_f64();
+        assert!(ratio_a > 1.7 && ratio_a < 2.3, "sharing ratio {ratio_a}");
+        assert!(m.finish_time(b).is_some());
+    }
+
+    #[test]
+    fn barrier_couples_group_progress() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let barrier = Some(BarrierSpec {
+            group: BarrierId(0),
+            interval_instructions: 1e6,
+        });
+        // One member on a fast core, one on a slow core.
+        let mk = |app: u32| ThreadSpec {
+            barrier,
+            ..compute_spec(app, 2e7)
+        };
+        let fast_t = m.spawn(mk(0), VCoreId(0));
+        let slow_t = m.spawn(mk(0), VCoreId(4));
+        assert!(m.run_until_done(SimTime::from_secs_f64(30.0)));
+        let ff = m.finish_time(fast_t).unwrap().as_secs_f64();
+        let fs = m.finish_time(slow_t).unwrap().as_secs_f64();
+        // Barrier coupling: the fast member is dragged to the slow member's
+        // pace, so finish times are close despite a ~1.9x core-speed gap.
+        assert!(
+            (ff - fs).abs() / fs < 0.1,
+            "barrier members should finish together: {ff} vs {fs}"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let mut m = Machine::new(presets::small_machine(7));
+            let mut spec = memory_spec(0, 1e8);
+            spec.program.phases[0].burstiness = 0.4;
+            let t = m.spawn(spec, VCoreId(0));
+            m.spawn(compute_spec(1, 1e8), VCoreId(2));
+            m.run_for(SimTime::from_ms(500));
+            m.counters(t)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_bursty_thread() {
+        let run = |seed: u64| {
+            let mut m = Machine::new(presets::small_machine(seed));
+            let mut spec = memory_spec(0, 1e9);
+            spec.program.phases[0].burstiness = 0.5;
+            let t = m.spawn(spec, VCoreId(0));
+            m.run_for(SimTime::from_ms(200));
+            m.counters(t).llc_misses
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn events_are_recorded() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let t = m.spawn(compute_spec(0, 1e6), VCoreId(0));
+        m.migrate(t, VCoreId(1));
+        m.run_until_done(SimTime::from_secs_f64(5.0));
+        let kinds: Vec<&'static str> = m
+            .events()
+            .iter()
+            .map(|e| match e {
+                MachineEvent::Spawned { .. } => "spawn",
+                MachineEvent::Migrated { .. } => "migrate",
+                MachineEvent::Finished { .. } => "finish",
+                MachineEvent::Balanced { .. } => "balance",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["spawn", "migrate", "finish"]);
+        assert_eq!(m.total_migrations(), 1);
+    }
+
+    #[test]
+    fn core_counters_accumulate_on_right_core() {
+        let mut m = Machine::new(presets::small_machine(1));
+        m.spawn(memory_spec(0, 1e9), VCoreId(3));
+        m.run_for(SimTime::from_ms(100));
+        assert!(m.core_counters(VCoreId(3)).accesses > 0.0);
+        assert_eq!(m.core_counters(VCoreId(0)).accesses, 0.0);
+        assert_eq!(m.core_counters(VCoreId(3)).busy_us, 100_000);
+    }
+
+    #[test]
+    fn balancer_promotes_threads_to_the_idle_half() {
+        // Two compute threads pinned to the slow half; the balancer should
+        // move one to the idle fast half within its first interval.
+        let mut m = Machine::new(presets::small_machine(1));
+        let a = m.spawn(compute_spec(0, 1e9), VCoreId(4));
+        let b = m.spawn(compute_spec(1, 1e9), VCoreId(5));
+        m.run_for(SimTime::from_ms(300));
+        let on_fast = [a, b]
+            .iter()
+            .filter(|&&t| m.vcore_of(t).index() < 4)
+            .count();
+        assert_eq!(on_fast, 1, "balancer should even the halves");
+        assert!(m.balancer_moves() >= 1);
+        // Policy migration counters untouched.
+        assert_eq!(m.total_migrations(), 0);
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, MachineEvent::Balanced { .. })));
+    }
+
+    #[test]
+    fn balancer_respects_disable_flag() {
+        let mut cfg = presets::small_machine(1);
+        cfg.balance.enabled = false;
+        let mut m = Machine::new(cfg);
+        let a = m.spawn(compute_spec(0, 1e9), VCoreId(4));
+        m.run_for(SimTime::from_ms(300));
+        assert_eq!(m.vcore_of(a), VCoreId(4));
+        assert_eq!(m.balancer_moves(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn run_for_rejects_partial_ticks() {
+        let mut m = Machine::new(presets::small_machine(1));
+        m.run_for(SimTime::from_us(1500));
+    }
+}

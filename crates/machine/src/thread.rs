@@ -1,0 +1,281 @@
+//! Thread specifications and runtime state.
+
+use crate::ids::{AppId, BarrierId, SimTime, VCoreId};
+use crate::phase::PhaseProgram;
+use serde::{Deserialize, Serialize};
+
+/// Barrier-synchronisation behaviour of a thread (the paper's KMEANS
+/// background app "produces excessive inter-thread communication"; we model
+/// communication as recurring group barriers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BarrierSpec {
+    /// Barrier group this thread belongs to. All members must use the same
+    /// interval.
+    pub group: BarrierId,
+    /// Instructions between consecutive barriers.
+    pub interval_instructions: f64,
+}
+
+/// Everything the machine needs to know to run one thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Application this thread belongs to.
+    pub app: AppId,
+    /// Application name (for reports; the scheduler never reads it).
+    pub app_name: String,
+    /// The thread's phase program.
+    pub program: PhaseProgram,
+    /// Optional barrier synchronisation.
+    pub barrier: Option<BarrierSpec>,
+}
+
+impl ThreadSpec {
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        self.program.validate()?;
+        if let Some(b) = &self.barrier {
+            if !(b.interval_instructions > 0.0) {
+                return Err("barrier interval must be > 0".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative hardware-counter values for one thread.
+///
+/// These are the quantities a scheduler may legitimately observe — the
+/// simulated analogue of a per-thread perf-event group.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThreadCounters {
+    /// Instructions retired.
+    pub instructions: f64,
+    /// LLC misses (equivalently, main-memory accesses — the paper uses the
+    /// terms interchangeably for scheduling purposes).
+    pub llc_misses: f64,
+    /// LLC accesses (loads/stores reaching the shared cache). The paper's
+    /// classification boundary — "LLC miss rate more than 10 %" — is
+    /// `llc_misses / llc_accesses`.
+    pub llc_accesses: f64,
+    /// Core cycles elapsed while scheduled (frequency × busy wall time).
+    pub cycles: f64,
+    /// Wall time spent runnable on a core, in microseconds.
+    pub busy_us: u64,
+    /// Number of migrations performed on this thread.
+    pub migrations: u64,
+}
+
+impl ThreadCounters {
+    /// Counter deltas `self - earlier` (for per-quantum rates).
+    pub fn delta(&self, earlier: &ThreadCounters) -> ThreadCounters {
+        ThreadCounters {
+            instructions: self.instructions - earlier.instructions,
+            llc_misses: self.llc_misses - earlier.llc_misses,
+            llc_accesses: self.llc_accesses - earlier.llc_accesses,
+            cycles: self.cycles - earlier.cycles,
+            busy_us: self.busy_us - earlier.busy_us,
+            migrations: self.migrations - earlier.migrations,
+        }
+    }
+
+    /// LLC miss ratio over these counters (misses / instruction). Returns 0
+    /// when no instructions retired.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.llc_misses / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// LLC miss *rate* (misses / LLC access) — the paper's classification
+    /// quantity. Returns 0 when no accesses were made.
+    pub fn llc_miss_rate(&self) -> f64 {
+        if self.llc_accesses > 0.0 {
+            self.llc_misses / self.llc_accesses
+        } else {
+            0.0
+        }
+    }
+
+    /// Instructions per cycle. Returns 0 when no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions / self.cycles
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Cumulative counters for one virtual core.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreCounters {
+    /// Memory accesses served for threads running on this core.
+    pub accesses: f64,
+    /// Microseconds during which at least one thread ran on this core.
+    pub busy_us: u64,
+}
+
+impl CoreCounters {
+    /// Counter deltas `self - earlier`.
+    pub fn delta(&self, earlier: &CoreCounters) -> CoreCounters {
+        CoreCounters {
+            accesses: self.accesses - earlier.accesses,
+            busy_us: self.busy_us - earlier.busy_us,
+        }
+    }
+}
+
+/// Internal runtime state of a thread (crate-private).
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadState {
+    pub spec: ThreadSpec,
+    pub vcore: VCoreId,
+    /// Instructions retired so far.
+    pub retired: f64,
+    /// Completion time, once finished.
+    pub finished_at: Option<SimTime>,
+    /// The thread makes no progress before this time (migration dead time).
+    pub dead_until: SimTime,
+    /// Elevated miss ratio until this time (cache warm-up after migration).
+    pub warmup_until: SimTime,
+    /// Instruction count of the next barrier, if barrier-synchronised.
+    pub next_barrier_at: f64,
+    /// True while parked at a barrier waiting for the group.
+    pub at_barrier: bool,
+    /// Cumulative counters.
+    pub counters: ThreadCounters,
+}
+
+impl ThreadState {
+    pub fn new(spec: ThreadSpec, vcore: VCoreId) -> Self {
+        let next_barrier_at = spec
+            .barrier
+            .map(|b| b.interval_instructions)
+            .unwrap_or(f64::INFINITY);
+        ThreadState {
+            spec,
+            vcore,
+            retired: 0.0,
+            finished_at: None,
+            dead_until: SimTime::ZERO,
+            warmup_until: SimTime::ZERO,
+            next_barrier_at,
+            at_barrier: false,
+            counters: ThreadCounters::default(),
+        }
+    }
+
+    /// True once the thread has retired all its instructions.
+    #[inline]
+    pub fn finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// True if the thread can execute at time `now`: alive, not parked at a
+    /// barrier, and not inside migration dead time.
+    #[inline]
+    pub fn runnable(&self, now: SimTime) -> bool {
+        !self.finished() && !self.at_barrier && now >= self.dead_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{Phase, PhaseProgram};
+
+    fn spec() -> ThreadSpec {
+        ThreadSpec {
+            app: AppId(0),
+            app_name: "test".into(),
+            program: PhaseProgram::single(Phase::steady(1.0, 10.0, 4.0, 1e6), 1e7),
+            barrier: None,
+        }
+    }
+
+    #[test]
+    fn counters_delta_and_ratios() {
+        let a = ThreadCounters {
+            instructions: 1000.0,
+            llc_misses: 30.0,
+            llc_accesses: 300.0,
+            cycles: 2000.0,
+            busy_us: 10,
+            migrations: 1,
+        };
+        let b = ThreadCounters {
+            instructions: 400.0,
+            llc_misses: 10.0,
+            llc_accesses: 120.0,
+            cycles: 800.0,
+            busy_us: 4,
+            migrations: 0,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.instructions, 600.0);
+        assert_eq!(d.llc_misses, 20.0);
+        assert_eq!(d.llc_accesses, 180.0);
+        assert_eq!(d.migrations, 1);
+        assert!((a.miss_ratio() - 0.03).abs() < 1e-12);
+        assert!((a.llc_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((a.ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(ThreadCounters::default().miss_ratio(), 0.0);
+        assert_eq!(ThreadCounters::default().llc_miss_rate(), 0.0);
+        assert_eq!(ThreadCounters::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn core_counters_delta() {
+        let a = CoreCounters {
+            accesses: 100.0,
+            busy_us: 50,
+        };
+        let b = CoreCounters {
+            accesses: 40.0,
+            busy_us: 20,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.accesses, 60.0);
+        assert_eq!(d.busy_us, 30);
+    }
+
+    #[test]
+    fn new_thread_state_is_runnable() {
+        let s = ThreadState::new(spec(), VCoreId(0));
+        assert!(s.runnable(SimTime::ZERO));
+        assert!(!s.finished());
+        assert_eq!(s.next_barrier_at, f64::INFINITY);
+    }
+
+    #[test]
+    fn dead_time_blocks_execution() {
+        let mut s = ThreadState::new(spec(), VCoreId(0));
+        s.dead_until = SimTime::from_ms(5);
+        assert!(!s.runnable(SimTime::from_ms(4)));
+        assert!(s.runnable(SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn barrier_spec_sets_first_barrier() {
+        let mut sp = spec();
+        sp.barrier = Some(BarrierSpec {
+            group: BarrierId(0),
+            interval_instructions: 5000.0,
+        });
+        assert!(sp.validate().is_ok());
+        let s = ThreadState::new(sp, VCoreId(1));
+        assert_eq!(s.next_barrier_at, 5000.0);
+    }
+
+    #[test]
+    fn invalid_barrier_interval_rejected() {
+        let mut sp = spec();
+        sp.barrier = Some(BarrierSpec {
+            group: BarrierId(0),
+            interval_instructions: 0.0,
+        });
+        assert!(sp.validate().is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests on the machine model's invariants.
+
+use dike_machine::{
+    llc_inflation, presets, solve_memory, AppId, LlcConfig, Machine, MemDemand, MemoryConfig,
+    Phase, PhaseProgram, PhaseRepeat, SimTime, ThreadSpec, VCoreId,
+};
+use proptest::prelude::*;
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    (
+        0.3f64..2.0,     // cpi_exec
+        0.1f64..45.0,    // mpki
+        0.1f64..32.0,    // working set
+        1e6f64..1e9,     // instructions
+        0.0f64..0.5,     // burstiness
+    )
+        .prop_map(|(cpi_exec, mpki, working_set_mib, instructions, burstiness)| Phase {
+            cpi_exec,
+            mpki,
+            apki: mpki.max(100.0) + 200.0,
+            working_set_mib,
+            instructions,
+            burstiness,
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = PhaseProgram> {
+    (prop::collection::vec(arb_phase(), 1..4), 1e7f64..5e8).prop_map(|(phases, total)| {
+        PhaseProgram {
+            phases,
+            repeat: PhaseRepeat::LoopFrom(0),
+            total_instructions: total,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn threads_always_finish_and_counters_are_consistent(
+        programs in prop::collection::vec(arb_program(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut machine = Machine::new(presets::small_machine(seed));
+        let n_vcores = machine.config().topology.num_vcores();
+        let mut threads = Vec::new();
+        for (i, program) in programs.iter().enumerate() {
+            let spec = ThreadSpec {
+                app: AppId(i as u32),
+                app_name: format!("p{i}"),
+                program: program.clone(),
+                barrier: None,
+            };
+            threads.push(machine.spawn(spec, VCoreId((i % n_vcores) as u32)));
+        }
+        let done = machine.run_until_done(SimTime::from_secs_f64(600.0));
+        prop_assert!(done, "threads did not finish");
+        for (t, program) in threads.iter().zip(&programs) {
+            let c = machine.counters(*t);
+            // Retired exactly the budget (within float tolerance).
+            prop_assert!((c.instructions - program.total_instructions).abs()
+                < 1e-6 * program.total_instructions + 1.0);
+            // A miss is an access; counters are non-negative and finite.
+            prop_assert!(c.llc_misses <= c.llc_accesses + 1e-9);
+            prop_assert!(c.llc_misses >= 0.0 && c.cycles >= 0.0);
+            prop_assert!(c.instructions.is_finite() && c.llc_misses.is_finite());
+            prop_assert!(machine.finish_time(*t).is_some());
+            prop_assert!(machine.progress_of(*t) == 1.0);
+        }
+    }
+
+    #[test]
+    fn migrations_never_lose_work(
+        program in arb_program(),
+        migrate_at_ms in prop::collection::vec(1u64..200, 0..6),
+        seed in 0u64..100,
+    ) {
+        let mut machine = Machine::new(presets::small_machine(seed));
+        let spec = ThreadSpec {
+            app: AppId(0),
+            app_name: "m".into(),
+            program: program.clone(),
+            barrier: None,
+        };
+        let t = machine.spawn(spec, VCoreId(0));
+        let mut last = 0.0;
+        for (i, at) in migrate_at_ms.iter().enumerate() {
+            machine.run_for(SimTime::from_ms(*at));
+            let now = machine.counters(t).instructions;
+            prop_assert!(now >= last, "instructions went backwards");
+            last = now;
+            machine.migrate(t, VCoreId(((i + 1) % 8) as u32));
+        }
+        machine.run_until_done(SimTime::from_secs_f64(600.0));
+        let c = machine.counters(t);
+        prop_assert!((c.instructions - program.total_instructions).abs()
+            < 1e-6 * program.total_instructions + 1.0);
+        // Migrations requested after completion are no-ops, so the counter
+        // is bounded by (not necessarily equal to) the request count.
+        prop_assert!(c.migrations as usize <= migrate_at_ms.len());
+    }
+
+    #[test]
+    fn memory_solver_is_sane(
+        demands in prop::collection::vec(
+            (0.2f64..2.0, 0.0f64..0.06),
+            1..48
+        ),
+        bw in 5e7f64..1e9,
+    ) {
+        let cfg = MemoryConfig {
+            bandwidth_accesses_per_sec: bw,
+            ..MemoryConfig::default()
+        };
+        let demands: Vec<MemDemand> = demands
+            .into_iter()
+            .map(|(cpi, mr)| MemDemand {
+                base_time_per_instr: cpi / 2.33e9,
+                miss_ratio: mr,
+            })
+            .collect();
+        let s = solve_memory(&demands, &cfg);
+        prop_assert_eq!(s.rates.len(), demands.len());
+        for (rate, d) in s.rates.iter().zip(&demands) {
+            prop_assert!(*rate > 0.0 && rate.is_finite());
+            // Never faster than the pipeline allows.
+            prop_assert!(*rate <= 1.0 / d.base_time_per_instr + 1e-3);
+        }
+        // Served bandwidth never exceeds the peak.
+        let served: f64 = s.rates.iter().zip(&demands).map(|(r, d)| r * d.miss_ratio).sum();
+        prop_assert!(served <= bw * 1.0001, "served {served} > bw {bw}");
+        prop_assert!((0.0..=1.0).contains(&s.utilisation));
+        prop_assert!(s.latency_s >= cfg.base_latency_s);
+    }
+
+    #[test]
+    fn llc_inflation_is_monotone_and_bounded(
+        ws in prop::collection::vec(0.0f64..200.0, 2..10),
+    ) {
+        let cfg = LlcConfig::default();
+        let mut sorted = ws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for w in sorted {
+            let f = llc_inflation(w, &cfg);
+            prop_assert!((1.0..=cfg.max_inflation).contains(&f));
+            prop_assert!(f >= last - 1e-12, "inflation not monotone");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        programs in prop::collection::vec(arb_program(), 1..4),
+        seed in 0u64..50,
+        ms in 10u64..300,
+    ) {
+        let run_once = || {
+            let mut machine = Machine::new(presets::small_machine(seed));
+            for (i, p) in programs.iter().enumerate() {
+                machine.spawn(
+                    ThreadSpec {
+                        app: AppId(i as u32),
+                        app_name: "d".into(),
+                        program: p.clone(),
+                        barrier: None,
+                    },
+                    VCoreId((i % 8) as u32),
+                );
+            }
+            machine.run_for(SimTime::from_ms(ms));
+            (0..machine.num_threads())
+                .map(|i| machine.counters(dike_machine::ThreadId(i as u32)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run_once(), run_once());
+    }
+}

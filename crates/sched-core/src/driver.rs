@@ -1,0 +1,339 @@
+//! The quantum driver: connects a policy to the machine.
+//!
+//! The driver advances the machine one scheduling quantum at a time, builds
+//! a [`SystemView`] from counter deltas at each boundary, invokes the
+//! scheduler, and applies the resulting migrations — mirroring a userspace
+//! contention-aware scheduler daemon reading perf counters and calling
+//! `sched_setaffinity` on a timer.
+
+use crate::scheduler::Scheduler;
+use crate::view::{Actions, CoreObservation, SystemView, ThreadObservation};
+use dike_counters::RateSample;
+use dike_machine::{CoreCounters, Machine, SimTime, ThreadCounters, ThreadId, VCoreId};
+
+/// Outcome of a driven run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Wall time when the run ended (all threads done, or the deadline).
+    pub wall: SimTime,
+    /// True if every thread finished before the deadline.
+    pub completed: bool,
+    /// Per-thread results, in thread-id order.
+    pub threads: Vec<ThreadResult>,
+    /// Number of scheduling quanta executed.
+    pub quanta: u64,
+    /// Total migrations applied by the policy.
+    pub migrations: u64,
+    /// Swap operations (a swap = a pair of migrations, as in Table III).
+    pub swaps: u64,
+}
+
+/// One thread's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadResult {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Application index (dense; matches spawn order).
+    pub app: u32,
+    /// Application name.
+    pub app_name: String,
+    /// Completion time, if the thread finished.
+    pub finished_at: Option<SimTime>,
+    /// Final cumulative counters.
+    pub counters: ThreadCounters,
+}
+
+impl RunResult {
+    /// Per-app thread runtimes in seconds. Unfinished threads are charged
+    /// the full wall time (a fairness-conservative choice: a straggler that
+    /// never finished is maximally unfair).
+    pub fn per_app_runtimes(&self) -> Vec<(u32, Vec<f64>)> {
+        let mut apps: Vec<u32> = self.threads.iter().map(|t| t.app).collect();
+        apps.sort_unstable();
+        apps.dedup();
+        apps.into_iter()
+            .map(|app| {
+                let times: Vec<f64> = self
+                    .threads
+                    .iter()
+                    .filter(|t| t.app == app)
+                    .map(|t| {
+                        t.finished_at
+                            .map(|f| f.as_secs_f64())
+                            .unwrap_or(self.wall.as_secs_f64())
+                    })
+                    .collect();
+                (app, times)
+            })
+            .collect()
+    }
+
+    /// Runtimes of one app's threads.
+    pub fn app_runtimes(&self, app: u32) -> Vec<f64> {
+        self.per_app_runtimes()
+            .into_iter()
+            .find(|(a, _)| *a == app)
+            .map(|(_, v)| v)
+            .unwrap_or_default()
+    }
+}
+
+/// Run `scheduler` over `machine` until all threads finish or `deadline`.
+pub fn run(machine: &mut Machine, scheduler: &mut dyn Scheduler, deadline: SimTime) -> RunResult {
+    run_with(machine, scheduler, deadline, |_| {})
+}
+
+/// Like [`run`], additionally invoking `observer` with every view built at
+/// a quantum boundary (used by the experiment harness to trace access
+/// rates, prediction errors, utilisation, …).
+pub fn run_with(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    mut observer: impl FnMut(&SystemView),
+) -> RunResult {
+    let tick = machine.config().tick_us;
+    let clamp_quantum = |q: SimTime| -> SimTime {
+        let us = q.as_us().max(tick);
+        SimTime::from_us(us - us % tick)
+    };
+
+    let mut quantum = clamp_quantum(scheduler.initial_quantum());
+    let n_threads = machine.num_threads();
+    let n_vcores = machine.config().topology.num_vcores();
+    let mut prev_thread: Vec<ThreadCounters> = (0..n_threads)
+        .map(|i| machine.counters(ThreadId(i as u32)))
+        .collect();
+    let mut prev_core: Vec<CoreCounters> = (0..n_vcores)
+        .map(|v| machine.core_counters(VCoreId(v as u32)))
+        .collect();
+
+    let mut quanta = 0u64;
+    let migrations_before = machine.total_migrations();
+
+    while !machine.all_done() && machine.now() < deadline {
+        let remaining = deadline.saturating_sub(machine.now());
+        let step = clamp_quantum(if quantum.as_us() < remaining.as_us() {
+            quantum
+        } else {
+            remaining
+        });
+        machine.run_for(step);
+        quanta += 1;
+
+        if machine.all_done() {
+            break;
+        }
+
+        // Build the view from counter deltas.
+        let dt_s = step.as_secs_f64();
+        let mut threads = Vec::new();
+        #[allow(clippy::needless_range_loop)] // i indexes two parallel arrays
+        for i in 0..n_threads {
+            let id = ThreadId(i as u32);
+            if machine.finish_time(id).is_some() {
+                // Still update prev so a thread finishing mid-run does not
+                // distort later deltas (it cannot, but keep it coherent).
+                prev_thread[i] = machine.counters(id);
+                continue;
+            }
+            let cur = machine.counters(id);
+            let d = cur.delta(&prev_thread[i]);
+            let rates =
+                RateSample::from_deltas(d.instructions, d.llc_misses, d.llc_accesses, d.cycles, dt_s);
+            threads.push(ThreadObservation {
+                id,
+                app: machine.app_of(id),
+                vcore: machine.vcore_of(id),
+                rates,
+                cumulative: cur,
+                migrated_last_quantum: d.migrations > 0,
+            });
+            prev_thread[i] = cur;
+        }
+        let mut cores = Vec::with_capacity(n_vcores);
+        #[allow(clippy::needless_range_loop)] // v indexes a parallel array
+        for v in 0..n_vcores {
+            let vid = VCoreId(v as u32);
+            let cur = machine.core_counters(vid);
+            let d = cur.delta(&prev_core[v]);
+            prev_core[v] = cur;
+            let occupants: Vec<ThreadId> = threads
+                .iter()
+                .filter(|t| t.vcore == vid)
+                .map(|t| t.id)
+                .collect();
+            cores.push(CoreObservation {
+                id: vid,
+                kind: machine.config().topology.kind_of(vid),
+                bandwidth: d.accesses / dt_s,
+                occupants,
+            });
+        }
+        let view = SystemView {
+            now: machine.now(),
+            quantum: step,
+            quantum_index: quanta - 1,
+            threads,
+            cores,
+        };
+
+        observer(&view);
+
+        let mut actions = Actions::default();
+        scheduler.on_quantum(&view, &mut actions);
+        for (t, v) in actions.migrations {
+            machine.migrate(t, v);
+        }
+        if let Some(q) = actions.set_quantum {
+            quantum = clamp_quantum(q);
+        }
+    }
+
+    let migrations = machine.total_migrations() - migrations_before;
+    RunResult {
+        scheduler: scheduler.name().to_string(),
+        wall: machine.now(),
+        completed: machine.all_done(),
+        threads: (0..n_threads)
+            .map(|i| {
+                let id = ThreadId(i as u32);
+                ThreadResult {
+                    id,
+                    app: machine.app_of(id).0,
+                    app_name: machine.app_name_of(id).to_string(),
+                    finished_at: machine.finish_time(id),
+                    counters: machine.counters(id),
+                }
+            })
+            .collect(),
+        quanta,
+        migrations,
+        swaps: migrations / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::NullScheduler;
+    use crate::view::SystemView;
+    use dike_machine::{presets, AppId, Phase, PhaseProgram, ThreadSpec};
+
+    fn spawn_pair(machine: &mut Machine) {
+        for (i, vcore) in [(0u32, 0u32), (1, 4)] {
+            machine.spawn(
+                ThreadSpec {
+                    app: AppId(i),
+                    app_name: format!("app{i}"),
+                    program: PhaseProgram::single(Phase::steady(0.8, 10.0, 2.0, 1e7), 2e9),
+                    barrier: None,
+                },
+                VCoreId(vcore),
+            );
+        }
+    }
+
+    #[test]
+    fn null_run_completes_and_reports() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert!(r.completed);
+        assert_eq!(r.scheduler, "null");
+        assert_eq!(r.threads.len(), 2);
+        assert_eq!(r.migrations, 0);
+        assert_eq!(r.swaps, 0);
+        assert!(r.quanta > 0);
+        assert!(r.threads.iter().all(|t| t.finished_at.is_some()));
+        let per_app = r.per_app_runtimes();
+        assert_eq!(per_app.len(), 2);
+        // Thread on the slow core takes longer.
+        assert!(r.app_runtimes(1)[0] > r.app_runtimes(0)[0]);
+    }
+
+    #[test]
+    fn deadline_cuts_run_short() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let r = run(&mut m, &mut s, SimTime::from_ms(300));
+        assert!(!r.completed);
+        assert_eq!(r.wall, SimTime::from_ms(300));
+        // Unfinished threads are charged the wall time.
+        assert_eq!(r.app_runtimes(0), vec![0.3]);
+    }
+
+    #[test]
+    fn observer_sees_views_with_rates() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let mut seen = 0;
+        let mut last_rate = 0.0;
+        run_with(&mut m, &mut s, SimTime::from_ms(500), |view: &SystemView| {
+            seen += 1;
+            assert_eq!(view.threads.len(), 2);
+            assert_eq!(view.cores.len(), 8);
+            last_rate = view.threads[0].rates.access_rate;
+            assert_eq!(view.quantum, SimTime::from_ms(100));
+        });
+        assert!(seen >= 4, "saw {seen} views");
+        assert!(last_rate > 0.0);
+    }
+
+    /// A scheduler that swaps the two threads once, then changes quantum.
+    struct SwapOnce {
+        done: bool,
+    }
+    impl Scheduler for SwapOnce {
+        fn name(&self) -> &str {
+            "swap-once"
+        }
+        fn initial_quantum(&self) -> SimTime {
+            SimTime::from_ms(100)
+        }
+        fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
+            if !self.done && view.threads.len() == 2 {
+                let a = &view.threads[0];
+                let b = &view.threads[1];
+                actions.swap((a.id, a.vcore), (b.id, b.vcore));
+                actions.set_quantum = Some(SimTime::from_ms(200));
+                self.done = true;
+            }
+        }
+    }
+
+    #[test]
+    fn migrations_are_applied_and_counted() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = SwapOnce { done: false };
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert_eq!(r.migrations, 2);
+        assert_eq!(r.swaps, 1);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn quantum_is_clamped_to_ticks() {
+        struct Odd;
+        impl Scheduler for Odd {
+            fn name(&self) -> &str {
+                "odd"
+            }
+            fn initial_quantum(&self) -> SimTime {
+                SimTime::from_us(1_500) // not a tick multiple
+            }
+            fn on_quantum(&mut self, _: &SystemView, _: &mut Actions) {}
+        }
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        // Must not panic (run_for requires tick multiples).
+        let r = run(&mut m, &mut Odd, SimTime::from_ms(10));
+        assert!(r.quanta > 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # dike-sched-core — the scheduler framework
+//!
+//! The paper observes that contention-aware schedulers share one structure:
+//! "a performance monitor records thread progress … a predictor estimates
+//! performance degradation … a decider chooses a thread-to-core mapping …
+//! enforced by a scheduler". This crate is that shared skeleton:
+//!
+//! * [`SystemView`] / [`Actions`] — the observation/actuation contract
+//!   (counter rates in, migrations + quantum changes out);
+//! * [`Scheduler`] — the policy trait implemented by Dike, DIO and the
+//!   baselines;
+//! * [`run`] / [`run_with`] — the quantum driver connecting a policy to a
+//!   [`dike_machine::Machine`], the simulated analogue of a userspace
+//!   scheduling daemon on a perf-counter timer.
+
+pub mod driver;
+pub mod scheduler;
+pub mod view;
+
+pub use driver::{run, run_with, RunResult, ThreadResult};
+pub use scheduler::{NullScheduler, Scheduler};
+pub use view::{Actions, CoreObservation, SystemView, ThreadObservation};

@@ -1,0 +1,78 @@
+//! The `Scheduler` trait all policies implement.
+
+use crate::view::{Actions, SystemView};
+use dike_machine::SimTime;
+
+/// A quantum-driven thread scheduler.
+///
+/// The driver calls [`Scheduler::on_quantum`] at every quantum boundary with
+/// the last quantum's observations; the scheduler responds with migrations
+/// and (optionally) a new quantum length. Policies must not assume any
+/// a-priori knowledge of the workload — everything they know must come from
+/// the views.
+pub trait Scheduler {
+    /// Policy name for reports (e.g. `"DIO"`, `"Dike-AF"`).
+    fn name(&self) -> &str;
+
+    /// The quantum length the driver should start with.
+    fn initial_quantum(&self) -> SimTime;
+
+    /// Called at each quantum boundary. Populate `actions` with migrations
+    /// and/or a quantum change.
+    fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions);
+}
+
+/// A scheduler that never acts — the no-op floor every policy must beat.
+#[derive(Debug, Clone, Default)]
+pub struct NullScheduler {
+    quantum: SimTime,
+}
+
+impl NullScheduler {
+    /// A null scheduler with the given (irrelevant, but required) quantum.
+    pub fn new(quantum: SimTime) -> Self {
+        NullScheduler { quantum }
+    }
+}
+
+impl Scheduler for NullScheduler {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn initial_quantum(&self) -> SimTime {
+        if self.quantum == SimTime::ZERO {
+            SimTime::from_ms(500)
+        } else {
+            self.quantum
+        }
+    }
+
+    fn on_quantum(&mut self, _view: &SystemView, _actions: &mut Actions) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_scheduler_does_nothing() {
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        assert_eq!(s.name(), "null");
+        assert_eq!(s.initial_quantum(), SimTime::from_ms(100));
+        let view = SystemView {
+            now: SimTime::ZERO,
+            quantum: SimTime::from_ms(100),
+            quantum_index: 0,
+            threads: vec![],
+            cores: vec![],
+        };
+        let mut actions = Actions::default();
+        s.on_quantum(&view, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(
+            NullScheduler::default().initial_quantum(),
+            SimTime::from_ms(500)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! What a scheduler is allowed to observe each quantum.
+//!
+//! A real contention-aware scheduler sees per-thread performance counters
+//! and the core topology — nothing else. [`SystemView`] packages exactly
+//! that: per-thread rates over the last quantum (from counter deltas) and
+//! per-core observed bandwidth. Ground-truth simulator state (phase
+//! programs, intrinsic miss ratios) is deliberately absent.
+
+use dike_counters::RateSample;
+use dike_machine::topology::CoreKind;
+use dike_machine::{AppId, SimTime, ThreadCounters, ThreadId, VCoreId};
+
+/// Per-thread observation for the last quantum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadObservation {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Owning application.
+    pub app: AppId,
+    /// Core the thread is currently pinned to.
+    pub vcore: VCoreId,
+    /// Rates over the last quantum.
+    pub rates: RateSample,
+    /// Cumulative counters since spawn.
+    pub cumulative: ThreadCounters,
+    /// True if this thread migrated during the last quantum (the paper's
+    /// Decider skips threads swapped in the previous quantum).
+    pub migrated_last_quantum: bool,
+}
+
+/// Per-core observation for the last quantum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreObservation {
+    /// Core id.
+    pub id: VCoreId,
+    /// Core kind (class + frequency) — public hardware knowledge.
+    pub kind: CoreKind,
+    /// Memory accesses served per second on this core over the last
+    /// quantum — the raw input to the paper's `CoreBW` moving mean.
+    pub bandwidth: f64,
+    /// Threads currently pinned to this core (alive only).
+    pub occupants: Vec<ThreadId>,
+}
+
+/// A scheduler's complete view of the system at a quantum boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemView {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Length of the quantum that just elapsed.
+    pub quantum: SimTime,
+    /// Index of this quantum (0 = after the first quantum).
+    pub quantum_index: u64,
+    /// Alive threads, in thread-id order.
+    pub threads: Vec<ThreadObservation>,
+    /// All cores, in core-id order.
+    pub cores: Vec<CoreObservation>,
+}
+
+impl SystemView {
+    /// Observation for a specific thread, if alive.
+    pub fn thread(&self, id: ThreadId) -> Option<&ThreadObservation> {
+        self.threads.iter().find(|t| t.id == id)
+    }
+
+    /// Observation for a core.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn core(&self, id: VCoreId) -> &CoreObservation {
+        &self.cores[id.index()]
+    }
+
+    /// Memory access rates of all alive threads (the Selector's input).
+    pub fn access_rates(&self) -> Vec<f64> {
+        self.threads.iter().map(|t| t.rates.access_rate).collect()
+    }
+}
+
+/// Actions a scheduler may request at a quantum boundary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Actions {
+    /// Affinity changes to apply, in order.
+    pub migrations: Vec<(ThreadId, VCoreId)>,
+    /// Change the scheduling quantum from the next quantum on (the
+    /// Optimizer's `quantaLength` actuation).
+    pub set_quantum: Option<SimTime>,
+}
+
+impl Actions {
+    /// Request a migration.
+    pub fn migrate(&mut self, thread: ThreadId, to: VCoreId) {
+        self.migrations.push((thread, to));
+    }
+
+    /// Request a pairwise swap: each thread moves to the other's core.
+    pub fn swap(&mut self, a: (ThreadId, VCoreId), b: (ThreadId, VCoreId)) {
+        self.migrations.push((a.0, b.1));
+        self.migrations.push((b.0, a.1));
+    }
+
+    /// True when no actions were requested.
+    pub fn is_empty(&self) -> bool {
+        self.migrations.is_empty() && self.set_quantum.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(id: u32, rate: f64) -> ThreadObservation {
+        ThreadObservation {
+            id: ThreadId(id),
+            app: AppId(0),
+            vcore: VCoreId(id),
+            rates: RateSample {
+                access_rate: rate,
+                ..RateSample::default()
+            },
+            cumulative: ThreadCounters::default(),
+            migrated_last_quantum: false,
+        }
+    }
+
+    #[test]
+    fn view_lookup_helpers() {
+        let view = SystemView {
+            now: SimTime::from_ms(500),
+            quantum: SimTime::from_ms(500),
+            quantum_index: 0,
+            threads: vec![obs(0, 10.0), obs(1, 20.0)],
+            cores: vec![
+                CoreObservation {
+                    id: VCoreId(0),
+                    kind: CoreKind::FAST,
+                    bandwidth: 5.0,
+                    occupants: vec![ThreadId(0)],
+                },
+                CoreObservation {
+                    id: VCoreId(1),
+                    kind: CoreKind::SLOW,
+                    bandwidth: 7.0,
+                    occupants: vec![ThreadId(1)],
+                },
+            ],
+        };
+        assert_eq!(view.thread(ThreadId(1)).unwrap().rates.access_rate, 20.0);
+        assert!(view.thread(ThreadId(9)).is_none());
+        assert_eq!(view.core(VCoreId(1)).bandwidth, 7.0);
+        assert_eq!(view.access_rates(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn actions_swap_crosses_cores() {
+        let mut a = Actions::default();
+        assert!(a.is_empty());
+        a.swap((ThreadId(0), VCoreId(3)), (ThreadId(1), VCoreId(7)));
+        assert_eq!(
+            a.migrations,
+            vec![(ThreadId(0), VCoreId(7)), (ThreadId(1), VCoreId(3))]
+        );
+        assert!(!a.is_empty());
+        let mut b = Actions::default();
+        b.set_quantum = Some(SimTime::from_ms(100));
+        assert!(!b.is_empty());
+    }
+}

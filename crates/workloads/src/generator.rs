@@ -1,0 +1,143 @@
+//! Seeded random workload generation, for property tests and stress
+//! benchmarks beyond the paper's fixed sixteen mixes.
+
+use crate::apps::{AppClass, AppKind};
+use crate::workload::{Workload, WorkloadClass};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+
+/// Configuration for the random generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of benchmark apps per workload.
+    pub num_apps: usize,
+    /// Threads per app.
+    pub threads_per_app: usize,
+    /// Include the KMEANS background instance.
+    pub with_kmeans: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_apps: 4,
+            threads_per_app: 8,
+            with_kmeans: true,
+        }
+    }
+}
+
+/// Memory- and compute-intensive app pools (KMEANS excluded: it is a
+/// background app).
+fn pools() -> (Vec<AppKind>, Vec<AppKind>) {
+    let memory: Vec<AppKind> = AppKind::ALL
+        .iter()
+        .copied()
+        .filter(|a| a.class() == AppClass::Memory)
+        .collect();
+    let compute: Vec<AppKind> = AppKind::ALL
+        .iter()
+        .copied()
+        .filter(|a| a.class() == AppClass::Compute)
+        .collect();
+    (memory, compute)
+}
+
+/// Generate a random workload of the requested class.
+///
+/// Apps are drawn without replacement within each pool when possible and
+/// with replacement otherwise.
+pub fn random_workload(
+    class: WorkloadClass,
+    cfg: GeneratorConfig,
+    seed: u64,
+) -> Workload {
+    assert!(cfg.num_apps >= 2, "need at least two apps");
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let (memory_pool, compute_pool) = pools();
+
+    // Pick how many memory-intensive apps the class requires:
+    //   Balanced:           memory == compute            (num_apps even)
+    //   UnbalancedCompute:  memory <  compute  => memory in [0, (n-1)/2]
+    //   UnbalancedMemory:   memory >  compute  => memory in [n/2+1, n]
+    let n = cfg.num_apps;
+    let num_memory = match class {
+        WorkloadClass::Balanced => {
+            assert!(n.is_multiple_of(2), "a balanced workload needs an even app count");
+            n / 2
+        }
+        WorkloadClass::UnbalancedCompute => rng.gen_range(0..=(n - 1) / 2),
+        WorkloadClass::UnbalancedMemory => rng.gen_range(n / 2 + 1..=n),
+    };
+
+    let draw = |pool: &[AppKind], n: usize, rng: &mut Pcg64| -> Vec<AppKind> {
+        if n <= pool.len() {
+            let mut p = pool.to_vec();
+            p.shuffle(rng);
+            p.truncate(n);
+            p
+        } else {
+            (0..n)
+                .map(|_| *pool.choose(rng).expect("non-empty pool"))
+                .collect()
+        }
+    };
+
+    let mut apps = draw(&memory_pool, num_memory, &mut rng);
+    apps.extend(draw(&compute_pool, cfg.num_apps - num_memory, &mut rng));
+    apps.shuffle(&mut rng);
+
+    let name = format!("RND-{}-{seed}", class.label());
+    let mut w = if cfg.with_kmeans {
+        Workload::with_kmeans(name, apps)
+    } else {
+        Workload::plain(name, apps)
+    };
+    w.threads_per_app = cfg.threads_per_app;
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_class_matches_request() {
+        for seed in 0..20 {
+            for class in [
+                WorkloadClass::Balanced,
+                WorkloadClass::UnbalancedCompute,
+                WorkloadClass::UnbalancedMemory,
+            ] {
+                let w = random_workload(class, GeneratorConfig::default(), seed);
+                assert_eq!(w.class(), class, "seed {seed} class {class:?}");
+                assert_eq!(w.apps.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_workload(WorkloadClass::Balanced, GeneratorConfig::default(), 9);
+        let b = random_workload(WorkloadClass::Balanced, GeneratorConfig::default(), 9);
+        assert_eq!(a, b);
+        let c = random_workload(WorkloadClass::Balanced, GeneratorConfig::default(), 10);
+        assert!(a.apps != c.apps || a.name != c.name);
+    }
+
+    #[test]
+    fn config_controls_shape() {
+        let cfg = GeneratorConfig {
+            num_apps: 6,
+            threads_per_app: 4,
+            with_kmeans: false,
+        };
+        let w = random_workload(WorkloadClass::UnbalancedMemory, cfg, 3);
+        assert_eq!(w.apps.len(), 6);
+        assert_eq!(w.threads_per_app, 4);
+        assert!(w.background.is_empty());
+        assert_eq!(w.num_threads(), 24);
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's sixteen experimental workloads (Table II).
+//!
+//! Each workload is four Rodinia benchmarks (8 threads each) plus a KMEANS
+//! background instance (8 threads), 40 threads total — exactly filling the
+//! paper machine's 40 virtual cores. Memory-intensive members are jacobi,
+//! streamcluster, needle and stream_omp (Table II's bold entries).
+
+use crate::apps::AppKind::{self, *};
+use crate::workload::Workload;
+#[cfg(test)]
+use crate::workload::WorkloadClass;
+
+/// Table II composition: the four benchmark apps of WL1..=WL16 (index 0 is
+/// WL1).
+pub const TABLE2: [[AppKind; 4]; 16] = [
+    // B: Balanced (2M / 2C)
+    [Jacobi, Needle, Leukocyte, LavaMd],           // WL1
+    [Jacobi, Streamcluster, Leukocyte, Srad],      // WL2
+    [Streamcluster, Needle, Hotspot, LavaMd],      // WL3
+    [Jacobi, Streamcluster, LavaMd, Heartwall],    // WL4
+    [Streamcluster, Needle, Leukocyte, Hotspot],   // WL5
+    [Jacobi, Needle, Heartwall, Srad],             // WL6
+    // UC: Unbalanced-Compute (1M / 3C)
+    [Jacobi, LavaMd, Leukocyte, Srad],             // WL7
+    [Needle, Hotspot, Leukocyte, Heartwall],       // WL8
+    [Streamcluster, Heartwall, Leukocyte, Srad],   // WL9
+    [Jacobi, Hotspot, Leukocyte, Heartwall],       // WL10
+    [Needle, LavaMd, Hotspot, Srad],               // WL11
+    // UM: Unbalanced-Memory (3M / 1C)
+    [Jacobi, Needle, Streamcluster, LavaMd],       // WL12
+    [Jacobi, Needle, StreamOmp, Leukocyte],        // WL13
+    [Streamcluster, Needle, StreamOmp, LavaMd],    // WL14
+    [Jacobi, Streamcluster, StreamOmp, Hotspot],   // WL15
+    [Jacobi, Needle, Streamcluster, Srad],         // WL16
+];
+
+/// Workload `WLn` for `n` in `1..=16`.
+///
+/// # Panics
+/// Panics when `n` is out of range.
+pub fn workload(n: usize) -> Workload {
+    assert!((1..=16).contains(&n), "workloads are WL1..=WL16, got {n}");
+    Workload::with_kmeans(format!("WL{n}"), TABLE2[n - 1].to_vec())
+}
+
+/// All sixteen paper workloads in order.
+pub fn all_workloads() -> Vec<Workload> {
+    (1..=16).map(workload).collect()
+}
+
+/// The paper's representative per-class examples used in Figures 2/4/8.
+pub mod selected {
+    use super::*;
+
+    /// A balanced workload with strong phase behaviour (Figure 8).
+    pub fn wl6() -> Workload {
+        workload(6)
+    }
+
+    /// An unbalanced-compute workload (Figures 4/8).
+    pub fn wl11() -> Workload {
+        workload(11)
+    }
+
+    /// The STREAM-heavy, migration-sensitive workload (Figure 1/6 special
+    /// case).
+    pub fn wl15() -> Workload {
+        workload(15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppClass;
+
+    #[test]
+    fn classes_match_table2_sections() {
+        for n in 1..=6 {
+            assert_eq!(workload(n).class(), WorkloadClass::Balanced, "WL{n}");
+        }
+        for n in 7..=11 {
+            assert_eq!(
+                workload(n).class(),
+                WorkloadClass::UnbalancedCompute,
+                "WL{n}"
+            );
+        }
+        for n in 12..=16 {
+            assert_eq!(
+                workload(n).class(),
+                WorkloadClass::UnbalancedMemory,
+                "WL{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_workload_fits_the_paper_machine() {
+        for w in all_workloads() {
+            assert_eq!(w.num_threads(), 40, "{}", w.name);
+            assert_eq!(w.apps.len(), 4);
+            assert_eq!(w.background, vec![AppKind::Kmeans]);
+        }
+    }
+
+    #[test]
+    fn memory_counts_per_class() {
+        for (i, row) in TABLE2.iter().enumerate() {
+            let m = row
+                .iter()
+                .filter(|a| a.class() == AppClass::Memory)
+                .count();
+            let expect = match i {
+                0..=5 => 2,
+                6..=10 => 1,
+                _ => 3,
+            };
+            assert_eq!(m, expect, "WL{} memory count", i + 1);
+        }
+    }
+
+    #[test]
+    fn stream_only_in_um_workloads() {
+        // stream_omp appears exactly in WL13, WL14, WL15 per Table II.
+        let with_stream: Vec<usize> = (1..=16)
+            .filter(|&n| workload(n).apps.contains(&AppKind::StreamOmp))
+            .collect();
+        assert_eq!(with_stream, vec![13, 14, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "WL1..=WL16")]
+    fn workload_zero_panics() {
+        let _ = workload(0);
+    }
+
+    #[test]
+    fn selected_helpers() {
+        assert_eq!(selected::wl6().name, "WL6");
+        assert_eq!(selected::wl11().name, "WL11");
+        assert_eq!(selected::wl15().name, "WL15");
+    }
+}

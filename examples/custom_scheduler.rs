@@ -1,0 +1,79 @@
+//! Extending the framework: write your own contention-aware policy.
+//!
+//! The `Scheduler` trait is the whole contract: observe counter rates,
+//! request migrations. This example implements "MigrateColdest" — a toy
+//! policy that each quantum moves the single lowest-IPC thread to the core
+//! whose occupant has the highest IPC — and races it against Dike on the
+//! same workload.
+//!
+//! ```sh
+//! cargo run --release --example custom_scheduler
+//! ```
+
+use dike_repro::dike::Dike;
+use dike_repro::machine::{presets, Machine, SimTime};
+use dike_repro::metrics::RuntimeMatrix;
+use dike_repro::sched_core::{run, Actions, Scheduler, SystemView};
+use dike_repro::workloads::{paper, Placement};
+
+/// A deliberately naive policy: swap the lowest-IPC thread with the
+/// highest-IPC thread once per quantum. The paper argues IPC misleads on
+/// heterogeneous machines — run this to see how much.
+struct MigrateColdest;
+
+impl Scheduler for MigrateColdest {
+    fn name(&self) -> &str {
+        "MigrateColdest"
+    }
+
+    fn initial_quantum(&self) -> SimTime {
+        SimTime::from_ms(500)
+    }
+
+    fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
+        if view.threads.len() < 2 {
+            return;
+        }
+        let coldest = view
+            .threads
+            .iter()
+            .min_by(|a, b| a.rates.ipc.partial_cmp(&b.rates.ipc).expect("finite"))
+            .expect("non-empty");
+        let hottest = view
+            .threads
+            .iter()
+            .max_by(|a, b| a.rates.ipc.partial_cmp(&b.rates.ipc).expect("finite"))
+            .expect("non-empty");
+        if coldest.id != hottest.id && coldest.vcore != hottest.vcore {
+            actions.swap((coldest.id, coldest.vcore), (hottest.id, hottest.vcore));
+        }
+    }
+}
+
+fn race(sched: &mut dyn Scheduler) {
+    let mut machine = Machine::new(presets::paper_machine(5));
+    let workload = paper::workload(2);
+    let spawned = workload.spawn(&mut machine, Placement::Interleaved, 0.25);
+    let result = run(&mut machine, sched, SimTime::from_secs_f64(600.0));
+    let fairness = RuntimeMatrix::new(
+        spawned
+            .benchmark_apps()
+            .iter()
+            .map(|a| result.app_runtimes(a.0))
+            .collect(),
+    )
+    .fairness();
+    println!(
+        "{:<16} fairness={:.4} wall={:.1}s swaps={}",
+        result.scheduler,
+        fairness,
+        result.wall.as_secs_f64(),
+        result.swaps
+    );
+}
+
+fn main() {
+    println!("Custom policy vs Dike on WL2:\n");
+    race(&mut MigrateColdest);
+    race(&mut Dike::new());
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! definition through machine simulation, scheduling, and metric
+//! computation.
+
+use dike_repro::baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
+use dike_repro::dike::Dike;
+use dike_repro::machine::{presets, Machine, SimTime};
+use dike_repro::metrics::RuntimeMatrix;
+use dike_repro::sched_core::{run, RunResult, Scheduler};
+use dike_repro::workloads::{paper, Placement};
+
+const SCALE: f64 = 0.08;
+const DEADLINE: f64 = 120.0;
+
+fn run_wl(n: usize, sched: &mut dyn Scheduler) -> (RunResult, f64) {
+    let mut machine = Machine::new(presets::paper_machine(42));
+    let workload = paper::workload(n);
+    let spawned = workload.spawn(&mut machine, Placement::Interleaved, SCALE);
+    let result = run(&mut machine, sched, SimTime::from_secs_f64(DEADLINE));
+    let fairness = RuntimeMatrix::new(
+        spawned
+            .benchmark_apps()
+            .iter()
+            .map(|a| result.app_runtimes(a.0))
+            .collect(),
+    )
+    .fairness();
+    (result, fairness)
+}
+
+#[test]
+fn every_scheduler_completes_every_class() {
+    for n in [1, 9, 13] {
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(StaticSpread::new()),
+            Box::new(Dio::new()),
+            Box::new(RandomScheduler::new(3)),
+            Box::new(SortOnce::new()),
+            Box::new(Dike::new()),
+            Box::new(Dike::adaptive_fairness()),
+            Box::new(Dike::adaptive_performance()),
+        ];
+        for sched in schedulers.iter_mut() {
+            let (result, fairness) = run_wl(n, sched.as_mut());
+            assert!(
+                result.completed,
+                "{} did not complete WL{n}",
+                result.scheduler
+            );
+            assert!(
+                (0.0..=1.0).contains(&fairness),
+                "{} fairness {fairness} out of range on WL{n}",
+                result.scheduler
+            );
+            assert_eq!(result.threads.len(), 40);
+            assert!(result
+                .threads
+                .iter()
+                .all(|t| t.finished_at.is_some() && t.counters.instructions > 0.0));
+        }
+    }
+}
+
+#[test]
+fn contention_aware_schedulers_beat_the_baseline_on_fairness() {
+    for n in [1, 9, 13] {
+        let (_, base) = run_wl(n, &mut StaticSpread::new());
+        for (name, fairness) in [
+            ("DIO", run_wl(n, &mut Dio::new()).1),
+            ("Dike", run_wl(n, &mut Dike::new()).1),
+        ] {
+            assert!(
+                fairness > base,
+                "{name} ({fairness:.4}) should beat CFS ({base:.4}) on WL{n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dike_swaps_less_than_dio() {
+    for n in [1, 13] {
+        let (dio, _) = run_wl(n, &mut Dio::new());
+        let (dike, _) = run_wl(n, &mut Dike::new());
+        assert!(
+            dike.swaps < dio.swaps,
+            "WL{n}: Dike {} vs DIO {}",
+            dike.swaps,
+            dio.swaps
+        );
+    }
+}
+
+#[test]
+fn random_swapping_is_worse_than_dike() {
+    // The sanity floor: informed migration must beat random churn on
+    // fairness-per-swap efficiency and on raw fairness.
+    let (_, dike_fairness) = run_wl(1, &mut Dike::new());
+    let (_, random_fairness) = run_wl(1, &mut RandomScheduler::new(9));
+    assert!(
+        dike_fairness > random_fairness,
+        "Dike {dike_fairness:.4} vs Random {random_fairness:.4}"
+    );
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let once = |seed: u64| {
+        let mut machine = Machine::new(presets::paper_machine(seed));
+        paper::workload(6).spawn(&mut machine, Placement::Interleaved, SCALE);
+        let mut dike = Dike::new();
+        let r = run(&mut machine, &mut dike, SimTime::from_secs_f64(DEADLINE));
+        (
+            r.wall,
+            r.swaps,
+            r.threads
+                .iter()
+                .map(|t| t.finished_at)
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(once(7), once(7));
+    assert_ne!(once(7), once(8));
+}
+
+#[test]
+fn adaptation_reaches_per_class_configs() {
+    use dike_repro::dike::SchedConfig;
+    // UC workload: AF floors the quantum at 200ms with swapSize 16.
+    let mut machine = Machine::new(presets::paper_machine(42));
+    paper::workload(9).spawn(&mut machine, Placement::Interleaved, SCALE);
+    let mut af = Dike::adaptive_fairness();
+    run(&mut machine, &mut af, SimTime::from_secs_f64(DEADLINE));
+    assert_eq!(
+        af.current_config(),
+        SchedConfig {
+            swap_size: 16,
+            quantum_ms: 200
+        }
+    );
+    // Any class: AP raises the quantum to 1000ms.
+    let mut machine = Machine::new(presets::paper_machine(42));
+    paper::workload(9).spawn(&mut machine, Placement::Interleaved, SCALE);
+    let mut ap = Dike::adaptive_performance();
+    run(&mut machine, &mut ap, SimTime::from_secs_f64(DEADLINE));
+    assert_eq!(ap.current_config().quantum_ms, 1000);
+}
+
+#[test]
+fn dike_prediction_errors_stay_bounded_end_to_end() {
+    let mut machine = Machine::new(presets::paper_machine(42));
+    paper::workload(11).spawn(&mut machine, Placement::Interleaved, SCALE);
+    let mut dike = Dike::new();
+    run(&mut machine, &mut dike, SimTime::from_secs_f64(DEADLINE));
+    let errs = dike.predictor().error_values();
+    assert!(!errs.is_empty());
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean.abs() < 0.1, "per-quantum mean error {mean:.3}");
+    assert!(
+        errs.iter().all(|e| e.abs() < 0.8),
+        "a per-quantum aggregate error exceeded 80%"
+    );
+}

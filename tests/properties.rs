@@ -1,0 +1,61 @@
+//! Cross-crate property tests: randomly generated workloads must run to
+//! completion under every policy with all invariants intact.
+
+use dike_repro::baselines::Dio;
+use dike_repro::dike::Dike;
+use dike_repro::machine::{presets, Machine, SimTime};
+use dike_repro::metrics::RuntimeMatrix;
+use dike_repro::sched_core::{run, Scheduler};
+use dike_repro::workloads::{random_workload, GeneratorConfig, Placement, WorkloadClass};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = WorkloadClass> {
+    prop_oneof![
+        Just(WorkloadClass::Balanced),
+        Just(WorkloadClass::UnbalancedCompute),
+        Just(WorkloadClass::UnbalancedMemory),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_workloads_complete_under_dike_and_dio(
+        class in arb_class(),
+        seed in 0u64..200,
+        placement_seed in 0u64..50,
+    ) {
+        let workload = random_workload(class, GeneratorConfig::default(), seed);
+        let mut schedulers: Vec<Box<dyn Scheduler>> =
+            vec![Box::new(Dike::new()), Box::new(Dio::new())];
+        for sched in schedulers.iter_mut() {
+            let mut machine = Machine::new(presets::paper_machine(seed));
+            let spawned = workload.spawn(
+                &mut machine,
+                Placement::Random(placement_seed),
+                0.05,
+            );
+            let result = run(&mut machine, sched.as_mut(), SimTime::from_secs_f64(120.0));
+            prop_assert!(result.completed, "{} stalled on {}", result.scheduler, workload.name);
+            // Counter sanity for every thread.
+            for t in &result.threads {
+                prop_assert!(t.counters.instructions > 0.0);
+                prop_assert!(t.counters.llc_misses <= t.counters.llc_accesses + 1e-9);
+                prop_assert!(t.finished_at.unwrap() <= result.wall);
+            }
+            // Fairness in range.
+            let fairness = RuntimeMatrix::new(
+                spawned
+                    .benchmark_apps()
+                    .iter()
+                    .map(|a| result.app_runtimes(a.0))
+                    .collect(),
+            )
+            .fairness();
+            prop_assert!((0.0..=1.0).contains(&fairness));
+            // Swap accounting is consistent: two migrations per swap.
+            prop_assert_eq!(result.swaps, result.migrations / 2);
+        }
+    }
+}
