@@ -7,16 +7,14 @@
 
 use dike_machine::SimTime;
 use dike_sched_core::{Actions, Scheduler, SystemView};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_pcg::Pcg64;
+use dike_util::{Pcg32, SliceRandom};
 
 /// The random scheduler.
 #[derive(Debug)]
 pub struct RandomScheduler {
     quantum: SimTime,
     pairs_per_quantum: usize,
-    rng: Pcg64,
+    rng: Pcg32,
 }
 
 impl RandomScheduler {
@@ -26,7 +24,7 @@ impl RandomScheduler {
         RandomScheduler {
             quantum: SimTime::from_ms(500),
             pairs_per_quantum: 4,
-            rng: Pcg64::seed_from_u64(seed),
+            rng: Pcg32::seed_from_u64(seed),
         }
     }
 

@@ -4,11 +4,11 @@
 //! effect of each ablation is reported by the `ablations` binary in
 //! `dike-experiments` (benchmarks time, binaries measure outcomes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dike_bench::bench_opts;
 use dike_experiments::{run_cell, SchedKind};
 use dike_machine::presets;
 use dike_scheduler::{CoreBwEstimate, CoreRanking, DikeConfig};
+use dike_util::bench::Bench;
 use dike_workloads::paper;
 use std::hint::black_box;
 
@@ -46,27 +46,21 @@ fn ablation_configs() -> Vec<(&'static str, DikeConfig)> {
     ]
 }
 
-fn ablation_runs(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_env();
     let opts = bench_opts();
     let machine = presets::paper_machine(opts.seed);
     let wl = paper::workload(1);
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
     for (name, cfg) in ablation_configs() {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let cell = run_cell(
-                    black_box(&machine),
-                    &wl,
-                    &SchedKind::DikeCustom(cfg.clone()),
-                    &opts,
-                );
-                black_box((cell.fairness, cell.swaps))
-            })
+        b.bench(&format!("ablation/{name}"), || {
+            let cell = run_cell(
+                black_box(&machine),
+                &wl,
+                &SchedKind::DikeCustom(cfg.clone()),
+                &opts,
+            );
+            black_box((cell.fairness, cell.swaps))
         });
     }
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(ablations, ablation_runs);
-criterion_main!(ablations);

@@ -2,28 +2,23 @@
 //! second for the paper machine under a full 40-thread workload, plus the
 //! memory-contention solver in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dike_machine::{presets, solve_memory, Machine, MemDemand, MemoryConfig, SimTime};
+use dike_util::bench::Bench;
 use dike_workloads::{paper, Placement};
 use std::hint::black_box;
 
-fn machine_ticks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine");
-    g.throughput(Throughput::Elements(100));
-    g.bench_function("tick_40_threads_x100", |b| {
-        // One warm machine per batch; each iteration advances 100 ticks
-        // (100 simulated ms).
-        let mut machine = Machine::new(presets::paper_machine(1));
-        paper::workload(1).spawn(&mut machine, Placement::Interleaved, 100.0);
-        b.iter(|| {
-            machine.run_for(SimTime::from_ms(100));
-            black_box(machine.now())
-        })
+fn machine_ticks(b: &mut Bench) {
+    // One warm machine for the whole benchmark; each iteration advances
+    // 100 ticks (100 simulated ms).
+    let mut machine = Machine::new(presets::paper_machine(1));
+    paper::workload(1).spawn(&mut machine, Placement::Interleaved, 100.0);
+    b.bench("machine/tick_40_threads_x100", || {
+        machine.run_for(SimTime::from_ms(100));
+        black_box(machine.now())
     });
-    g.finish();
 }
 
-fn memory_solver(c: &mut Criterion) {
+fn memory_solver(b: &mut Bench) {
     let cfg = MemoryConfig::default();
     let demands: Vec<MemDemand> = (0..40)
         .map(|i| MemDemand {
@@ -31,10 +26,14 @@ fn memory_solver(c: &mut Criterion) {
             miss_ratio: if i % 5 < 2 { 0.028 } else { 0.002 },
         })
         .collect();
-    c.bench_function("solve_memory_40_demands", |b| {
-        b.iter(|| black_box(solve_memory(black_box(&demands), &cfg)))
+    b.bench("solve_memory_40_demands", || {
+        black_box(solve_memory(black_box(&demands), &cfg))
     });
 }
 
-criterion_group!(machine, machine_ticks, memory_solver);
-criterion_main!(machine);
+fn main() {
+    let mut b = Bench::from_env();
+    machine_ticks(&mut b);
+    memory_solver(&mut b);
+    b.finish();
+}

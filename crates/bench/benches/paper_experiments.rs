@@ -1,95 +1,59 @@
-//! One Criterion bench per paper table/figure: each iteration regenerates
-//! the artefact at a reduced scale, so `cargo bench` both times the full
+//! One bench per paper table/figure: each iteration regenerates the
+//! artefact at a reduced scale, so `cargo bench` both times the full
 //! pipeline and exercises every experiment end to end.
 //!
 //! Figures that sweep the whole 32-point configuration grid (2, 4, 5) are
 //! benched on a single representative workload to keep iteration time sane
 //! on one core; their binaries run the full versions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dike_bench::bench_opts;
 use dike_experiments::{fig1, fig6, fig7, fig8, sweep, table3};
 use dike_machine::presets;
+use dike_util::bench::Bench;
 use dike_workloads::paper;
 use std::hint::black_box;
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_env();
     let opts = bench_opts();
-    c.bench_function("fig1_standalone_vs_concurrent", |b| {
-        b.iter(|| {
-            let rows = fig1::run(black_box(&opts));
-            black_box(rows.len())
-        })
-    });
-}
 
-fn bench_config_sweep(c: &mut Criterion) {
+    b.bench("fig1_standalone_vs_concurrent", || {
+        let rows = fig1::run(black_box(&opts));
+        black_box(rows.len())
+    });
+
     // Shared core of Figures 2, 4 and 5: one full 32-config sweep.
-    let opts = bench_opts();
     let machine = presets::paper_machine(opts.seed);
     let wl = paper::workload(2);
-    c.bench_function("fig2_fig4_fig5_config_sweep", |b| {
-        b.iter(|| {
-            let s = sweep::sweep_workload(black_box(&machine), &wl, &opts);
-            black_box(s.best_fairness())
-        })
+    b.bench("fig2_fig4_fig5_config_sweep", || {
+        let s = sweep::sweep_workload(black_box(&machine), &wl, &opts);
+        black_box(s.best_fairness())
     });
-}
 
-fn bench_fig6a(c: &mut Criterion) {
-    let opts = bench_opts();
-    c.bench_function("fig6a_fairness", |b| {
-        b.iter(|| {
-            let fig = fig6::run_subset(black_box(&opts), &[1, 9, 13]);
-            black_box(fig.fairness_improvements())
-        })
+    b.bench("fig6a_fairness", || {
+        let fig = fig6::run_subset(black_box(&opts), &[1, 9, 13]);
+        black_box(fig.fairness_improvements())
     });
-}
 
-fn bench_fig6b(c: &mut Criterion) {
-    let opts = bench_opts();
-    c.bench_function("fig6b_performance", |b| {
-        b.iter(|| {
-            let fig = fig6::run_subset(black_box(&opts), &[1, 9, 13]);
-            black_box(fig.speedups())
-        })
+    b.bench("fig6b_performance", || {
+        let fig = fig6::run_subset(black_box(&opts), &[1, 9, 13]);
+        black_box(fig.speedups())
     });
-}
 
-fn bench_fig7(c: &mut Criterion) {
-    let opts = bench_opts();
-    c.bench_function("fig7_prediction_error", |b| {
-        b.iter(|| {
-            let rows = fig7::run_subset(black_box(&opts), &[1, 6, 13]);
-            black_box(rows.len())
-        })
+    b.bench("fig7_prediction_error", || {
+        let rows = fig7::run_subset(black_box(&opts), &[1, 6, 13]);
+        black_box(rows.len())
     });
-}
 
-fn bench_fig8(c: &mut Criterion) {
-    let opts = bench_opts();
-    c.bench_function("fig8_prediction_trace", |b| {
-        b.iter(|| {
-            let traces = fig8::run_subset(black_box(&opts), &[6]);
-            black_box(traces[0].series.len())
-        })
+    b.bench("fig8_prediction_trace", || {
+        let traces = fig8::run_subset(black_box(&opts), &[6]);
+        black_box(traces[0].series.len())
     });
-}
 
-fn bench_table3(c: &mut Criterion) {
-    let opts = bench_opts();
-    c.bench_function("table3_swap_counts", |b| {
-        b.iter(|| {
-            let t3 = table3::run_subset(black_box(&opts), &[1, 13]);
-            black_box(t3.averages())
-        })
+    b.bench("table3_swap_counts", || {
+        let t3 = table3::run_subset(black_box(&opts), &[1, 13]);
+        black_box(t3.averages())
     });
-}
 
-criterion_group! {
-    name = paper;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_config_sweep, bench_fig6a, bench_fig6b,
-              bench_fig7, bench_fig8, bench_table3
+    b.finish();
 }
-criterion_main!(paper);

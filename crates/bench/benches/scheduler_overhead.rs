@@ -6,13 +6,13 @@
 //! threads, 40 cores) for each policy, isolating the userspace-daemon cost
 //! from the machine simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
 use dike_counters::RateSample;
 use dike_machine::topology::CoreKind;
 use dike_machine::{AppId, SimTime, ThreadCounters, ThreadId, VCoreId};
 use dike_sched_core::{Actions, CoreObservation, Scheduler, SystemView, ThreadObservation};
 use dike_scheduler::Dike;
+use dike_util::bench::Bench;
 use std::hint::black_box;
 
 /// Build a realistic 40-thread, 40-core view: five 8-thread apps with
@@ -61,27 +61,24 @@ fn paper_scale_view(quantum_index: u64) -> SystemView {
     }
 }
 
-fn bench_policy(c: &mut Criterion, name: &str, mut sched: impl Scheduler) {
+fn bench_policy(b: &mut Bench, name: &str, mut sched: impl Scheduler) {
     let mut q = 0u64;
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let view = paper_scale_view(q);
-            q += 1;
-            let mut actions = Actions::default();
-            sched.on_quantum(black_box(&view), &mut actions);
-            black_box(actions.migrations.len())
-        })
+    b.bench(name, || {
+        let view = paper_scale_view(q);
+        q += 1;
+        let mut actions = Actions::default();
+        sched.on_quantum(black_box(&view), &mut actions);
+        black_box(actions.migrations.len())
     });
 }
 
-fn decision_latency(c: &mut Criterion) {
-    bench_policy(c, "on_quantum/dike", Dike::new());
-    bench_policy(c, "on_quantum/dike_af", Dike::adaptive_fairness());
-    bench_policy(c, "on_quantum/dio", Dio::new());
-    bench_policy(c, "on_quantum/cfs", StaticSpread::new());
-    bench_policy(c, "on_quantum/random", RandomScheduler::new(1));
-    bench_policy(c, "on_quantum/sort_once", SortOnce::new());
+fn main() {
+    let mut b = Bench::from_env();
+    bench_policy(&mut b, "on_quantum/dike", Dike::new());
+    bench_policy(&mut b, "on_quantum/dike_af", Dike::adaptive_fairness());
+    bench_policy(&mut b, "on_quantum/dio", Dio::new());
+    bench_policy(&mut b, "on_quantum/cfs", StaticSpread::new());
+    bench_policy(&mut b, "on_quantum/random", RandomScheduler::new(1));
+    bench_policy(&mut b, "on_quantum/sort_once", SortOnce::new());
+    b.finish();
 }
-
-criterion_group!(overhead, decision_latency);
-criterion_main!(overhead);

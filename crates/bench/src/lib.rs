@@ -1,15 +1,15 @@
 //! # dike-bench — benchmark support library
 //!
-//! Shared helpers for the Criterion benchmark targets in `benches/`:
-//! one bench per paper table/figure (regenerating each artefact at a
-//! reduced, benchmark-friendly scale) plus scheduler-overhead and
+//! Shared helpers for the `dike_util::bench` targets in `benches/`: one
+//! bench per paper table/figure (regenerating each artefact at a reduced,
+//! benchmark-friendly scale) plus scheduler-overhead and
 //! simulator-throughput microbenchmarks and the design-choice ablations.
 
 use dike_experiments::RunOptions;
 
 /// The reduced scale used by the figure-regeneration benches: large enough
 /// for every scheduler mechanism to engage (several dozen quanta), small
-/// enough for Criterion to iterate.
+/// enough for the bench runner to iterate.
 pub const BENCH_SCALE: f64 = 0.03;
 
 /// Run options for benchmark iterations.

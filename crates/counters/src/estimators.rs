@@ -7,7 +7,7 @@
 //! so the estimator is pluggable and benchmarked as an ablation
 //! (`bench/estimator_ablation`).
 
-use serde::{Deserialize, Serialize};
+use dike_util::{json_enum, json_struct};
 use std::collections::VecDeque;
 
 /// An online estimator of a noisy scalar signal.
@@ -29,11 +29,13 @@ pub trait Estimator {
 /// Cumulative moving mean over all samples — the paper's `CoreBW` estimator
 /// ("moving mean represents average bandwidth of core throughout its
 /// execution").
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MovingMean {
     sum: f64,
     n: usize,
 }
+
+json_struct!(MovingMean { sum, n });
 
 impl MovingMean {
     /// A fresh estimator.
@@ -66,13 +68,20 @@ impl Estimator for MovingMean {
 }
 
 /// Mean over a sliding window of the last `window` samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowedMean {
     window: usize,
     buf: VecDeque<f64>,
     sum: f64,
     seen: usize,
 }
+
+json_struct!(WindowedMean {
+    window,
+    buf,
+    sum,
+    seen,
+});
 
 impl WindowedMean {
     /// A sliding mean over the last `window` samples.
@@ -122,12 +131,14 @@ impl Estimator for WindowedMean {
 
 /// Exponentially-weighted moving average with smoothing factor `alpha`
 /// (1.0 = track the last sample exactly; small values smooth heavily).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     state: Option<f64>,
     seen: usize,
 }
+
+json_struct!(Ewma { alpha, state, seen });
 
 impl Ewma {
     /// A fresh EWMA.
@@ -171,11 +182,13 @@ impl Estimator for Ewma {
 }
 
 /// The most recent sample, verbatim.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LastSample {
     state: Option<f64>,
     seen: usize,
 }
+
+json_struct!(LastSample { state, seen });
 
 impl LastSample {
     /// A fresh estimator.
@@ -206,7 +219,7 @@ impl Estimator for LastSample {
 
 /// Which estimator a component should use — serialisable so experiment
 /// configurations can sweep it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EstimatorKind {
     /// Cumulative moving mean (the paper's choice for `CoreBW`).
     MovingMean,
@@ -217,6 +230,8 @@ pub enum EstimatorKind {
     /// Last sample only.
     LastSample,
 }
+
+json_enum!(EstimatorKind { MovingMean, LastSample } { WindowedMean(usize), Ewma(f64) });
 
 /// A dynamically-dispatched estimator built from a kind tag.
 pub fn build(kind: EstimatorKind) -> Box<dyn Estimator + Send> {

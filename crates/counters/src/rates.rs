@@ -1,9 +1,9 @@
 //! Turning raw counter deltas into the per-quantum rates schedulers consume.
 
-use serde::{Deserialize, Serialize};
+use dike_util::json_struct;
 
 /// Per-quantum rates derived from hardware-counter deltas.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RateSample {
     /// Memory accesses (LLC misses) per second — the paper's "memory access
     /// rate", its primary contention metric.
@@ -21,11 +21,19 @@ pub struct RateSample {
     pub ipc: f64,
 }
 
+json_struct!(RateSample {
+    access_rate,
+    instr_rate,
+    miss_ratio,
+    llc_miss_rate,
+    ipc,
+});
+
 impl RateSample {
     /// Derive rates from counter deltas over `dt_s` seconds.
     ///
-    /// Returns a zero sample when `dt_s` is not positive (e.g. the first
-    /// quantum, before any counters were captured).
+    /// Returns a zero sample when `dt_s` is not a positive number (e.g. the
+    /// first quantum, before any counters were captured).
     pub fn from_deltas(
         d_instructions: f64,
         d_misses: f64,
@@ -33,7 +41,9 @@ impl RateSample {
         d_cycles: f64,
         dt_s: f64,
     ) -> Self {
-        if dt_s <= 0.0 {
+        // The explicit NaN check matters: a bare `dt_s <= 0.0` is false
+        // for NaN, which would leak NaN rates into the estimators.
+        if dt_s.is_nan() || dt_s <= 0.0 {
             return RateSample::default();
         }
         RateSample {
@@ -98,5 +108,37 @@ mod tests {
         assert_eq!(r.llc_miss_rate, 0.0);
         assert_eq!(r.ipc, 0.0);
         assert_eq!(r.access_rate, 0.0);
+    }
+
+    #[test]
+    fn zero_accesses_with_nonzero_misses_never_divides_by_zero() {
+        // Counter skew can report misses with no accesses in a short
+        // quantum; the ratios must stay finite (0, by convention).
+        let r = RateSample::from_deltas(100.0, 7.0, 0.0, 0.0, 0.25);
+        assert_eq!(r.llc_miss_rate, 0.0);
+        assert_eq!(r.miss_rate_percent(), 0.0);
+        assert_eq!(r.ipc, 0.0);
+        assert!(r.access_rate.is_finite());
+        assert_eq!(r.access_rate, 28.0);
+    }
+
+    #[test]
+    fn negative_and_tiny_durations_yield_zero_sample() {
+        for dt in [0.0, -0.0, -1e-9, f64::NEG_INFINITY] {
+            let r = RateSample::from_deltas(1e9, 1e6, 1e7, 1e9, dt);
+            assert_eq!(r, RateSample::default(), "dt_s = {dt}");
+        }
+        // NaN durations must not leak NaN rates either.
+        let r = RateSample::from_deltas(1e9, 1e6, 1e7, 1e9, f64::NAN);
+        assert_eq!(r, RateSample::default());
+    }
+
+    #[test]
+    fn all_fields_finite_for_finite_inputs() {
+        let r = RateSample::from_deltas(5.0, 3.0, 4.0, 2.0, 1e-6);
+        for v in [r.access_rate, r.instr_rate, r.miss_ratio, r.llc_miss_rate, r.ipc] {
+            assert!(v.is_finite(), "{r:?}");
+        }
+        assert_eq!(r.miss_rate_percent(), 75.0);
     }
 }

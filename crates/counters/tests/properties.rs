@@ -1,16 +1,22 @@
 //! Property tests on the estimators and rate derivations.
 
 use dike_counters::{build, Estimator, EstimatorKind, Ewma, MovingMean, RateSample, WindowedMean};
-use proptest::prelude::*;
+use dike_util::check::check;
+use dike_util::Pcg32;
 
-proptest! {
-    #[test]
-    fn estimates_stay_within_observed_range(
-        samples in prop::collection::vec(0.0f64..1e9, 1..100),
-        kind_sel in 0usize..4,
-        window in 1usize..20,
-        alpha in 0.01f64..1.0,
-    ) {
+fn gen_samples(rng: &mut Pcg32, lo: f64, hi: f64, len_lo: usize, len_hi: usize) -> Vec<f64> {
+    let len = rng.gen_range(len_lo..len_hi);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn estimates_stay_within_observed_range() {
+    check("estimates_stay_within_observed_range", 256, |rng| {
+        let samples = gen_samples(rng, 0.0, 1e9, 1, 100);
+        let kind_sel = rng.gen_range(0usize..4);
+        let window = rng.gen_range(1usize..20);
+        let alpha = rng.gen_range(0.01f64..1.0);
+
         let kind = match kind_sel {
             0 => EstimatorKind::MovingMean,
             1 => EstimatorKind::WindowedMean(window),
@@ -25,32 +31,38 @@ proptest! {
             min = min.min(*s);
             max = max.max(*s);
             let v = e.value();
-            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9,
-                "{kind:?} estimate {v} outside [{min},{max}]");
+            assert!(
+                v >= min - 1e-9 && v <= max + 1e-9,
+                "{kind:?} estimate {v} outside [{min},{max}]"
+            );
         }
-        prop_assert_eq!(e.len(), samples.len());
+        assert_eq!(e.len(), samples.len());
         e.reset();
-        prop_assert!(e.is_empty());
-        prop_assert_eq!(e.value(), 0.0);
-    }
+        assert!(e.is_empty());
+        assert_eq!(e.value(), 0.0);
+    });
+}
 
-    #[test]
-    fn moving_mean_equals_arithmetic_mean(
-        samples in prop::collection::vec(-1e6f64..1e6, 1..200),
-    ) {
+#[test]
+fn moving_mean_equals_arithmetic_mean() {
+    check("moving_mean_equals_arithmetic_mean", 256, |rng| {
+        let samples = gen_samples(rng, -1e6, 1e6, 1, 200);
+
         let mut e = MovingMean::new();
         for s in &samples {
             e.update(*s);
         }
         let expect = samples.iter().sum::<f64>() / samples.len() as f64;
-        prop_assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
-    }
+        assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    });
+}
 
-    #[test]
-    fn windowed_mean_matches_naive_tail_mean(
-        samples in prop::collection::vec(-1e6f64..1e6, 1..100),
-        window in 1usize..20,
-    ) {
+#[test]
+fn windowed_mean_matches_naive_tail_mean() {
+    check("windowed_mean_matches_naive_tail_mean", 256, |rng| {
+        let samples = gen_samples(rng, -1e6, 1e6, 1, 100);
+        let window = rng.gen_range(1usize..20);
+
         let mut e = WindowedMean::new(window);
         for s in &samples {
             e.update(*s);
@@ -62,14 +74,16 @@ proptest! {
             .copied()
             .collect();
         let expect = tail.iter().sum::<f64>() / tail.len() as f64;
-        prop_assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
-    }
+        assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    });
+}
 
-    #[test]
-    fn ewma_is_a_convex_combination(
-        samples in prop::collection::vec(0.0f64..1e6, 2..100),
-        alpha in 0.01f64..1.0,
-    ) {
+#[test]
+fn ewma_is_a_convex_combination() {
+    check("ewma_is_a_convex_combination", 256, |rng| {
+        let samples = gen_samples(rng, 0.0, 1e6, 2, 100);
+        let alpha = rng.gen_range(0.01f64..1.0);
+
         let mut e = Ewma::new(alpha);
         e.update(samples[0]);
         let mut prev = e.value();
@@ -78,28 +92,30 @@ proptest! {
             let v = e.value();
             let lo = prev.min(*s) - 1e-9;
             let hi = prev.max(*s) + 1e-9;
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
             prev = v;
         }
-    }
+    });
+}
 
-    #[test]
-    fn rate_sample_fields_are_consistent(
-        instr in 0.0f64..1e12,
-        misses_frac in 0.0f64..0.5,
-        accesses_extra in 1.0f64..4.0,
-        cycles in 1.0f64..1e12,
-        dt in 0.001f64..10.0,
-    ) {
+#[test]
+fn rate_sample_fields_are_consistent() {
+    check("rate_sample_fields_are_consistent", 256, |rng| {
+        let instr = rng.gen_range(0.0f64..1e12);
+        let misses_frac = rng.gen_range(0.0f64..0.5);
+        let accesses_extra = rng.gen_range(1.0f64..4.0);
+        let cycles = rng.gen_range(1.0f64..1e12);
+        let dt = rng.gen_range(0.001f64..10.0);
+
         let misses = instr * misses_frac;
         let accesses = misses * accesses_extra;
         let r = RateSample::from_deltas(instr, misses, accesses, cycles, dt);
-        prop_assert!((r.instr_rate * dt - instr).abs() < 1e-6 * (1.0 + instr));
-        prop_assert!((r.access_rate * dt - misses).abs() < 1e-6 * (1.0 + misses));
+        assert!((r.instr_rate * dt - instr).abs() < 1e-6 * (1.0 + instr));
+        assert!((r.access_rate * dt - misses).abs() < 1e-6 * (1.0 + misses));
         if accesses > 0.0 {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.llc_miss_rate));
+            assert!((0.0..=1.0 + 1e-9).contains(&r.llc_miss_rate));
         }
-        prop_assert!(r.ipc >= 0.0);
-        prop_assert!(r.miss_rate_percent() >= 0.0);
-    }
+        assert!(r.ipc >= 0.0);
+        assert!(r.miss_rate_percent() >= 0.0);
+    });
 }

@@ -1,11 +1,11 @@
 //! Dike's configuration: the paper's tunables in one place.
 
 use dike_machine::SimTime;
-use serde::{Deserialize, Serialize};
+use dike_util::{json_enum, json_struct};
 
 /// The adaptation goal of the Optimizer (Section III-F): the user's
 /// preference for fairness or throughput.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdaptationGoal {
     /// Favour fairness (Dike-AF).
     Fairness,
@@ -15,7 +15,7 @@ pub enum AdaptationGoal {
 
 /// How the Observer estimates `CoreBW`, the per-core bandwidth used by the
 /// Predictor as "the expected access rate of a thread migrated there".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreBwEstimate {
     /// The paper's literal definition: the moving mean of each core's
     /// served bandwidth over its whole execution. With this estimator a
@@ -34,7 +34,7 @@ pub enum CoreBwEstimate {
 }
 
 /// How the Observer ranks cores into higher/lower memory bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreRanking {
     /// Rank by core frequency: the paper's fast (TurboBoost) socket is its
     /// high-bandwidth half. Static, robust, and matches the paper's
@@ -58,13 +58,21 @@ pub const SWAP_SIZE_MAX: u32 = 16;
 
 /// A scheduler configuration ⟨swapSize, quantaLength⟩ — the pair Figure 4's
 /// heatmaps sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SchedConfig {
     /// Number of *threads* to swap per quantum (pairs = `swap_size / 2`).
     pub swap_size: u32,
     /// Time between scheduling decisions, in milliseconds.
     pub quantum_ms: u64,
 }
+
+json_enum!(AdaptationGoal { Fairness, Performance } {});
+json_enum!(CoreBwEstimate { PerCoreMean, DemandGated } {});
+json_enum!(CoreRanking { Frequency, ObservedBandwidth } {});
+json_struct!(SchedConfig {
+    swap_size,
+    quantum_ms,
+});
 
 impl SchedConfig {
     /// The paper's default configuration ⟨8, 500⟩.
@@ -159,7 +167,7 @@ impl Default for SchedConfig {
 }
 
 /// Full Dike configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DikeConfig {
     /// Initial ⟨swapSize, quantaLength⟩ (the paper's default is ⟨8, 500⟩).
     pub sched: SchedConfig,
@@ -194,6 +202,20 @@ pub struct DikeConfig {
     /// Upper band; see [`DikeConfig::uc_band`].
     pub um_band: f64,
 }
+
+json_struct!(DikeConfig {
+    sched,
+    fairness_threshold,
+    classify_boundary,
+    adaptation,
+    core_ranking,
+    core_bw_estimate,
+    cooldown,
+    use_prediction,
+    swap_oh_ms,
+    uc_band,
+    um_band,
+});
 
 impl Default for DikeConfig {
     fn default() -> Self {

@@ -4,7 +4,8 @@
 use dike_machine::{AppId, ThreadId, VCoreId};
 use dike_scheduler::observer::{Observation, ObservedThread, ThreadClass};
 use dike_scheduler::{select_pairs, AdaptationGoal, DikeConfig, SchedConfig};
-use proptest::prelude::*;
+use dike_util::check::check;
+use dike_util::Pcg32;
 
 /// Build an observation from `(access_rate, on_high_bw, is_memory)` tuples.
 fn obs_from(threads: &[(f64, bool, bool)]) -> Observation {
@@ -35,55 +36,61 @@ fn obs_from(threads: &[(f64, bool, bool)]) -> Observation {
     }
 }
 
-proptest! {
-    #[test]
-    fn selector_pairs_are_disjoint_directed_and_bounded(
-        threads in prop::collection::vec(
-            (0.0f64..1e8, any::<bool>(), any::<bool>()),
-            2..40
-        ),
-        swap_size in 0u32..20,
-    ) {
+/// Draw a `(access_rate, on_high_bw, is_memory)` tuple list.
+fn gen_threads(rng: &mut Pcg32, lo_rate: f64, max_len: usize) -> Vec<(f64, bool, bool)> {
+    let len = rng.gen_range(2usize..max_len);
+    (0..len)
+        .map(|_| (rng.gen_range(lo_rate..1e8), rng.gen_bool(), rng.gen_bool()))
+        .collect()
+}
+
+#[test]
+fn selector_pairs_are_disjoint_directed_and_bounded() {
+    check("selector_pairs_are_disjoint_directed_and_bounded", 256, |rng| {
+        let threads = gen_threads(rng, 0.0, 40);
+        let swap_size = rng.gen_range(0u32..20);
+
         let obs = obs_from(&threads);
         let pairs = select_pairs(&obs, swap_size, 0.1);
         // Bounded by swapSize/2.
-        prop_assert!(pairs.len() <= (swap_size / 2) as usize);
+        assert!(pairs.len() <= (swap_size / 2) as usize);
         // Disjoint thread ids.
         let mut ids: Vec<u32> = pairs.iter().flat_map(|p| [p.low.0, p.high.0]).collect();
         let before = ids.len();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), before, "a thread appears in two pairs");
+        assert_eq!(ids.len(), before, "a thread appears in two pairs");
         for p in &pairs {
             // Direction: low member sits on a high-BW core, high member on
             // a low-BW core (that is what the swap corrects).
-            prop_assert!(obs.high_bw[p.low_vcore.index()]);
-            prop_assert!(!obs.high_bw[p.high_vcore.index()]);
+            assert!(obs.high_bw[p.low_vcore.index()]);
+            assert!(!obs.high_bw[p.high_vcore.index()]);
             // Reported vcores match the threads'.
             let low = obs.threads.iter().find(|t| t.id == p.low).unwrap();
             let high = obs.threads.iter().find(|t| t.id == p.high).unwrap();
-            prop_assert_eq!(low.vcore, p.low_vcore);
-            prop_assert_eq!(high.vcore, p.high_vcore);
+            assert_eq!(low.vcore, p.low_vcore);
+            assert_eq!(high.vcore, p.high_vcore);
         }
-    }
+    });
+}
 
-    #[test]
-    fn selector_respects_the_fairness_gate(
-        threads in prop::collection::vec(
-            (1.0f64..1e8, any::<bool>(), any::<bool>()),
-            2..20
-        ),
-    ) {
+#[test]
+fn selector_respects_the_fairness_gate() {
+    check("selector_respects_the_fairness_gate", 256, |rng| {
+        let threads = gen_threads(rng, 1.0, 20);
         let mut obs = obs_from(&threads);
         obs.fairness_cv = 0.05; // fair system
-        prop_assert!(select_pairs(&obs, 8, 0.1).is_empty());
-    }
+        assert!(select_pairs(&obs, 8, 0.1).is_empty());
+    });
+}
 
-    #[test]
-    fn config_ladder_moves_stay_on_the_grid(
-        moves in prop::collection::vec(0u8..4, 0..40),
-        start_idx in 0usize..32,
-    ) {
+#[test]
+fn config_ladder_moves_stay_on_the_grid() {
+    check("config_ladder_moves_stay_on_the_grid", 256, |rng| {
+        let n_moves = rng.gen_range(0usize..40);
+        let moves: Vec<u8> = (0..n_moves).map(|_| rng.gen_range(0u8..4)).collect();
+        let start_idx = rng.gen_range(0usize..32);
+
         let grid = SchedConfig::grid();
         let mut cfg = grid[start_idx];
         for m in moves {
@@ -93,22 +100,23 @@ proptest! {
                 2 => cfg.increase_swap_size(),
                 _ => cfg.decrease_swap_size(),
             }
-            prop_assert!(cfg.validate().is_ok(), "left the grid: {cfg:?}");
-            prop_assert!(grid.contains(&cfg));
+            assert!(cfg.validate().is_ok(), "left the grid: {cfg:?}");
+            assert!(grid.contains(&cfg));
         }
-    }
+    });
+}
 
-    #[test]
-    fn optimizer_converges_and_stays_valid(
-        memory_fraction in 0.0f64..1.0,
-        goal_sel in any::<bool>(),
-        steps in 1usize..20,
-    ) {
-        let goal = if goal_sel {
+#[test]
+fn optimizer_converges_and_stays_valid() {
+    check("optimizer_converges_and_stays_valid", 256, |rng| {
+        let memory_fraction = rng.gen_range(0.0f64..1.0);
+        let goal = if rng.gen_bool() {
             AdaptationGoal::Fairness
         } else {
             AdaptationGoal::Performance
         };
+        let steps = rng.gen_range(1usize..20);
+
         let cfg = DikeConfig {
             adaptation: Some(goal),
             ..DikeConfig::default()
@@ -125,23 +133,26 @@ proptest! {
         let mut converged = false;
         for _ in 0..steps {
             dike_scheduler::optimizer::step(&cfg, &obs, &mut sched);
-            prop_assert!(sched.validate().is_ok());
+            assert!(sched.validate().is_ok());
             if sched == prev {
                 converged = true;
             } else {
                 // Once converged, the config must never move again (the
                 // target is a fixed point for a fixed workload type).
-                prop_assert!(!converged, "left a fixed point");
+                assert!(!converged, "left a fixed point");
             }
             prev = sched;
         }
-    }
+    });
+}
 
-    #[test]
-    fn dike_config_grid_round_trips_through_serde(idx in 0usize..32) {
+#[test]
+fn dike_config_grid_round_trips_through_json() {
+    check("dike_config_grid_round_trips_through_json", 256, |rng| {
+        let idx = rng.gen_range(0usize..32);
         let cfg = SchedConfig::grid()[idx];
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SchedConfig = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(cfg, back);
-    }
+        let json = dike_util::json::to_string(&cfg);
+        let back: SchedConfig = dike_util::json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    });
 }

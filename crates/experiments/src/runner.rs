@@ -6,11 +6,11 @@ use dike_machine::{Machine, MachineConfig, SimTime};
 use dike_metrics::RuntimeMatrix;
 use dike_scheduler::{Dike, DikeConfig, SchedConfig};
 use dike_sched_core::{run_with, SystemView};
+use dike_util::{json_enum, json_struct};
 use dike_workloads::{Placement, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Which scheduling policy to run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchedKind {
     /// Linux-CFS stand-in (the baseline).
     Cfs,
@@ -29,6 +29,12 @@ pub enum SchedKind {
     /// Dike with a fully custom configuration (ablations).
     DikeCustom(DikeConfig),
 }
+
+json_enum!(SchedKind { Cfs, Dio, SortOnce, DikeAf, DikeAp } {
+    Random(u64),
+    Dike(SchedConfig),
+    DikeCustom(DikeConfig)
+});
 
 impl SchedKind {
     /// Display name matching the paper's figures.
@@ -59,7 +65,7 @@ impl SchedKind {
 }
 
 /// Options for one experimental cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     /// Instruction-budget scale (1.0 = paper scale; tests use less).
     pub scale: f64,
@@ -70,6 +76,13 @@ pub struct RunOptions {
     /// Machine seed (phase-noise determinism).
     pub seed: u64,
 }
+
+json_struct!(RunOptions {
+    scale,
+    deadline_s,
+    placement,
+    seed,
+});
 
 impl Default for RunOptions {
     fn default() -> Self {
@@ -94,7 +107,7 @@ impl RunOptions {
 }
 
 /// The reduced result of one cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Workload name.
     pub workload: String,
@@ -127,6 +140,23 @@ pub struct CellResult {
     /// (Dike policies only).
     pub prediction_trace: Vec<(f64, f64)>,
 }
+
+json_struct!(CellResult {
+    workload,
+    scheduler,
+    fairness,
+    mean_app_runtime_s,
+    makespan_s,
+    swaps,
+    quanta,
+    completed,
+    prediction_errors,
+    fair_quanta,
+    pairs_proposed,
+    rejected_profit,
+    rejected_cooldown,
+    prediction_trace,
+});
 
 /// Run one cell with a custom per-quantum observer hook.
 pub fn run_cell_with(

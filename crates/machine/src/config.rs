@@ -1,11 +1,11 @@
 //! Machine configuration: every knob of the simulated hardware in one place.
 
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
+use dike_util::json_struct;
 
 /// Parameters of the shared memory system (one controller, as in the paper's
 /// single-memory-controller testbed).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
     /// Peak sustainable controller throughput in LLC-miss transfers per
     /// second. With 64-byte lines, 400e6 accesses/s ≈ 24 GiB/s.
@@ -42,7 +42,7 @@ impl Default for MemoryConfig {
 }
 
 /// Parameters of the shared last-level cache pressure model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LlcConfig {
     /// Shared LLC capacity in MiB (25 MiB on the paper's Xeon E5).
     pub capacity_mib: f64,
@@ -66,7 +66,7 @@ impl Default for LlcConfig {
 }
 
 /// Cost model for a thread migration (an affinity change).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationConfig {
     /// Dead time during which the migrating thread makes no progress
     /// (context switch, run-queue hop). The paper calls this `swapOH`.
@@ -109,7 +109,7 @@ impl Default for MigrationConfig {
 /// cache warm-up but no affinity-change dead time). Without this, a policy
 /// that segregates thread types would leave a whole half idle once its
 /// apps finish — something no real Linux box does.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BalanceConfig {
     /// Enable the substrate balancer (on for every scheduler, as on the
     /// real machine).
@@ -131,7 +131,7 @@ impl Default for BalanceConfig {
 }
 
 /// Simultaneous-multithreading interference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmtConfig {
     /// Fraction of the physical pipeline each context achieves when all its
     /// siblings are busy (0.62 means 2 busy siblings together reach 1.24× of
@@ -146,7 +146,7 @@ impl Default for SmtConfig {
 }
 
 /// Full configuration of a simulated machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Core topology.
     pub topology: Topology,
@@ -165,6 +165,42 @@ pub struct MachineConfig {
     /// Seed for deterministic burstiness noise.
     pub seed: u64,
 }
+
+json_struct!(MemoryConfig {
+    bandwidth_accesses_per_sec,
+    base_latency_s,
+    queue_gain,
+    max_utilisation,
+    prefetch_factor,
+});
+json_struct!(LlcConfig {
+    capacity_mib,
+    sensitivity,
+    max_inflation,
+});
+json_struct!(MigrationConfig {
+    dead_time_us,
+    warmup_us,
+    warmup_us_per_mib,
+    warmup_miss_multiplier,
+    warmup_cpi_multiplier,
+});
+json_struct!(BalanceConfig {
+    enabled,
+    interval_us,
+    min_imbalance,
+});
+json_struct!(SmtConfig { busy_share });
+json_struct!(MachineConfig {
+    topology,
+    memory,
+    llc,
+    migration,
+    smt,
+    balance,
+    tick_us,
+    seed,
+});
 
 impl MachineConfig {
     /// Validate parameter sanity.

@@ -4,7 +4,7 @@
 //! newtypes here prevent the classic off-by-one-kind bug (indexing the thread
 //! table with a core id and vice versa) at zero runtime cost.
 
-use serde::{Deserialize, Serialize};
+use dike_util::json_newtype;
 use std::fmt;
 
 /// Identifier of a *virtual* core (an SMT hardware thread context).
@@ -12,25 +12,27 @@ use std::fmt;
 /// Virtual cores are numbered densely from `0..topology.num_vcores()`.
 /// Two virtual cores may share one physical core; see
 /// [`crate::topology::Topology::physical_of`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VCoreId(pub u32);
 
 /// Identifier of a *physical* core (a pipeline shared by its SMT siblings).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PCoreId(pub u32);
 
 /// Identifier of a simulated software thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 /// Identifier of an application (a group of threads whose mutual finish-time
 /// dispersion defines the fairness metric).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(pub u32);
 
 /// Identifier of a barrier group (threads that synchronise with each other).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub u32);
+
+json_newtype!(VCoreId, PCoreId, ThreadId, AppId, BarrierId);
 
 impl VCoreId {
     /// The id as a plain index.
@@ -89,10 +91,10 @@ impl fmt::Display for AppId {
 }
 
 /// Simulated time, kept in integer microseconds for exact quantum arithmetic.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
+
+json_newtype!(SimTime);
 
 impl SimTime {
     /// Zero time (simulation start).

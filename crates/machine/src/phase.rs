@@ -9,10 +9,10 @@
 //! scheduler only ever sees the resulting performance-counter time series,
 //! exactly as on real hardware.
 
-use serde::{Deserialize, Serialize};
+use dike_util::{json_enum, json_struct};
 
 /// One execution phase of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// Cycles per instruction with no LLC misses (pipeline-limited CPI).
     /// Sub-1.0 values model superscalar issue.
@@ -121,7 +121,7 @@ impl Phase {
 }
 
 /// How a program behaves once the listed phases are exhausted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhaseRepeat {
     /// The thread finishes after the last phase.
     Once,
@@ -132,7 +132,7 @@ pub enum PhaseRepeat {
 }
 
 /// A complete phase program for one thread.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseProgram {
     /// The phases, executed in order.
     pub phases: Vec<Phase>,
@@ -144,6 +144,21 @@ pub struct PhaseProgram {
     /// programs it determines how many loop iterations run.
     pub total_instructions: f64,
 }
+
+json_struct!(Phase {
+    cpi_exec,
+    mpki,
+    apki,
+    working_set_mib,
+    instructions,
+    burstiness,
+});
+json_enum!(PhaseRepeat { Once } { LoopFrom(usize) });
+json_struct!(PhaseProgram {
+    phases,
+    repeat,
+    total_instructions,
+});
 
 impl PhaseProgram {
     /// A single steady phase of `total_instructions`.

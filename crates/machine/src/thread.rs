@@ -2,12 +2,12 @@
 
 use crate::ids::{AppId, BarrierId, SimTime, VCoreId};
 use crate::phase::PhaseProgram;
-use serde::{Deserialize, Serialize};
+use dike_util::json_struct;
 
 /// Barrier-synchronisation behaviour of a thread (the paper's KMEANS
 /// background app "produces excessive inter-thread communication"; we model
 /// communication as recurring group barriers).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BarrierSpec {
     /// Barrier group this thread belongs to. All members must use the same
     /// interval.
@@ -17,7 +17,7 @@ pub struct BarrierSpec {
 }
 
 /// Everything the machine needs to know to run one thread.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadSpec {
     /// Application this thread belongs to.
     pub app: AppId,
@@ -46,7 +46,7 @@ impl ThreadSpec {
 ///
 /// These are the quantities a scheduler may legitimately observe — the
 /// simulated analogue of a per-thread perf-event group.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ThreadCounters {
     /// Instructions retired.
     pub instructions: f64,
@@ -109,13 +109,33 @@ impl ThreadCounters {
 }
 
 /// Cumulative counters for one virtual core.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CoreCounters {
     /// Memory accesses served for threads running on this core.
     pub accesses: f64,
     /// Microseconds during which at least one thread ran on this core.
     pub busy_us: u64,
 }
+
+json_struct!(BarrierSpec {
+    group,
+    interval_instructions,
+});
+json_struct!(ThreadSpec {
+    app,
+    app_name,
+    program,
+    barrier,
+});
+json_struct!(ThreadCounters {
+    instructions,
+    llc_misses,
+    llc_accesses,
+    cycles,
+    busy_us,
+    migrations,
+});
+json_struct!(CoreCounters { accesses, busy_us });
 
 impl CoreCounters {
     /// Counter deltas `self - earlier`.

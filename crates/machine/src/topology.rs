@@ -8,10 +8,10 @@
 //! contexts (virtual cores).
 
 use crate::ids::{PCoreId, VCoreId};
-use serde::{Deserialize, Serialize};
+use dike_util::{json_enum, json_struct};
 
 /// Named frequency class of a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreClass {
     /// High-frequency class (the paper's TurboBoost socket).
     Fast,
@@ -26,7 +26,7 @@ pub enum CoreClass {
 /// The paper builds heterogeneity from two classes only, but nothing in the
 /// scheduler restricts the machine to two, so the kind carries its frequency
 /// explicitly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreKind {
     /// Named class, e.g. [`CoreClass::Fast`].
     pub class: CoreClass,
@@ -57,7 +57,7 @@ impl CoreKind {
 }
 
 /// A physical core: one pipeline with `smt_ways` hardware thread contexts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhysicalCore {
     /// Frequency class.
     pub kind: CoreKind,
@@ -69,7 +69,7 @@ pub struct PhysicalCore {
 ///
 /// Virtual cores are numbered densely: physical core `p`'s contexts occupy
 /// virtual ids `[first_vcore(p) .. first_vcore(p) + smt_ways)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     pcores: Vec<PhysicalCore>,
     /// `vcore_to_pcore[v]` = owning physical core of virtual core `v`.
@@ -77,6 +77,15 @@ pub struct Topology {
     /// `pcore_first_vcore[p]` = first virtual core id of physical core `p`.
     pcore_first_vcore: Vec<u32>,
 }
+
+json_enum!(CoreClass { Fast, Slow, Other } {});
+json_struct!(CoreKind { class, freq_hz });
+json_struct!(PhysicalCore { kind, smt_ways });
+json_struct!(Topology {
+    pcores,
+    vcore_to_pcore,
+    pcore_first_vcore,
+});
 
 impl Topology {
     /// Build a topology from an explicit list of physical cores.

@@ -4,44 +4,37 @@ use dike_machine::{
     llc_inflation, presets, solve_memory, AppId, LlcConfig, Machine, MemDemand, MemoryConfig,
     Phase, PhaseProgram, PhaseRepeat, SimTime, ThreadSpec, VCoreId,
 };
-use proptest::prelude::*;
+use dike_util::check::check;
+use dike_util::Pcg32;
 
-fn arb_phase() -> impl Strategy<Value = Phase> {
-    (
-        0.3f64..2.0,     // cpi_exec
-        0.1f64..45.0,    // mpki
-        0.1f64..32.0,    // working set
-        1e6f64..1e9,     // instructions
-        0.0f64..0.5,     // burstiness
-    )
-        .prop_map(|(cpi_exec, mpki, working_set_mib, instructions, burstiness)| Phase {
-            cpi_exec,
-            mpki,
-            apki: mpki.max(100.0) + 200.0,
-            working_set_mib,
-            instructions,
-            burstiness,
-        })
+fn gen_phase(rng: &mut Pcg32) -> Phase {
+    let mpki = rng.gen_range(0.1f64..45.0);
+    Phase {
+        cpi_exec: rng.gen_range(0.3f64..2.0),
+        mpki,
+        apki: mpki.max(100.0) + 200.0,
+        working_set_mib: rng.gen_range(0.1f64..32.0),
+        instructions: rng.gen_range(1e6f64..1e9),
+        burstiness: rng.gen_range(0.0f64..0.5),
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = PhaseProgram> {
-    (prop::collection::vec(arb_phase(), 1..4), 1e7f64..5e8).prop_map(|(phases, total)| {
-        PhaseProgram {
-            phases,
-            repeat: PhaseRepeat::LoopFrom(0),
-            total_instructions: total,
-        }
-    })
+fn gen_program(rng: &mut Pcg32) -> PhaseProgram {
+    let n_phases = rng.gen_range(1usize..4);
+    PhaseProgram {
+        phases: (0..n_phases).map(|_| gen_phase(rng)).collect(),
+        repeat: PhaseRepeat::LoopFrom(0),
+        total_instructions: rng.gen_range(1e7f64..5e8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn threads_always_finish_and_counters_are_consistent() {
+    check("threads_always_finish_and_counters_are_consistent", 32, |rng| {
+        let n_programs = rng.gen_range(1usize..6);
+        let programs: Vec<PhaseProgram> = (0..n_programs).map(|_| gen_program(rng)).collect();
+        let seed = rng.gen_range(0u64..1000);
 
-    #[test]
-    fn threads_always_finish_and_counters_are_consistent(
-        programs in prop::collection::vec(arb_program(), 1..6),
-        seed in 0u64..1000,
-    ) {
         let mut machine = Machine::new(presets::small_machine(seed));
         let n_vcores = machine.config().topology.num_vcores();
         let mut threads = Vec::new();
@@ -55,27 +48,33 @@ proptest! {
             threads.push(machine.spawn(spec, VCoreId((i % n_vcores) as u32)));
         }
         let done = machine.run_until_done(SimTime::from_secs_f64(600.0));
-        prop_assert!(done, "threads did not finish");
+        assert!(done, "threads did not finish");
         for (t, program) in threads.iter().zip(&programs) {
             let c = machine.counters(*t);
             // Retired exactly the budget (within float tolerance).
-            prop_assert!((c.instructions - program.total_instructions).abs()
-                < 1e-6 * program.total_instructions + 1.0);
+            assert!(
+                (c.instructions - program.total_instructions).abs()
+                    < 1e-6 * program.total_instructions + 1.0
+            );
             // A miss is an access; counters are non-negative and finite.
-            prop_assert!(c.llc_misses <= c.llc_accesses + 1e-9);
-            prop_assert!(c.llc_misses >= 0.0 && c.cycles >= 0.0);
-            prop_assert!(c.instructions.is_finite() && c.llc_misses.is_finite());
-            prop_assert!(machine.finish_time(*t).is_some());
-            prop_assert!(machine.progress_of(*t) == 1.0);
+            assert!(c.llc_misses <= c.llc_accesses + 1e-9);
+            assert!(c.llc_misses >= 0.0 && c.cycles >= 0.0);
+            assert!(c.instructions.is_finite() && c.llc_misses.is_finite());
+            assert!(machine.finish_time(*t).is_some());
+            assert!(machine.progress_of(*t) == 1.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn migrations_never_lose_work(
-        program in arb_program(),
-        migrate_at_ms in prop::collection::vec(1u64..200, 0..6),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn migrations_never_lose_work() {
+    check("migrations_never_lose_work", 32, |rng| {
+        let program = gen_program(rng);
+        let n_migrations = rng.gen_range(0usize..6);
+        let migrate_at_ms: Vec<u64> =
+            (0..n_migrations).map(|_| rng.gen_range(1u64..200)).collect();
+        let seed = rng.gen_range(0u64..100);
+
         let mut machine = Machine::new(presets::small_machine(seed));
         let spec = ThreadSpec {
             app: AppId(0),
@@ -88,32 +87,36 @@ proptest! {
         for (i, at) in migrate_at_ms.iter().enumerate() {
             machine.run_for(SimTime::from_ms(*at));
             let now = machine.counters(t).instructions;
-            prop_assert!(now >= last, "instructions went backwards");
+            assert!(now >= last, "instructions went backwards");
             last = now;
             machine.migrate(t, VCoreId(((i + 1) % 8) as u32));
         }
         machine.run_until_done(SimTime::from_secs_f64(600.0));
         let c = machine.counters(t);
-        prop_assert!((c.instructions - program.total_instructions).abs()
-            < 1e-6 * program.total_instructions + 1.0);
+        assert!(
+            (c.instructions - program.total_instructions).abs()
+                < 1e-6 * program.total_instructions + 1.0
+        );
         // Migrations requested after completion are no-ops, so the counter
         // is bounded by (not necessarily equal to) the request count.
-        prop_assert!(c.migrations as usize <= migrate_at_ms.len());
-    }
+        assert!(c.migrations as usize <= migrate_at_ms.len());
+    });
+}
 
-    #[test]
-    fn memory_solver_is_sane(
-        demands in prop::collection::vec(
-            (0.2f64..2.0, 0.0f64..0.06),
-            1..48
-        ),
-        bw in 5e7f64..1e9,
-    ) {
+#[test]
+fn memory_solver_is_sane() {
+    check("memory_solver_is_sane", 32, |rng| {
+        let n_demands = rng.gen_range(1usize..48);
+        let raw: Vec<(f64, f64)> = (0..n_demands)
+            .map(|_| (rng.gen_range(0.2f64..2.0), rng.gen_range(0.0f64..0.06)))
+            .collect();
+        let bw = rng.gen_range(5e7f64..1e9);
+
         let cfg = MemoryConfig {
             bandwidth_accesses_per_sec: bw,
             ..MemoryConfig::default()
         };
-        let demands: Vec<MemDemand> = demands
+        let demands: Vec<MemDemand> = raw
             .into_iter()
             .map(|(cpi, mr)| MemDemand {
                 base_time_per_instr: cpi / 2.33e9,
@@ -121,41 +124,47 @@ proptest! {
             })
             .collect();
         let s = solve_memory(&demands, &cfg);
-        prop_assert_eq!(s.rates.len(), demands.len());
+        assert_eq!(s.rates.len(), demands.len());
         for (rate, d) in s.rates.iter().zip(&demands) {
-            prop_assert!(*rate > 0.0 && rate.is_finite());
+            assert!(*rate > 0.0 && rate.is_finite());
             // Never faster than the pipeline allows.
-            prop_assert!(*rate <= 1.0 / d.base_time_per_instr + 1e-3);
+            assert!(*rate <= 1.0 / d.base_time_per_instr + 1e-3);
         }
         // Served bandwidth never exceeds the peak.
         let served: f64 = s.rates.iter().zip(&demands).map(|(r, d)| r * d.miss_ratio).sum();
-        prop_assert!(served <= bw * 1.0001, "served {served} > bw {bw}");
-        prop_assert!((0.0..=1.0).contains(&s.utilisation));
-        prop_assert!(s.latency_s >= cfg.base_latency_s);
-    }
+        assert!(served <= bw * 1.0001, "served {served} > bw {bw}");
+        assert!((0.0..=1.0).contains(&s.utilisation));
+        assert!(s.latency_s >= cfg.base_latency_s);
+    });
+}
 
-    #[test]
-    fn llc_inflation_is_monotone_and_bounded(
-        ws in prop::collection::vec(0.0f64..200.0, 2..10),
-    ) {
+#[test]
+fn llc_inflation_is_monotone_and_bounded() {
+    check("llc_inflation_is_monotone_and_bounded", 32, |rng| {
+        let n = rng.gen_range(2usize..10);
+        let ws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..200.0)).collect();
+
         let cfg = LlcConfig::default();
         let mut sorted = ws.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut last = 0.0;
         for w in sorted {
             let f = llc_inflation(w, &cfg);
-            prop_assert!((1.0..=cfg.max_inflation).contains(&f));
-            prop_assert!(f >= last - 1e-12, "inflation not monotone");
+            assert!((1.0..=cfg.max_inflation).contains(&f));
+            assert!(f >= last - 1e-12, "inflation not monotone");
             last = f;
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        programs in prop::collection::vec(arb_program(), 1..4),
-        seed in 0u64..50,
-        ms in 10u64..300,
-    ) {
+#[test]
+fn simulation_is_deterministic() {
+    check("simulation_is_deterministic", 32, |rng| {
+        let n_programs = rng.gen_range(1usize..4);
+        let programs: Vec<PhaseProgram> = (0..n_programs).map(|_| gen_program(rng)).collect();
+        let seed = rng.gen_range(0u64..50);
+        let ms = rng.gen_range(10u64..300);
+
         let run_once = || {
             let mut machine = Machine::new(presets::small_machine(seed));
             for (i, p) in programs.iter().enumerate() {
@@ -174,6 +183,6 @@ proptest! {
                 .map(|i| machine.counters(dike_machine::ThreadId(i as u32)))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run_once(), run_once());
-    }
+        assert_eq!(run_once(), run_once());
+    });
 }

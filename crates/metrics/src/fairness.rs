@@ -11,14 +11,16 @@
 //! thread but the best and worst).
 
 use crate::stats::coefficient_of_variation;
-use serde::{Deserialize, Serialize};
+use dike_util::json_struct;
 
 /// Per-app thread runtimes for one workload run.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RuntimeMatrix {
     /// `runtimes[i]` = execution times (seconds) of app *i*'s threads.
     pub per_app: Vec<Vec<f64>>,
 }
+
+json_struct!(RuntimeMatrix { per_app });
 
 impl RuntimeMatrix {
     /// Build from per-app runtime vectors.
@@ -28,8 +30,12 @@ impl RuntimeMatrix {
 
     /// The paper's fairness (Eqn 4): `1 − mean_i cv_i`.
     ///
-    /// Apps with fewer than two threads contribute zero dispersion. Returns
-    /// 1.0 for an empty matrix (nothing was unfair).
+    /// Apps with fewer than two threads (or zero-mean runtimes) contribute
+    /// zero dispersion, so a workload of such apps scores a perfect 1.0.
+    /// Returns 1.0 for an empty matrix (nothing was unfair). The result is
+    /// always finite: degenerate per-app samples are clamped to zero
+    /// dispersion by [`coefficient_of_variation`] rather than surfacing as
+    /// NaN or −inf.
     pub fn fairness(&self) -> f64 {
         if self.per_app.is_empty() {
             return 1.0;
@@ -37,7 +43,16 @@ impl RuntimeMatrix {
         let cv_sum: f64 = self
             .per_app
             .iter()
-            .map(|ts| coefficient_of_variation(ts))
+            .map(|ts| {
+                let cv = coefficient_of_variation(ts);
+                // Belt and braces: even if the dispersion measure changes,
+                // one pathological app must not wipe out the whole score.
+                if cv.is_finite() {
+                    cv
+                } else {
+                    0.0
+                }
+            })
             .sum();
         1.0 - cv_sum / self.per_app.len() as f64
     }
@@ -133,6 +148,32 @@ mod tests {
     fn empty_matrix_is_fair() {
         assert_eq!(RuntimeMatrix::default().fairness(), 1.0);
         assert_eq!(RuntimeMatrix::default().max_min_ratio(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_matrices_stay_finite_and_fair() {
+        // Regression (ISSUE 1 satellite): empty apps, single-thread apps
+        // and zero-mean runtimes must score 1.0, never NaN or −inf.
+        for m in [
+            RuntimeMatrix::new(vec![vec![]]),
+            RuntimeMatrix::new(vec![vec![], vec![]]),
+            RuntimeMatrix::new(vec![vec![5.0]]),
+            RuntimeMatrix::new(vec![vec![5.0], vec![7.0]]),
+            RuntimeMatrix::new(vec![vec![0.0, 0.0, 0.0]]),
+            RuntimeMatrix::new(vec![vec![0.0, 0.0], vec![], vec![3.0]]),
+        ] {
+            let f = m.fairness();
+            assert!(f.is_finite(), "fairness not finite for {m:?}");
+            assert_eq!(f, 1.0, "zero-dispersion matrix must be fair: {m:?}");
+        }
+        // A NaN runtime (e.g. an unfinished thread recorded as NaN) must
+        // not take the whole score down with it.
+        let poisoned = RuntimeMatrix::new(vec![vec![f64::NAN, 1.0], vec![2.0, 4.0]]);
+        assert!(poisoned.fairness().is_finite());
+        // mean_app_runtime/makespan on fully-empty matrices stay finite.
+        let empty_apps = RuntimeMatrix::new(vec![vec![], vec![]]);
+        assert_eq!(empty_apps.mean_app_runtime(), 0.0);
+        assert_eq!(empty_apps.makespan(), 0.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Descriptive statistics used throughout the evaluation.
 
-use serde::{Deserialize, Serialize};
+use dike_util::json_struct;
 
 /// Arithmetic mean. Returns 0.0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -23,13 +23,24 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Coefficient of variation (standard deviation over mean) — the paper's
 /// dispersion measure for both the fairness gate (Section III-B) and the
-/// fairness metric (Eqn 4). Returns 0.0 when the mean is zero.
+/// fairness metric (Eqn 4).
+///
+/// Degenerate inputs report zero dispersion rather than poisoning
+/// downstream fairness scores: empty slices, single samples, an all-zero
+/// (or otherwise zero-mean) sample, and samples containing non-finite
+/// values all return 0.0 — never NaN or an infinity.
 pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
     let m = mean(xs);
-    if m == 0.0 {
-        0.0
+    // `m == 0.0` alone would let NaN (from a NaN sample) or a mean of ±inf
+    // flow into the division; require a nonzero finite mean instead.
+    if !m.is_finite() || m == 0.0 {
+        return 0.0;
+    }
+    let cv = std_dev(xs) / m;
+    if cv.is_finite() {
+        cv
     } else {
-        std_dev(xs) / m
+        0.0
     }
 }
 
@@ -52,7 +63,7 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
 }
 
 /// Five-number-style summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -65,6 +76,14 @@ pub struct Summary {
     /// Population standard deviation.
     pub std_dev: f64,
 }
+
+json_struct!(Summary {
+    n,
+    min,
+    mean,
+    max,
+    std_dev,
+});
 
 impl Summary {
     /// Summarise a sample. Returns the default (all zeros) for empty input.
@@ -103,6 +122,21 @@ mod tests {
         assert!((coefficient_of_variation(&xs) - coefficient_of_variation(&ys)).abs() < 1e-12);
         assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
         assert_eq!(coefficient_of_variation(&[7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_degenerate_inputs_report_zero_dispersion() {
+        // Regression (ISSUE 1 satellite): these used to be able to produce
+        // NaN or an infinity, which then poisoned fairness scores.
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[4.2]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[f64::NAN, 1.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[f64::INFINITY, 1.0]), 0.0);
+        // A zero mean from cancellation, not just all-zero input.
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), 0.0);
+        assert!(coefficient_of_variation(&[1.0, 2.0, f64::MAX]).is_finite());
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! trend, access-rate traces, utilisation traces).
 
 use crate::stats::Summary;
-use serde::{Deserialize, Serialize};
+use dike_util::json_struct;
 
 /// A named `(time, value)` series.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeSeries {
     /// Name for reports.
     pub name: String,
@@ -14,6 +14,12 @@ pub struct TimeSeries {
     /// Sample values.
     pub values: Vec<f64>,
 }
+
+json_struct!(TimeSeries {
+    name,
+    times,
+    values,
+});
 
 impl TimeSeries {
     /// An empty series.

@@ -4,100 +4,121 @@ use dike_metrics::{
     coefficient_of_variation, geometric_mean, mean, relative_improvement, speedup, std_dev,
     RuntimeMatrix, Summary, TimeSeries,
 };
-use proptest::prelude::*;
+use dike_util::check::check;
+use dike_util::Pcg32;
 
-proptest! {
-    #[test]
-    fn cv_is_scale_invariant_and_nonnegative(
-        xs in prop::collection::vec(0.01f64..1e6, 2..50),
-        k in 0.01f64..100.0,
-    ) {
+fn gen_vec(rng: &mut Pcg32, lo: f64, hi: f64, len_lo: usize, len_hi: usize) -> Vec<f64> {
+    let len = rng.gen_range(len_lo..len_hi);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn cv_is_scale_invariant_and_nonnegative() {
+    check("cv_is_scale_invariant_and_nonnegative", 256, |rng| {
+        let xs = gen_vec(rng, 0.01, 1e6, 2, 50);
+        let k = rng.gen_range(0.01f64..100.0);
+
         let cv = coefficient_of_variation(&xs);
-        prop_assert!(cv >= 0.0);
+        assert!(cv >= 0.0);
         let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
         let cv2 = coefficient_of_variation(&scaled);
-        prop_assert!((cv - cv2).abs() < 1e-9 * (1.0 + cv));
-    }
+        assert!((cv - cv2).abs() < 1e-9 * (1.0 + cv));
+    });
+}
 
-    #[test]
-    fn std_dev_translation_invariant(
-        xs in prop::collection::vec(-1e5f64..1e5, 2..50),
-        shift in -1e5f64..1e5,
-    ) {
+#[test]
+fn std_dev_translation_invariant() {
+    check("std_dev_translation_invariant", 256, |rng| {
+        let xs = gen_vec(rng, -1e5, 1e5, 2, 50);
+        let shift = rng.gen_range(-1e5f64..1e5);
+
         let a = std_dev(&xs);
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
         let b = std_dev(&shifted);
-        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
-    }
+        assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+    });
+}
 
-    #[test]
-    fn geomean_between_min_and_max(xs in prop::collection::vec(0.01f64..1e6, 1..50)) {
+#[test]
+fn geomean_between_min_and_max() {
+    check("geomean_between_min_and_max", 256, |rng| {
+        let xs = gen_vec(rng, 0.01, 1e6, 1, 50);
+
         let g = geometric_mean(&xs);
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(0.0f64, f64::max);
-        prop_assert!(g >= min * (1.0 - 1e-12) && g <= max * (1.0 + 1e-12));
+        assert!(g >= min * (1.0 - 1e-12) && g <= max * (1.0 + 1e-12));
         // AM-GM.
-        prop_assert!(g <= mean(&xs) * (1.0 + 1e-9));
-    }
+        assert!(g <= mean(&xs) * (1.0 + 1e-9));
+    });
+}
 
-    #[test]
-    fn fairness_is_at_most_one_and_one_iff_uniform(
-        per_app in prop::collection::vec(
-            prop::collection::vec(0.1f64..1e4, 2..10),
-            1..6
-        ),
-    ) {
+#[test]
+fn fairness_is_at_most_one_and_one_iff_uniform() {
+    check("fairness_is_at_most_one_and_one_iff_uniform", 256, |rng| {
+        let n_apps = rng.gen_range(1usize..6);
+        let per_app: Vec<Vec<f64>> =
+            (0..n_apps).map(|_| gen_vec(rng, 0.1, 1e4, 2, 10)).collect();
+
         let m = RuntimeMatrix::new(per_app.clone());
         let f = m.fairness();
-        prop_assert!(f <= 1.0 + 1e-12);
+        assert!(f <= 1.0 + 1e-12);
         // Uniform apps => fairness exactly 1.
         let uniform = RuntimeMatrix::new(
             per_app.iter().map(|ts| vec![3.5; ts.len()]).collect(),
         );
-        prop_assert!((uniform.fairness() - 1.0).abs() < 1e-12);
+        assert!((uniform.fairness() - 1.0).abs() < 1e-12);
         // Aggregates relate sensibly.
-        prop_assert!(m.makespan() >= m.mean_app_runtime() - 1e-9);
-        prop_assert!(m.max_min_ratio() >= 1.0 - 1e-12);
-    }
+        assert!(m.makespan() >= m.mean_app_runtime() - 1e-9);
+        assert!(m.max_min_ratio() >= 1.0 - 1e-12);
+    });
+}
 
-    #[test]
-    fn summary_brackets_the_sample(xs in prop::collection::vec(-1e4f64..1e4, 1..100)) {
+#[test]
+fn summary_brackets_the_sample() {
+    check("summary_brackets_the_sample", 256, |rng| {
+        let xs = gen_vec(rng, -1e4, 1e4, 1, 100);
+
         let s = Summary::of(&xs);
-        prop_assert_eq!(s.n, xs.len());
-        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        assert_eq!(s.n, xs.len());
+        assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
         for x in &xs {
-            prop_assert!(*x >= s.min && *x <= s.max);
+            assert!(*x >= s.min && *x <= s.max);
         }
-    }
+    });
+}
 
-    #[test]
-    fn improvement_and_speedup_are_consistent(
-        base in 0.1f64..1e4,
-        v in 0.1f64..1e4,
-    ) {
+#[test]
+fn improvement_and_speedup_are_consistent() {
+    check("improvement_and_speedup_are_consistent", 256, |rng| {
+        let base = rng.gen_range(0.1f64..1e4);
+        let v = rng.gen_range(0.1f64..1e4);
+
         let imp = relative_improvement(v, base);
-        prop_assert!((1.0 + imp) * base - v < 1e-6 * v);
+        assert!((1.0 + imp) * base - v < 1e-6 * v);
         let sp = speedup(base, v);
-        prop_assert!((sp * v - base).abs() < 1e-6 * base);
-    }
+        assert!((sp * v - base).abs() < 1e-6 * base);
+    });
+}
 
-    #[test]
-    fn downsampling_preserves_the_mean(
-        values in prop::collection::vec(-100.0f64..100.0, 1..200),
-        max_points in 1usize..50,
-    ) {
+#[test]
+fn downsampling_preserves_the_mean() {
+    check("downsampling_preserves_the_mean", 256, |rng| {
+        let values = gen_vec(rng, -100.0, 100.0, 1, 200);
+        let max_points = rng.gen_range(1usize..50);
+
         let mut s = TimeSeries::new("p");
         for (i, v) in values.iter().enumerate() {
             s.push(i as f64, *v);
         }
         let d = s.downsample(max_points);
-        prop_assert!(d.len() <= max_points.max(1));
+        assert!(d.len() <= max_points.max(1));
         // Bucket means average to (approximately) the global mean when
         // buckets are equal-sized; allow tolerance for the ragged tail.
-        if !values.is_empty() && values.len() % d.len() == 0 {
+        if !values.is_empty() && values.len().is_multiple_of(d.len()) {
             let orig = mean(&values);
             let ds = mean(&d.values);
-            prop_assert!((orig - ds).abs() < 1e-9 * (1.0 + orig.abs()));
+            assert!((orig - ds).abs() < 1e-9 * (1.0 + orig.abs()));
         }
-    }
+    });
 }

@@ -1,0 +1,206 @@
+//! A monotonic-clock micro-benchmark runner.
+//!
+//! Replaces `criterion` for the workspace's `[[bench]] harness = false`
+//! targets. The loop structure is the classic one: a warmup phase sizes
+//! the per-sample iteration count so each sample lasts long enough to
+//! swamp timer overhead, then a fixed number of timed samples is taken
+//! and summarized as min/median/mean.
+//!
+//! ```ignore
+//! use dike_util::bench::Bench;
+//!
+//! fn main() {
+//!     let mut b = Bench::from_env();
+//!     b.bench("selector/paper_scale", || run_selector_once());
+//!     b.finish();
+//! }
+//! ```
+//!
+//! Environment overrides:
+//!
+//! * `DIKE_BENCH_SAMPLES=<n>` — timed samples per benchmark (default 20).
+//! * `DIKE_BENCH_WARMUP_MS=<ms>` — warmup duration (default 300).
+//! * `DIKE_BENCH_SAMPLE_MS=<ms>` — target duration per sample (default 100).
+//!
+//! A CLI argument acts as a substring filter over benchmark names, like
+//! `cargo bench -- selector`.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's summary statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name as passed to [`Bench::bench`].
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration time of the fastest sample.
+    pub min_ns: f64,
+    /// Per-iteration median across samples.
+    pub median_ns: f64,
+    /// Per-iteration mean across samples.
+    pub mean_ns: f64,
+}
+
+/// The benchmark runner. Create with [`Bench::from_env`], call
+/// [`Bench::bench`] per benchmark, then [`Bench::finish`].
+pub struct Bench {
+    samples: u32,
+    warmup: Duration,
+    target_sample: Duration,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// A runner configured from the environment and CLI args (the first
+    /// non-flag argument is a name filter; `--bench`/`--exact` flags that
+    /// cargo forwards are ignored).
+    pub fn from_env() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Bench {
+            samples: env_u64("DIKE_BENCH_SAMPLES").map_or(20, |n| n.max(1) as u32),
+            warmup: Duration::from_millis(env_u64("DIKE_BENCH_WARMUP_MS").unwrap_or(300)),
+            target_sample: Duration::from_millis(
+                env_u64("DIKE_BENCH_SAMPLE_MS").unwrap_or(100),
+            ),
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, printing a one-line summary. Skipped (with a note) when a
+    /// CLI filter is set and `name` doesn't contain it.
+    pub fn bench<F, R>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warmup doubles the iteration count until a batch exceeds the
+        // warmup budget; that sizes iters_per_sample for the timed phase.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.warmup {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = self.target_sample.as_secs_f64();
+                iters = ((target / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let min_ns = per_iter_ns[0];
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            min_ns,
+            median_ns,
+            mean_ns,
+        };
+        println!(
+            "{:<44} {:>12}/iter  median {:>12}  min {:>12}  ({} iters x {} samples)",
+            result.name,
+            fmt_ns(mean_ns),
+            fmt_ns(median_ns),
+            fmt_ns(min_ns),
+            iters,
+            self.samples,
+        );
+        self.results.push(result);
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print a closing line. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!("ran {} benchmark(s)", self.results.len());
+    }
+}
+
+/// Format nanoseconds with an adaptive unit, e.g. `1.234 ms`.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_runner() -> Bench {
+        Bench {
+            samples: 3,
+            warmup: Duration::from_micros(100),
+            target_sample: Duration::from_micros(100),
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_a_result_with_sane_stats() {
+        let mut b = tiny_runner();
+        b.bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert_eq!(b.results().len(), 1);
+        let r = &b.results()[0];
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut b = tiny_runner();
+        b.filter = Some("selector".to_string());
+        b.bench("machine/tick", || 1u64);
+        b.bench("selector/pairs", || 1u64);
+        assert_eq!(b.results().len(), 1);
+        assert_eq!(b.results()[0].name, "selector/pairs");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

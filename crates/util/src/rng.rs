@@ -1,0 +1,317 @@
+//! Deterministic pseudo-randomness: SplitMix64 seeding and a PCG32 stream.
+//!
+//! The simulated machine's determinism claim extends to everything seeded:
+//! the same seed must produce the same workload, placement and schedule on
+//! every platform and every build. The generators here are fully specified
+//! by this file — there is no platform entropy, no `Hash`-based iteration
+//! order, and no dependency whose internals could shift under us. The
+//! output streams are frozen by golden tests in `tests/properties.rs`.
+//!
+//! * [`splitmix64`] — the standard SplitMix64 finalizer, used to expand a
+//!   single `u64` seed into independent initial states.
+//! * [`Pcg32`] — PCG-XSH-RR 64/32 (O'Neill 2014): 64-bit LCG state, 32-bit
+//!   output, period 2^64 per stream.
+//! * [`SliceRandom`] — Fisher–Yates `shuffle`, uniform `choose`, and
+//!   without-replacement `sample` on slices.
+
+/// Advance a SplitMix64 state and return the next output.
+///
+/// This is the reference finalizer (Steele, Lea & Flood 2014); it is a
+/// bijection on `u64`, so distinct states never collide.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The PCG-XSH-RR 64/32 generator.
+///
+/// Drop-in for the workspace's former `rand_pcg::Pcg64` uses: everything
+/// seeded goes through [`Pcg32::seed_from_u64`], and no call site depended
+/// on the exact stream of the old generator — only on determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    /// Stream selector; always odd.
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Construct from an explicit initial state and stream id.
+    pub fn new(initstate: u64, initseq: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.next_u32();
+        rng
+    }
+
+    /// Seed via SplitMix64, deriving both the state and the stream from one
+    /// `u64` — the workspace's standard seeding path.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let initstate = splitmix64(&mut sm);
+        let initseq = splitmix64(&mut sm);
+        Pcg32::new(initstate, initseq)
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits (low half drawn first).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's unbiased widening
+    /// multiply with rejection.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 requires a positive bound");
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform sample from an integer or float range, e.g.
+    /// `rng.gen_range(0..10)`, `rng.gen_range(2..=16)`,
+    /// `rng.gen_range(0.0..1e8)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fair coin flip.
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u32() & 1 == 1
+    }
+}
+
+/// A range that [`Pcg32::gen_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample_from(self, rng: &mut Pcg32) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut Pcg32) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut Pcg32) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.bounded_u64(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from(self, rng: &mut Pcg32) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+/// Random slice operations, mirroring the subset of `rand::seq` the
+/// workspace uses.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut Pcg32);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose(&self, rng: &mut Pcg32) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements drawn without replacement (all of them,
+    /// in random order, when `amount >= len`).
+    fn sample(&self, rng: &mut Pcg32, amount: usize) -> Vec<Self::Item>
+    where
+        Self::Item: Clone;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut Pcg32) {
+        for i in (1..self.len()).rev() {
+            let j = rng.bounded_u64((i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose(&self, rng: &mut Pcg32) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.bounded_u64(self.len() as u64) as usize])
+        }
+    }
+
+    fn sample(&self, rng: &mut Pcg32, amount: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        // Partial Fisher–Yates over an index table: the first `amount`
+        // positions end up holding a uniform without-replacement draw.
+        let n = self.len();
+        let amount = amount.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..amount {
+            let j = i + rng.bounded_u64((n - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx[..amount].iter().map(|&i| self[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First three outputs from state 0 (reference implementation).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(1);
+        let mut c = Pcg32::seed_from_u64(2);
+        let va: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        let vc: Vec<u32> = (0..16).map(|_| c.next_u32()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Pcg32::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_and_sample() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let pool = [10, 20, 30, 40];
+        assert!(pool.contains(pool.choose(&mut rng).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let picked = pool.sample(&mut rng, 3);
+        assert_eq!(picked.len(), 3);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "sample drew a duplicate: {picked:?}");
+        // Oversized requests return everything.
+        assert_eq!(pool.sample(&mut rng, 99).len(), 4);
+    }
+
+    #[test]
+    fn bounded_u64_covers_small_bounds() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.bounded_u64(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(13);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

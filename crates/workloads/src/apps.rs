@@ -19,10 +19,10 @@
 //! (Section IV-C).
 
 use dike_machine::{AppId, BarrierId, BarrierSpec, Phase, PhaseProgram, PhaseRepeat, ThreadSpec};
-use serde::{Deserialize, Serialize};
+use dike_util::json_enum;
 
 /// Broad behavioural class of an application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppClass {
     /// Dominated by main-memory bandwidth (paper's "M").
     Memory,
@@ -32,8 +32,10 @@ pub enum AppClass {
     Communication,
 }
 
+json_enum!(AppClass { Memory, Compute, Communication } {});
+
 /// The modelled applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppKind {
     /// Iterative stencil; steady, high memory access rate.
     Jacobi,
@@ -59,6 +61,19 @@ pub enum AppKind {
     /// communication (modelled as recurring group barriers).
     Kmeans,
 }
+
+json_enum!(AppKind {
+    Jacobi,
+    Streamcluster,
+    Needle,
+    StreamOmp,
+    Leukocyte,
+    LavaMd,
+    Srad,
+    Hotspot,
+    Heartwall,
+    Kmeans
+} {});
 
 impl AppKind {
     /// All modelled applications.

@@ -3,10 +3,7 @@
 
 use crate::apps::{AppClass, AppKind};
 use crate::workload::{Workload, WorkloadClass};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_pcg::Pcg64;
+use dike_util::{Pcg32, SliceRandom};
 
 /// Configuration for the random generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +52,7 @@ pub fn random_workload(
     seed: u64,
 ) -> Workload {
     assert!(cfg.num_apps >= 2, "need at least two apps");
-    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let (memory_pool, compute_pool) = pools();
 
     // Pick how many memory-intensive apps the class requires:
@@ -72,7 +69,7 @@ pub fn random_workload(
         WorkloadClass::UnbalancedMemory => rng.gen_range(n / 2 + 1..=n),
     };
 
-    let draw = |pool: &[AppKind], n: usize, rng: &mut Pcg64| -> Vec<AppKind> {
+    let draw = |pool: &[AppKind], n: usize, rng: &mut Pcg32| -> Vec<AppKind> {
         if n <= pool.len() {
             let mut p = pool.to_vec();
             p.shuffle(rng);

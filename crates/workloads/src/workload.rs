@@ -2,13 +2,10 @@
 
 use crate::apps::{AppClass, AppKind};
 use dike_machine::{AppId, BarrierId, Machine, ThreadId, VCoreId};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_pcg::Pcg64;
-use serde::{Deserialize, Serialize};
+use dike_util::{json_enum, json_struct, Pcg32, SliceRandom};
 
 /// The paper's workload classes (Section III-F / Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// Balanced: equally many memory- and compute-intensive apps.
     Balanced,
@@ -40,7 +37,7 @@ impl WorkloadClass {
 }
 
 /// Initial thread-to-core placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Threads of different apps interleaved round-robin across the vcore
     /// list: thread *k* of the *a*-th app lands on vcore `k*num_apps + a`.
@@ -55,7 +52,7 @@ pub enum Placement {
 }
 
 /// A named multi-application workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Name, e.g. `"WL1"`.
     pub name: String,
@@ -67,6 +64,15 @@ pub struct Workload {
     /// Threads per application (paper: 8).
     pub threads_per_app: usize,
 }
+
+json_enum!(WorkloadClass { Balanced, UnbalancedCompute, UnbalancedMemory } {});
+json_enum!(Placement { Interleaved, AppContiguous } { Random(u64) });
+json_struct!(Workload {
+    name,
+    apps,
+    background,
+    threads_per_app,
+});
 
 impl Workload {
     /// A workload with the paper's defaults: 8 threads per app and a KMEANS
@@ -139,7 +145,7 @@ impl Workload {
                 slots = assigned;
             }
             Placement::Random(seed) => {
-                let mut rng = Pcg64::seed_from_u64(seed);
+                let mut rng = Pcg32::seed_from_u64(seed);
                 slots.shuffle(&mut rng);
             }
         }

@@ -1,62 +1,65 @@
 //! Property tests on workload construction, placement and generation.
 
 use dike_machine::{presets, Machine};
+use dike_util::check::check;
 use dike_workloads::{paper, random_workload, GeneratorConfig, Placement, Workload, WorkloadClass};
-use proptest::prelude::*;
 
-fn arb_class() -> impl Strategy<Value = WorkloadClass> {
-    prop_oneof![
-        Just(WorkloadClass::Balanced),
-        Just(WorkloadClass::UnbalancedCompute),
-        Just(WorkloadClass::UnbalancedMemory),
-    ]
-}
+const CLASSES: [WorkloadClass; 3] = [
+    WorkloadClass::Balanced,
+    WorkloadClass::UnbalancedCompute,
+    WorkloadClass::UnbalancedMemory,
+];
 
-proptest! {
-    #[test]
-    fn generated_workloads_match_their_class_and_spawn(
-        class in arb_class(),
-        seed in 0u64..500,
-        threads_per_app in 1usize..8,
-    ) {
+#[test]
+fn generated_workloads_match_their_class_and_spawn() {
+    check("generated_workloads_match_their_class_and_spawn", 64, |rng| {
+        let class = CLASSES[rng.gen_range(0usize..CLASSES.len())];
+        let seed = rng.gen_range(0u64..500);
+        let threads_per_app = rng.gen_range(1usize..8);
+
         let cfg = GeneratorConfig {
             num_apps: 4,
             threads_per_app,
             with_kmeans: true,
         };
         let w = random_workload(class, cfg, seed);
-        prop_assert_eq!(w.class(), class);
-        prop_assert_eq!(w.num_threads(), 5 * threads_per_app);
+        assert_eq!(w.class(), class);
+        assert_eq!(w.num_threads(), 5 * threads_per_app);
         // Spawns cleanly on the paper machine.
         let mut machine = Machine::new(presets::paper_machine(seed));
         let spawned = w.spawn(&mut machine, Placement::Random(seed), 0.01);
-        prop_assert_eq!(spawned.threads.len(), w.num_threads());
-        prop_assert_eq!(machine.num_threads(), w.num_threads());
-    }
+        assert_eq!(spawned.threads.len(), w.num_threads());
+        assert_eq!(machine.num_threads(), w.num_threads());
+    });
+}
 
-    #[test]
-    fn placements_are_valid_permutations(
-        seed in 0u64..100,
-        n_workload in 1usize..17,
-        placement_sel in 0u8..3,
-    ) {
-        let placement = match placement_sel {
+#[test]
+fn placements_are_valid_permutations() {
+    check("placements_are_valid_permutations", 256, |rng| {
+        let seed = rng.gen_range(0u64..100);
+        let n_workload = rng.gen_range(1usize..17);
+        let placement = match rng.gen_range(0u8..3) {
             0 => Placement::Interleaved,
             1 => Placement::AppContiguous,
             _ => Placement::Random(seed),
         };
+
         let w = paper::workload(n_workload);
         let order = w.placement_order(placement, 40);
-        prop_assert_eq!(order.len(), 40);
+        assert_eq!(order.len(), 40);
         let mut ids: Vec<u32> = order.iter().map(|v| v.0).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), 40, "placement assigned a core twice");
-        prop_assert!(ids.iter().all(|&v| v < 40));
-    }
+        assert_eq!(ids.len(), 40, "placement assigned a core twice");
+        assert!(ids.iter().all(|&v| v < 40));
+    });
+}
 
-    #[test]
-    fn interleaving_balances_core_types_per_app(n in 1usize..17) {
+#[test]
+fn interleaving_balances_core_types_per_app() {
+    check("interleaving_balances_core_types_per_app", 16, |rng| {
+        let n = rng.gen_range(1usize..17);
+
         let w = paper::workload(n);
         let order = w.placement_order(Placement::Interleaved, 40);
         // For each app, count fast (vcore < 20) vs slow placements: the
@@ -64,15 +67,18 @@ proptest! {
         for app in 0..5usize {
             let slots = &order[app * 8..(app + 1) * 8];
             let fast = slots.iter().filter(|v| v.0 < 20).count();
-            prop_assert_eq!(fast, 4, "app {} got {} fast cores", app, fast);
+            assert_eq!(fast, 4, "app {} got {} fast cores", app, fast);
         }
-    }
+    });
+}
 
-    #[test]
-    fn workload_serde_round_trips(n in 1usize..17) {
+#[test]
+fn workload_json_round_trips() {
+    check("workload_json_round_trips", 16, |rng| {
+        let n = rng.gen_range(1usize..17);
         let w = paper::workload(n);
-        let json = serde_json::to_string(&w).unwrap();
-        let back: Workload = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(w, back);
-    }
+        let json = dike_util::json::to_string(&w);
+        let back: Workload = dike_util::json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    });
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test and lint the whole workspace
+# without touching the network. This is the CI entry point; it must pass
+# on a machine with no crates.io access (the workspace has no external
+# dependencies — everything lives in crates/util).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace --all-targets
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -13,6 +13,8 @@
 //! * `baselines` — CFS stand-in, DIO, random, oracle.
 //! * `metrics` — fairness/performance/prediction-error metrics.
 //! * `experiments` — per-figure/table experiment drivers.
+//! * `util` — in-tree RNG, JSON, property-check and bench support
+//!   (keeps the build offline and dependency-free).
 
 pub use dike_baselines as baselines;
 pub use dike_counters as counters;
@@ -21,4 +23,5 @@ pub use dike_machine as machine;
 pub use dike_metrics as metrics;
 pub use dike_sched_core as sched_core;
 pub use dike_scheduler as dike;
+pub use dike_util as util;
 pub use dike_workloads as workloads;

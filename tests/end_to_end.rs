@@ -147,6 +147,28 @@ fn adaptation_reaches_per_class_configs() {
 }
 
 #[test]
+fn full_cell_results_are_byte_for_byte_deterministic() {
+    use dike_repro::experiments::{run_cell, RunOptions, SchedKind};
+    // Two runs of the same cell must agree on every serialized byte —
+    // fairness, runtimes, swap counts, prediction traces, everything.
+    let once = || {
+        let opts = RunOptions {
+            scale: 0.05,
+            deadline_s: DEADLINE,
+            placement: Placement::Interleaved,
+            seed: 11,
+        };
+        let cfg = presets::paper_machine(11);
+        let cell = run_cell(&cfg, &paper::workload(6), &SchedKind::DikeAf, &opts);
+        dike_util::json::to_string(&cell)
+    };
+    let a = once();
+    let b = once();
+    assert!(a.contains("\"fairness\""), "serialization lost fields: {a}");
+    assert_eq!(a, b, "same seed produced different serialized results");
+}
+
+#[test]
 fn dike_prediction_errors_stay_bounded_end_to_end() {
     let mut machine = Machine::new(presets::paper_machine(42));
     paper::workload(11).spawn(&mut machine, Placement::Interleaved, SCALE);

@@ -7,25 +7,21 @@ use dike_repro::machine::{presets, Machine, SimTime};
 use dike_repro::metrics::RuntimeMatrix;
 use dike_repro::sched_core::{run, Scheduler};
 use dike_repro::workloads::{random_workload, GeneratorConfig, Placement, WorkloadClass};
-use proptest::prelude::*;
+use dike_util::check::check;
 
-fn arb_class() -> impl Strategy<Value = WorkloadClass> {
-    prop_oneof![
-        Just(WorkloadClass::Balanced),
-        Just(WorkloadClass::UnbalancedCompute),
-        Just(WorkloadClass::UnbalancedMemory),
-    ]
-}
+const CLASSES: [WorkloadClass; 3] = [
+    WorkloadClass::Balanced,
+    WorkloadClass::UnbalancedCompute,
+    WorkloadClass::UnbalancedMemory,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+#[test]
+fn random_workloads_complete_under_dike_and_dio() {
+    check("random_workloads_complete_under_dike_and_dio", 8, |rng| {
+        let class = CLASSES[rng.gen_range(0usize..CLASSES.len())];
+        let seed = rng.gen_range(0u64..200);
+        let placement_seed = rng.gen_range(0u64..50);
 
-    #[test]
-    fn random_workloads_complete_under_dike_and_dio(
-        class in arb_class(),
-        seed in 0u64..200,
-        placement_seed in 0u64..50,
-    ) {
         let workload = random_workload(class, GeneratorConfig::default(), seed);
         let mut schedulers: Vec<Box<dyn Scheduler>> =
             vec![Box::new(Dike::new()), Box::new(Dio::new())];
@@ -37,12 +33,12 @@ proptest! {
                 0.05,
             );
             let result = run(&mut machine, sched.as_mut(), SimTime::from_secs_f64(120.0));
-            prop_assert!(result.completed, "{} stalled on {}", result.scheduler, workload.name);
+            assert!(result.completed, "{} stalled on {}", result.scheduler, workload.name);
             // Counter sanity for every thread.
             for t in &result.threads {
-                prop_assert!(t.counters.instructions > 0.0);
-                prop_assert!(t.counters.llc_misses <= t.counters.llc_accesses + 1e-9);
-                prop_assert!(t.finished_at.unwrap() <= result.wall);
+                assert!(t.counters.instructions > 0.0);
+                assert!(t.counters.llc_misses <= t.counters.llc_accesses + 1e-9);
+                assert!(t.finished_at.unwrap() <= result.wall);
             }
             // Fairness in range.
             let fairness = RuntimeMatrix::new(
@@ -53,9 +49,9 @@ proptest! {
                     .collect(),
             )
             .fairness();
-            prop_assert!((0.0..=1.0).contains(&fairness));
+            assert!((0.0..=1.0).contains(&fairness));
             // Swap accounting is consistent: two migrations per swap.
-            prop_assert_eq!(result.swaps, result.migrations / 2);
+            assert_eq!(result.swaps, result.migrations / 2);
         }
-    }
+    });
 }
