@@ -1,0 +1,106 @@
+//! The perf-trajectory bench: the two hot paths this repo optimises.
+//!
+//! * `solve_memory_40_demands` — the per-tick memory fixed point at the
+//!   paper's 40-thread scale, through the allocation-free
+//!   `solve_memory_into` scratch path (convergence early exit engaged).
+//! * `solve_memory_40_demands_reference` — the same solve through the
+//!   full-iteration-budget reference solver with a fresh allocation per
+//!   call: the pre-optimisation cost model, kept runnable so the delta
+//!   stays measurable release over release.
+//! * `sweep_33_cells_serial` / `sweep_33_cells_parallel` — the Fig 2/4/5
+//!   driver's 33-cell configuration sweep on one worker vs the
+//!   environment-sized pool (`DIKE_THREADS` to override).
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` uses this to record the numbers into
+//! `results/BENCH_sweep.json`.
+
+use dike_experiments::sweep::sweep_workload_pool;
+use dike_experiments::RunOptions;
+use dike_machine::{
+    presets, solve_memory_into, solve_memory_reference, MemDemand, MemSolution, MemoryConfig,
+};
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::{pool, Pool};
+use dike_workloads::paper;
+use std::hint::black_box;
+
+/// The paper machine runs 40 threads; half memory-bound, half compute.
+fn forty_demands() -> Vec<MemDemand> {
+    (0..40)
+        .map(|i| {
+            let memory_bound = i % 2 == 0;
+            MemDemand {
+                base_time_per_instr: (0.5 + 0.05 * (i % 8) as f64) / 2.33e9,
+                miss_ratio: if memory_bound { 0.02 + 0.001 * (i % 5) as f64 } else { 2e-4 },
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+
+    let demands = forty_demands();
+    let mem_cfg = MemoryConfig::default();
+    let mut scratch = MemSolution::empty();
+    b.bench("solve_memory_40_demands", || {
+        solve_memory_into(black_box(&demands), &mem_cfg, &mut scratch);
+        black_box(scratch.utilisation)
+    });
+    b.bench("solve_memory_40_demands_reference", || {
+        black_box(solve_memory_reference(black_box(&demands), &mem_cfg).utilisation)
+    });
+
+    // The 33-cell sweep behind Figures 2, 4 and 5. The smoke scale keeps
+    // verify runs short; the recording scale matches dike-bench's figure
+    // benches.
+    let opts = RunOptions {
+        scale: if fast { 0.01 } else { 0.03 },
+        deadline_s: 60.0,
+        ..RunOptions::default()
+    };
+    let machine = presets::paper_machine(opts.seed);
+    let workload = paper::workload(2);
+    b.bench("sweep_33_cells_serial", || {
+        let s = sweep_workload_pool(&machine, &workload, black_box(&opts), &Pool::new(1));
+        black_box(s.best_fairness())
+    });
+    b.bench("sweep_33_cells_parallel", || {
+        let s = sweep_workload_pool(&machine, &workload, black_box(&opts), &Pool::from_env());
+        black_box(s.best_fairness())
+    });
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    ("iters_per_sample".into(), Value::Num(Num::U(r.iters_per_sample))),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            ("pool_threads".into(), Value::Num(Num::U(pool::num_threads() as u64))),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

@@ -1,12 +1,17 @@
 //! Runs every experiment in sequence (the full reproduction). At the
 //! default --scale 1.0 this takes roughly an hour on one core; use
-//! --quick for a ~6x faster smoke pass.
+//! --quick for a ~6x faster smoke pass. The grid sweeps and comparison
+//! sets shard their cells across a work-sharing pool — set `DIKE_THREADS`
+//! to override the worker count (1 = the serial path; output is
+//! byte-identical either way).
 
 use dike_experiments::{cli, fig1, fig2, fig4, fig5, fig6, fig7, fig8, table3};
+use dike_util::pool;
 
 fn main() {
     let args = cli::from_env();
     let opts = &args.opts;
+    println!("experiment pool: {} worker thread(s)\n", pool::num_threads());
 
     println!("=== Figure 1 ===\n");
     print!("{}", fig1::render(&fig1::run(opts)).render());

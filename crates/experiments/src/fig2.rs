@@ -6,7 +6,7 @@
 //! both the current application workload and user preference."
 
 use crate::runner::RunOptions;
-use crate::sweep::{sweep_workload, Sweep};
+use crate::sweep::{sweep_workloads_parallel, Sweep};
 use dike_machine::presets;
 use dike_metrics::TextTable;
 use dike_scheduler::SchedConfig;
@@ -64,12 +64,14 @@ pub fn reduce(sweep: &Sweep) -> Fig2Row {
 /// The paper's three selected workloads (one per class).
 pub const SELECTED: [usize; 3] = [2, 7, 13];
 
-/// Run the Figure 2 experiment.
+/// Run the Figure 2 experiment: all three workloads' sweeps share one
+/// flattened parallel task list (3 × 33 cells).
 pub fn run(opts: &RunOptions) -> Vec<Fig2Row> {
     let cfg = presets::paper_machine(opts.seed);
-    SELECTED
+    let workloads: Vec<_> = SELECTED.iter().map(|&n| paper::workload(n)).collect();
+    sweep_workloads_parallel(&cfg, &workloads, opts)
         .iter()
-        .map(|&n| reduce(&sweep_workload(&cfg, &paper::workload(n), opts)))
+        .map(reduce)
         .collect()
 }
 

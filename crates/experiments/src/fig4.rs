@@ -2,7 +2,7 @@
 //! 8×4 ⟨swapSize, quantaLength⟩ grid for two selected workloads.
 
 use crate::runner::RunOptions;
-use crate::sweep::{sweep_workload, Sweep};
+use crate::sweep::Sweep;
 use dike_machine::presets;
 use dike_metrics::TextTable;
 use dike_scheduler::config::{QUANTA_LADDER_MS, SWAP_SIZE_MAX, SWAP_SIZE_MIN};
@@ -77,12 +77,13 @@ pub fn heatmaps(sweep: &Sweep) -> (Heatmap, Heatmap) {
 /// The two selected workloads (one balanced, one unbalanced).
 pub const SELECTED: [usize; 2] = [3, 9];
 
-/// Run the Figure 4 experiment.
+/// Run the Figure 4 experiment: both workloads' sweeps share one
+/// flattened parallel task list.
 pub fn run(opts: &RunOptions) -> Vec<Heatmap> {
     let cfg = presets::paper_machine(opts.seed);
+    let workloads: Vec<_> = SELECTED.iter().map(|&n| paper::workload(n)).collect();
     let mut out = Vec::new();
-    for &n in &SELECTED {
-        let sweep = sweep_workload(&cfg, &paper::workload(n), opts);
+    for sweep in crate::sweep::sweep_workloads_parallel(&cfg, &workloads, opts) {
         let (f, p) = heatmaps(&sweep);
         out.push(f);
         out.push(p);
@@ -93,6 +94,7 @@ pub fn run(opts: &RunOptions) -> Vec<Heatmap> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::sweep_workload;
 
     #[test]
     fn heatmaps_are_normalised_grids() {

@@ -9,7 +9,7 @@
 
 use crate::fig4::{heatmaps, Heatmap};
 use crate::runner::RunOptions;
-use crate::sweep::sweep_workload;
+use crate::sweep::sweep_workloads_parallel;
 use dike_machine::presets;
 use dike_workloads::{paper, WorkloadClass};
 
@@ -85,12 +85,11 @@ pub fn run(opts: &RunOptions, workloads_per_class: usize) -> Vec<ClassContours> 
         let mut fair_maps = Vec::new();
         let mut perf_maps = Vec::new();
         let mut names = Vec::new();
-        for w in &workloads {
-            let sweep = sweep_workload(&cfg, w, opts);
+        for sweep in sweep_workloads_parallel(&cfg, &workloads, opts) {
             let (f, p) = heatmaps(&sweep);
             fair_maps.push(f);
             perf_maps.push(p);
-            names.push(w.name.clone());
+            names.push(sweep.workload.clone());
         }
         out.push(ClassContours {
             class,

@@ -2,9 +2,10 @@
 //! speedup over the baseline (6b) for DIO, Dike, Dike-AF and Dike-AP on
 //! all sixteen workloads, plus averages and geometric means.
 
-use crate::runner::{run_cell, CellResult, RunOptions, SchedKind};
+use crate::runner::{run_cells, CellResult, RunOptions, SchedKind};
 use dike_machine::presets;
 use dike_metrics::{geometric_mean, mean, pct, relative_improvement, TextTable};
+use dike_util::Pool;
 use dike_workloads::paper;
 
 /// All cells of the comparison, grouped by workload.
@@ -87,16 +88,25 @@ pub fn run(opts: &RunOptions) -> Fig6 {
     run_subset(opts, &(1..=16).collect::<Vec<_>>())
 }
 
-/// Run the comparison over a subset of workload numbers.
+/// Run the comparison over a subset of workload numbers, sharding all
+/// `(workload × scheduler)` cells across the environment-sized pool.
 pub fn run_subset(opts: &RunOptions, workload_numbers: &[usize]) -> Fig6 {
+    run_subset_pool(opts, workload_numbers, &Pool::from_env())
+}
+
+/// [`run_subset`] on an explicit pool (tests pin the thread count).
+pub fn run_subset_pool(opts: &RunOptions, workload_numbers: &[usize], pool: &Pool) -> Fig6 {
     let cfg = presets::paper_machine(opts.seed);
     let kinds = SchedKind::comparison_set();
-    let rows = workload_numbers
+    let workloads: Vec<_> = workload_numbers.iter().map(|&n| paper::workload(n)).collect();
+    let tasks: Vec<_> = workloads
         .iter()
-        .map(|&n| {
-            let w = paper::workload(n);
-            kinds.iter().map(|k| run_cell(&cfg, &w, k, opts)).collect()
-        })
+        .flat_map(|w| kinds.iter().map(move |k| (w, k.clone())))
+        .collect();
+    let mut results = run_cells(&cfg, &tasks, opts, pool).into_iter();
+    let rows = workloads
+        .iter()
+        .map(|_| (0..kinds.len()).map(|_| results.next().expect("cell")).collect())
         .collect();
     Fig6 {
         schedulers: kinds.iter().map(|k| k.label()).collect(),

@@ -254,6 +254,24 @@ pub fn run_cell(
     run_cell_with(machine_cfg, workload, kind, opts, |_| {})
 }
 
+/// Run a batch of independent cells across a thread pool.
+///
+/// Results come back in task order no matter which worker ran what, so a
+/// comparison set built from this is identical to the serial loop it
+/// replaces. Each cell builds its own [`Machine`], so tasks share nothing
+/// but the immutable configs.
+pub fn run_cells(
+    machine_cfg: &MachineConfig,
+    tasks: &[(&Workload, SchedKind)],
+    opts: &RunOptions,
+    pool: &dike_util::Pool,
+) -> Vec<CellResult> {
+    pool.map_indexed(tasks.len(), |i| {
+        let (workload, kind) = &tasks[i];
+        run_cell(machine_cfg, workload, kind, opts)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,10 +1,17 @@
 //! Configuration-grid sweeps over ⟨swapSize, quantaLength⟩ — the engine
 //! behind Figures 2, 4 and 5.
+//!
+//! Every cell of a sweep is independent, so the drivers shard cells across
+//! the [`dike_util::pool`] workers. Results are reassembled in
+//! [`SchedConfig::grid`] order regardless of completion order, which makes
+//! the parallel output — including its serialized JSON — byte-identical to
+//! the serial path (`DIKE_THREADS=1`).
 
 use crate::runner::{run_cell, CellResult, RunOptions, SchedKind};
 use dike_machine::MachineConfig;
 use dike_metrics::relative_improvement;
 use dike_scheduler::SchedConfig;
+use dike_util::{json_struct, Pool};
 use dike_workloads::Workload;
 
 /// One grid cell: a configuration and its measured outcome.
@@ -15,6 +22,8 @@ pub struct SweepCell {
     /// Full cell result.
     pub result: CellResult,
 }
+
+json_struct!(SweepCell { config, result });
 
 /// A full 32-point sweep for one workload, plus the baseline cell used for
 /// normalisation.
@@ -27,6 +36,12 @@ pub struct Sweep {
     /// One cell per configuration, in [`SchedConfig::grid`] order.
     pub cells: Vec<SweepCell>,
 }
+
+json_struct!(Sweep {
+    workload,
+    baseline,
+    cells,
+});
 
 impl Sweep {
     /// Fairness improvement over the baseline for each cell.
@@ -83,10 +98,14 @@ impl Sweep {
     }
 }
 
+// `total_cmp` instead of `partial_cmp(..).expect("finite")`: a NaN-poisoned
+// cell (e.g. a degenerate runtime matrix) must yield *some* index, never a
+// panic deep inside a figure driver. NaN sorts above +inf in the total
+// order, so argmax prefers it; callers that care filter beforehand.
 fn argmax(xs: &[f64]) -> usize {
     xs.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty sweep")
 }
@@ -94,30 +113,104 @@ fn argmax(xs: &[f64]) -> usize {
 fn argmin(xs: &[f64]) -> usize {
     xs.iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty sweep")
 }
 
-/// Sweep all 32 configurations of one workload with non-adaptive Dike.
+/// Sweep all 32 configurations of one workload with non-adaptive Dike,
+/// sharding the 33 cells (baseline + grid) across the environment-sized
+/// pool.
 pub fn sweep_workload(
     machine_cfg: &MachineConfig,
     workload: &Workload,
     opts: &RunOptions,
 ) -> Sweep {
-    let baseline = run_cell(machine_cfg, workload, &SchedKind::Cfs, opts);
-    let cells = SchedConfig::grid()
+    sweep_workload_pool(machine_cfg, workload, opts, &Pool::from_env())
+}
+
+/// [`sweep_workload`] on an explicit pool (tests pin the thread count).
+pub fn sweep_workload_pool(
+    machine_cfg: &MachineConfig,
+    workload: &Workload,
+    opts: &RunOptions,
+    pool: &Pool,
+) -> Sweep {
+    let grid = SchedConfig::grid();
+    // Task 0 is the CFS baseline; tasks 1..=32 are the grid cells, so the
+    // slowest cell no longer serializes behind the whole grid.
+    let mut results = pool.map_indexed(grid.len() + 1, |i| {
+        if i == 0 {
+            run_cell(machine_cfg, workload, &SchedKind::Cfs, opts)
+        } else {
+            run_cell(machine_cfg, workload, &SchedKind::Dike(grid[i - 1]), opts)
+        }
+    });
+    let baseline = results.remove(0);
+    let cells = grid
         .into_iter()
-        .map(|config| SweepCell {
-            config,
-            result: run_cell(machine_cfg, workload, &SchedKind::Dike(config), opts),
-        })
+        .zip(results)
+        .map(|(config, result)| SweepCell { config, result })
         .collect();
     Sweep {
         workload: workload.name.clone(),
         baseline,
         cells,
     }
+}
+
+/// Sweep several workloads at once, flattening all `(workload × cell)`
+/// pairs into one task list so the pool stays saturated across workload
+/// boundaries. Results come back in input order, each sweep's cells in
+/// [`SchedConfig::grid`] order.
+pub fn sweep_workloads_parallel(
+    machine_cfg: &MachineConfig,
+    workloads: &[Workload],
+    opts: &RunOptions,
+) -> Vec<Sweep> {
+    sweep_workloads_pool(machine_cfg, workloads, opts, &Pool::from_env())
+}
+
+/// [`sweep_workloads_parallel`] on an explicit pool.
+pub fn sweep_workloads_pool(
+    machine_cfg: &MachineConfig,
+    workloads: &[Workload],
+    opts: &RunOptions,
+    pool: &Pool,
+) -> Vec<Sweep> {
+    let grid = SchedConfig::grid();
+    let per_workload = grid.len() + 1;
+    let results = pool.map_indexed(workloads.len() * per_workload, |task| {
+        let (w, cell) = (task / per_workload, task % per_workload);
+        if cell == 0 {
+            run_cell(machine_cfg, &workloads[w], &SchedKind::Cfs, opts)
+        } else {
+            run_cell(
+                machine_cfg,
+                &workloads[w],
+                &SchedKind::Dike(grid[cell - 1]),
+                opts,
+            )
+        }
+    });
+    let mut out = Vec::with_capacity(workloads.len());
+    let mut iter = results.into_iter();
+    for w in workloads {
+        let baseline = iter.next().expect("baseline cell present");
+        let cells = grid
+            .iter()
+            .map(|&config| SweepCell {
+                config,
+                result: iter.next().expect("grid cell present"),
+            })
+            .collect();
+        out.push(Sweep {
+            workload: w.name.clone(),
+            baseline,
+            cells,
+        });
+    }
+    out
 }
 
 #[cfg(test)]
@@ -152,5 +245,50 @@ mod tests {
                 <= sweep.cells[wp].result.mean_app_runtime_s
         );
         assert!(sweep.cell(SchedConfig::DEFAULT).is_some());
+    }
+
+    #[test]
+    fn extremes_survive_a_nan_poisoned_cell() {
+        // Regression: argmax/argmin used `partial_cmp(..).expect("finite")`
+        // and panicked on NaN. A degenerate cell must not take down a
+        // whole figure driver.
+        let opts = RunOptions {
+            scale: 0.02,
+            deadline_s: 60.0,
+            ..RunOptions::default()
+        };
+        let cfg = presets::paper_machine(1);
+        let mut sweep =
+            sweep_workload_pool(&cfg, &paper::workload(1), &opts, &Pool::new(1));
+        sweep.cells[5].result.fairness = f64::NAN;
+        sweep.cells[11].result.mean_app_runtime_s = f64::NAN;
+        for idx in [
+            sweep.best_fairness(),
+            sweep.worst_fairness(),
+            sweep.best_performance(),
+            sweep.worst_performance(),
+        ] {
+            assert!(idx < sweep.cells.len());
+        }
+        // NaN sorts above every finite value in the total order, so the
+        // poisoned cells land at the max end, not the min end.
+        assert_eq!(sweep.best_fairness(), 5);
+        assert_eq!(sweep.worst_performance(), 11);
+        assert_ne!(sweep.worst_fairness(), 5);
+        assert_ne!(sweep.best_performance(), 11);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_serial_sweep() {
+        let opts = RunOptions {
+            scale: 0.02,
+            deadline_s: 60.0,
+            ..RunOptions::default()
+        };
+        let cfg = presets::paper_machine(1);
+        let w = paper::workload(1);
+        let serial = sweep_workload_pool(&cfg, &w, &opts, &Pool::new(1));
+        let parallel = sweep_workload_pool(&cfg, &w, &opts, &Pool::new(4));
+        assert_eq!(serial, parallel);
     }
 }

@@ -6,10 +6,11 @@
 //! ~10 swaps; UC workloads churn at DIO-like rates; UM workloads rotate at
 //! hundreds).
 
-use crate::runner::{run_cell, RunOptions, SchedKind};
+use crate::runner::{run_cells, RunOptions, SchedKind};
 use dike_machine::presets;
 use dike_metrics::{mean, TextTable};
 use dike_scheduler::SchedConfig;
+use dike_util::Pool;
 use dike_workloads::paper;
 
 /// Swap counts per workload (rows) per scheduler (columns).
@@ -42,25 +43,33 @@ fn kinds() -> Vec<SchedKind> {
     ]
 }
 
-/// Run the swap-count experiment for a subset of workloads.
+/// Run the swap-count experiment for a subset of workloads, sharding all
+/// `(workload × scheduler)` cells across the environment-sized pool.
 pub fn run_subset(opts: &RunOptions, workload_numbers: &[usize]) -> Table3 {
+    run_subset_pool(opts, workload_numbers, &Pool::from_env())
+}
+
+/// [`run_subset`] on an explicit pool.
+pub fn run_subset_pool(opts: &RunOptions, workload_numbers: &[usize], pool: &Pool) -> Table3 {
     let cfg = presets::paper_machine(opts.seed);
     let kinds = kinds();
-    let mut workloads = Vec::new();
-    let mut swaps = Vec::new();
-    for &n in workload_numbers {
-        let w = paper::workload(n);
-        workloads.push(w.name.clone());
-        swaps.push(
-            kinds
-                .iter()
-                .map(|k| run_cell(&cfg, &w, k, opts).swaps)
-                .collect(),
-        );
-    }
+    let workloads: Vec<_> = workload_numbers.iter().map(|&n| paper::workload(n)).collect();
+    let tasks: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| kinds.iter().map(move |k| (w, k.clone())))
+        .collect();
+    let mut results = run_cells(&cfg, &tasks, opts, pool).into_iter();
+    let swaps = workloads
+        .iter()
+        .map(|_| {
+            (0..kinds.len())
+                .map(|_| results.next().expect("cell").swaps)
+                .collect()
+        })
+        .collect();
     Table3 {
         schedulers: kinds.iter().map(|k| k.label()).collect(),
-        workloads,
+        workloads: workloads.into_iter().map(|w| w.name).collect(),
         swaps,
     }
 }

@@ -39,6 +39,10 @@ pub struct MemDemand {
 }
 
 /// The solved state of the memory system for one tick.
+///
+/// Reusable as a scratch buffer: the hot path calls
+/// [`solve_memory_into`] with a long-lived `MemSolution`, so steady-state
+/// ticks perform no allocation (the `rates` vector keeps its capacity).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemSolution {
     /// Achieved instruction rate (instructions/second) per input demand.
@@ -49,6 +53,34 @@ pub struct MemSolution {
     pub latency_s: f64,
 }
 
+impl MemSolution {
+    /// An empty solution, ready for reuse via [`solve_memory_into`].
+    pub fn empty() -> Self {
+        MemSolution {
+            rates: Vec::new(),
+            utilisation: 0.0,
+            latency_s: 0.0,
+        }
+    }
+}
+
+impl Default for MemSolution {
+    fn default() -> Self {
+        MemSolution::empty()
+    }
+}
+
+/// Iteration budget of the fixed-point solve. The reference solver always
+/// spends the whole budget; the production solver exits as soon as the
+/// utilisation estimate has converged (typically 3–6 evaluations).
+const MAX_ITERS: usize = 16;
+
+/// Relative convergence tolerance on the utilisation `rho` between damped
+/// iterations. Chosen so an early exit perturbs the solved rates by far
+/// less than 1e-9 relative to running the full budget (the remaining
+/// geometric tail is bounded by the last step size).
+const REL_TOL: f64 = 1e-12;
+
 /// Solve the coupled rate/latency fixed point for one tick.
 ///
 /// Each thread's achieved instruction rate is
@@ -56,34 +88,107 @@ pub struct MemSolution {
 /// depends on total achieved miss throughput through the queueing factor
 /// `latency = base * (1 + gain * r / (1 - r))`, `r = min(rho, max_util)`.
 /// The fixed point is found by damped iteration (the map is monotone
-/// decreasing in `rho`, so damping guarantees convergence), after which any
-/// residual demand above peak bandwidth is cut by proportional sharing.
+/// decreasing in `rho`, so damping guarantees convergence), accelerated by
+/// geometric extrapolation of the damped step sequence and an early exit
+/// once `rho` moves by less than [`REL_TOL`] relative — instead of always
+/// burning the full [`MAX_ITERS`] rounds. Any residual demand above peak
+/// bandwidth is then cut by proportional sharing.
 pub fn solve_memory(demands: &[MemDemand], cfg: &MemoryConfig) -> MemSolution {
-    if demands.is_empty() {
-        return MemSolution {
-            rates: Vec::new(),
-            utilisation: 0.0,
-            latency_s: cfg.base_latency_s,
-        };
+    let mut out = MemSolution::empty();
+    solve_memory_into(demands, cfg, &mut out);
+    out
+}
+
+/// [`solve_memory`] writing into a caller-provided solution, reusing its
+/// `rates` allocation. This is the per-tick hot path of the engine.
+pub fn solve_memory_into(demands: &[MemDemand], cfg: &MemoryConfig, out: &mut MemSolution) {
+    solve_memory_impl(demands, cfg, out, true);
+}
+
+/// Reference solver: identical scheme to [`solve_memory`] but always runs
+/// the full [`MAX_ITERS`] iteration budget with no early exit. Exists so
+/// property tests can assert the early exit never truncates prematurely;
+/// not used on any hot path.
+pub fn solve_memory_reference(demands: &[MemDemand], cfg: &MemoryConfig) -> MemSolution {
+    let mut out = MemSolution::empty();
+    solve_memory_impl(demands, cfg, &mut out, false);
+    out
+}
+
+/// One evaluation of the fixed-point map at utilisation `rho`: computes
+/// the queue-inflated latency, every thread's rate at that latency, and
+/// returns `(latency, g(rho))` where `g` is the next utilisation estimate.
+#[inline]
+fn eval_map(
+    rho: f64,
+    demands: &[MemDemand],
+    cfg: &MemoryConfig,
+    rates: &mut [f64],
+) -> (f64, f64) {
+    let r = rho.clamp(0.0, cfg.max_utilisation);
+    let latency = cfg.base_latency_s * (1.0 + cfg.queue_gain * r / (1.0 - r));
+    let mut miss_throughput = 0.0;
+    for (rate, d) in rates.iter_mut().zip(demands) {
+        *rate = 1.0 / (d.base_time_per_instr + d.miss_ratio * latency);
+        miss_throughput += *rate * d.miss_ratio;
     }
+    (latency, miss_throughput / cfg.bandwidth_accesses_per_sec)
+}
+
+fn solve_memory_impl(
+    demands: &[MemDemand],
+    cfg: &MemoryConfig,
+    out: &mut MemSolution,
+    early_exit: bool,
+) {
+    out.rates.clear();
+    if demands.is_empty() {
+        out.utilisation = 0.0;
+        out.latency_s = cfg.base_latency_s;
+        return;
+    }
+    out.rates.resize(demands.len(), 0.0);
 
     let bw = cfg.bandwidth_accesses_per_sec;
     let mut rho = 0.0_f64;
-    let mut latency = cfg.base_latency_s;
-    let mut rates = vec![0.0; demands.len()];
+    // Step size of the previous damped iteration; zero means "no usable
+    // ratio yet" (first iteration, or just after an extrapolation jump).
+    let mut prev_delta = 0.0_f64;
 
-    for _ in 0..16 {
-        let r = rho.min(cfg.max_utilisation);
-        latency = cfg.base_latency_s * (1.0 + cfg.queue_gain * r / (1.0 - r));
-        let mut miss_throughput = 0.0;
-        for (rate, d) in rates.iter_mut().zip(demands) {
-            *rate = 1.0 / (d.base_time_per_instr + d.miss_ratio * latency);
-            miss_throughput += *rate * d.miss_ratio;
-        }
-        let new_rho = miss_throughput / bw;
+    for _ in 0..MAX_ITERS {
+        let (_, g_rho) = eval_map(rho, demands, cfg, &mut out.rates);
         // Damping: the undamped map can oscillate when demand >> bandwidth.
-        rho = 0.5 * rho + 0.5 * new_rho;
+        let damped = 0.5 * rho + 0.5 * g_rho;
+        let delta = damped - rho;
+        if early_exit && delta.abs() <= REL_TOL * damped.abs().max(REL_TOL) {
+            rho = damped;
+            break;
+        }
+        // The damped step sequence contracts geometrically with local
+        // ratio q = 0.5·(1 + g′) — positive under light load, negative
+        // (oscillating) when g′ < −1 near the utilisation cap. Either
+        // way the remaining tail sums to delta·q/(1 − q), so once the
+        // ratio is measurable and contracting (|q| < 1), jump straight
+        // to the geometric limit and restart ratio estimation. The upper
+        // guard stays below 1 so a near-unit ratio cannot launch a wild
+        // extrapolation.
+        if prev_delta != 0.0 {
+            let q = delta / prev_delta;
+            if q > -0.99 && q < 0.95 && q != 0.0 {
+                rho = (damped + delta * q / (1.0 - q)).max(0.0);
+                prev_delta = 0.0;
+                continue;
+            }
+        }
+        rho = damped;
+        prev_delta = delta;
     }
+
+    // One closing evaluation at the settled utilisation, so the reported
+    // rates, latency and throughput are mutually consistent.
+    let (latency, final_rho) = eval_map(rho, demands, cfg, &mut out.rates);
+    out.latency_s = latency;
+    let miss_throughput = final_rho * bw;
 
     // Hard bandwidth cap: when total demand exceeds peak bandwidth, the
     // controller serves each thread in proportion to its *unconstrained*
@@ -91,25 +196,24 @@ pub fn solve_memory(demands: &[MemDemand], cfg: &MemoryConfig) -> MemSolution {
     // faster and wins a proportionally larger share — this is what makes
     // memory-bound threads frequency-sensitive under saturation, the
     // effect behind the paper's "STREAM slows 4.6× on the heterogeneous
-    // machine vs 3.4× on the homogeneous one".
-    let miss_throughput: f64 = rates
-        .iter()
-        .zip(demands)
-        .map(|(rate, d)| rate * d.miss_ratio)
-        .sum();
-    let utilisation = if miss_throughput > bw {
-        let weights: Vec<f64> = demands
+    // machine vs 3.4× on the homogeneous one". The per-demand weight
+    // `miss_ratio / base_time` is summed in a first pass and applied in a
+    // second, so the branch allocates nothing.
+    out.utilisation = if miss_throughput > bw {
+        let total_weight: f64 = demands
             .iter()
             .map(|d| d.miss_ratio / d.base_time_per_instr)
-            .collect();
-        let total_weight: f64 = weights.iter().sum();
-        for ((rate, d), w) in rates.iter_mut().zip(demands).zip(&weights) {
-            if d.miss_ratio > 0.0 && total_weight > 0.0 {
-                let share = bw * w / total_weight;
-                *rate = rate.min(share / d.miss_ratio);
+            .sum();
+        if total_weight > 0.0 {
+            for (rate, d) in out.rates.iter_mut().zip(demands) {
+                if d.miss_ratio > 0.0 {
+                    let share = bw * (d.miss_ratio / d.base_time_per_instr) / total_weight;
+                    *rate = rate.min(share / d.miss_ratio);
+                }
             }
         }
-        let served: f64 = rates
+        let served: f64 = out
+            .rates
             .iter()
             .zip(demands)
             .map(|(rate, d)| rate * d.miss_ratio)
@@ -118,12 +222,6 @@ pub fn solve_memory(demands: &[MemDemand], cfg: &MemoryConfig) -> MemSolution {
     } else {
         miss_throughput / bw
     };
-
-    MemSolution {
-        rates,
-        utilisation,
-        latency_s: latency,
-    }
 }
 
 #[cfg(test)]

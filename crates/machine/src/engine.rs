@@ -22,7 +22,7 @@
 //! compare schedulers fairly.
 
 use crate::config::MachineConfig;
-use crate::contention::{llc_inflation, solve_memory, MemDemand};
+use crate::contention::{llc_inflation, solve_memory_into, MemDemand, MemSolution};
 use crate::ids::{AppId, BarrierId, SimTime, ThreadId, VCoreId};
 use crate::thread::{CoreCounters, ThreadCounters, ThreadSpec, ThreadState};
 use std::collections::BTreeMap;
@@ -69,10 +69,16 @@ pub struct Machine {
     /// Moves performed by the substrate balancer (not counted as policy
     /// migrations).
     balancer_moves: u64,
-    // Per-tick scratch buffers, reused to avoid per-tick allocation.
+    // Per-tick scratch buffers, reused so steady-state ticks allocate
+    // nothing at all.
     scratch_runnable: Vec<usize>,
     scratch_demands: Vec<MemDemand>,
     scratch_eff_mr: Vec<f64>,
+    scratch_solution: MemSolution,
+    scratch_vcore_load: Vec<u32>,
+    scratch_smt_factor: Vec<f64>,
+    scratch_vcore_busy: Vec<bool>,
+    scratch_finished: Vec<ThreadId>,
 }
 
 impl Machine {
@@ -95,6 +101,11 @@ impl Machine {
             scratch_runnable: Vec::new(),
             scratch_demands: Vec::new(),
             scratch_eff_mr: Vec::new(),
+            scratch_solution: MemSolution::empty(),
+            scratch_vcore_load: Vec::new(),
+            scratch_smt_factor: Vec::new(),
+            scratch_vcore_busy: Vec::new(),
+            scratch_finished: Vec::new(),
         }
     }
 
@@ -405,19 +416,21 @@ impl Machine {
 
         // 1. Runnable threads and per-vcore occupancy.
         self.scratch_runnable.clear();
-        let mut vcore_load = vec![0u32; n_vcores];
+        self.scratch_vcore_load.clear();
+        self.scratch_vcore_load.resize(n_vcores, 0);
         for (i, t) in self.threads.iter().enumerate() {
             if t.runnable(self.now) {
                 self.scratch_runnable.push(i);
-                vcore_load[t.vcore.index()] += 1;
+                self.scratch_vcore_load[t.vcore.index()] += 1;
             }
         }
 
         if !self.scratch_runnable.is_empty() {
             // 2. SMT factors per vcore: does any sibling context have load?
-            let mut smt_factor = vec![1.0f64; n_vcores];
+            self.scratch_smt_factor.clear();
+            self.scratch_smt_factor.resize(n_vcores, 1.0);
             for v in 0..n_vcores {
-                if vcore_load[v] == 0 {
+                if self.scratch_vcore_load[v] == 0 {
                     continue;
                 }
                 let vid = VCoreId(v as u32);
@@ -426,9 +439,9 @@ impl Machine {
                     .topology
                     .siblings_of(vid)
                     .iter()
-                    .any(|s| vcore_load[s.index()] > 0);
+                    .any(|s| self.scratch_vcore_load[s.index()] > 0);
                 if sibling_busy {
-                    smt_factor[v] = self.cfg.smt.busy_share;
+                    self.scratch_smt_factor[v] = self.cfg.smt.busy_share;
                 }
             }
 
@@ -466,9 +479,9 @@ impl Machine {
                 mr *= self.noise_multiplier(i, phase.burstiness);
                 mr = mr.clamp(0.0, 1.0);
                 let v = t.vcore.index();
-                let share = 1.0 / vcore_load[v] as f64;
+                let share = 1.0 / self.scratch_vcore_load[v] as f64;
                 let freq = self.cfg.topology.freq_of(t.vcore);
-                let base_time = cpi / (freq * share * smt_factor[v]);
+                let base_time = cpi / (freq * share * self.scratch_smt_factor[v]);
                 self.scratch_demands.push(MemDemand {
                     base_time_per_instr: base_time,
                     miss_ratio: mr,
@@ -476,13 +489,18 @@ impl Machine {
                 self.scratch_eff_mr.push(mr);
             }
 
-            // 4. Memory system.
-            let solution = solve_memory(&self.scratch_demands, &self.cfg.memory);
+            // 4. Memory system (into the reusable solution buffer).
+            solve_memory_into(
+                &self.scratch_demands,
+                &self.cfg.memory,
+                &mut self.scratch_solution,
+            );
 
             // 5. Advance threads.
-            let mut vcore_busy = vec![false; n_vcores];
+            self.scratch_vcore_busy.clear();
+            self.scratch_vcore_busy.resize(n_vcores, false);
             for (k, &i) in self.scratch_runnable.iter().enumerate() {
-                let rate = solution.rates[k];
+                let rate = self.scratch_solution.rates[k];
                 let mr = self.scratch_eff_mr[k];
                 let t = &mut self.threads[i];
                 let freq = self.cfg.topology.freq_of(t.vcore);
@@ -532,7 +550,7 @@ impl Machine {
                 t.counters.llc_accesses += advance * (apki / 1000.0).max(mr);
                 t.counters.cycles += freq * dt_s;
                 t.counters.busy_us += self.cfg.tick_us;
-                vcore_busy[t.vcore.index()] = true;
+                self.scratch_vcore_busy[t.vcore.index()] = true;
                 self.vcore_counters[t.vcore.index()].accesses +=
                     advance * mr * self.cfg.memory.prefetch_factor;
 
@@ -543,7 +561,7 @@ impl Machine {
                     t.at_barrier = true;
                 }
             }
-            for (v, busy) in vcore_busy.iter().enumerate() {
+            for (v, busy) in self.scratch_vcore_busy.iter().enumerate() {
                 if *busy {
                     self.vcore_counters[v].busy_us += self.cfg.tick_us;
                 }
@@ -573,18 +591,18 @@ impl Machine {
         }
 
         // Record completions after the fact (events carry the finish tick).
-        let finished_now: Vec<ThreadId> = self
-            .threads
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.finished_at == Some(self.now + SimTime::from_us(self.cfg.tick_us)))
-            .map(|(i, _)| ThreadId(i as u32))
-            .collect();
-        self.now += SimTime::from_us(self.cfg.tick_us);
+        self.scratch_finished.clear();
+        let tick_end = self.now + SimTime::from_us(self.cfg.tick_us);
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.finished_at == Some(tick_end) {
+                self.scratch_finished.push(ThreadId(i as u32));
+            }
+        }
+        self.now = tick_end;
         self.tick_index += 1;
-        for t in finished_now {
+        for k in 0..self.scratch_finished.len() {
             self.events.push(MachineEvent::Finished {
-                thread: t,
+                thread: self.scratch_finished[k],
                 at: self.now,
             });
         }

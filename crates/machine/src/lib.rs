@@ -50,7 +50,9 @@ pub mod thread;
 pub mod topology;
 
 pub use config::{presets, LlcConfig, MachineConfig, MemoryConfig, MigrationConfig, SmtConfig};
-pub use contention::{llc_inflation, solve_memory, MemDemand, MemSolution};
+pub use contention::{
+    llc_inflation, solve_memory, solve_memory_into, solve_memory_reference, MemDemand, MemSolution,
+};
 pub use engine::{Machine, MachineEvent};
 pub use ids::{AppId, BarrierId, PCoreId, SimTime, ThreadId, VCoreId};
 pub use phase::{Phase, PhaseProgram, PhaseRepeat};

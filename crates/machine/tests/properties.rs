@@ -1,8 +1,9 @@
 //! Property tests on the machine model's invariants.
 
 use dike_machine::{
-    llc_inflation, presets, solve_memory, AppId, LlcConfig, Machine, MemDemand, MemoryConfig,
-    Phase, PhaseProgram, PhaseRepeat, SimTime, ThreadSpec, VCoreId,
+    llc_inflation, presets, solve_memory, solve_memory_into, solve_memory_reference, AppId,
+    LlcConfig, Machine, MemDemand, MemSolution, MemoryConfig, Phase, PhaseProgram, PhaseRepeat,
+    SimTime, ThreadSpec, VCoreId,
 };
 use dike_util::check::check;
 use dike_util::Pcg32;
@@ -135,6 +136,76 @@ fn memory_solver_is_sane() {
         assert!(served <= bw * 1.0001, "served {served} > bw {bw}");
         assert!((0.0..=1.0).contains(&s.utilisation));
         assert!(s.latency_s >= cfg.base_latency_s);
+    });
+}
+
+#[test]
+fn memory_solver_early_exit_matches_full_iteration_budget() {
+    // The production solver exits the fixed-point loop as soon as the
+    // utilisation estimate converges; the reference solver burns the full
+    // iteration budget. Across random demand vectors (light, contended
+    // and saturated), every achieved rate must agree to 1e-9 relative —
+    // i.e. the early exit never truncates a solve prematurely.
+    check("memory_solver_early_exit_matches_full_iteration_budget", 64, |rng| {
+        let n_demands = rng.gen_range(1usize..64);
+        let raw: Vec<(f64, f64)> = (0..n_demands)
+            .map(|_| (rng.gen_range(0.2f64..2.5), rng.gen_range(0.0f64..0.08)))
+            .collect();
+        let bw = rng.gen_range(2e7f64..1.5e9);
+
+        let cfg = MemoryConfig {
+            bandwidth_accesses_per_sec: bw,
+            ..MemoryConfig::default()
+        };
+        let demands: Vec<MemDemand> = raw
+            .into_iter()
+            .map(|(cpi, mr)| MemDemand {
+                base_time_per_instr: cpi / 2.33e9,
+                miss_ratio: mr,
+            })
+            .collect();
+        let fast = solve_memory(&demands, &cfg);
+        let full = solve_memory_reference(&demands, &cfg);
+        assert_eq!(fast.rates.len(), full.rates.len());
+        for (a, b) in fast.rates.iter().zip(&full.rates) {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                "early-exit rate {a} deviates from reference {b}"
+            );
+        }
+        assert!(
+            (fast.utilisation - full.utilisation).abs() <= 1e-9,
+            "utilisation {} vs {}",
+            fast.utilisation,
+            full.utilisation
+        );
+        assert!(
+            (fast.latency_s - full.latency_s).abs() <= 1e-9 * full.latency_s,
+            "latency {} vs {}",
+            fast.latency_s,
+            full.latency_s
+        );
+    });
+}
+
+#[test]
+fn memory_solver_into_reuses_buffer_and_matches_allocating_path() {
+    check("memory_solver_into_reuses_buffer_and_matches_allocating_path", 32, |rng| {
+        let cfg = MemoryConfig::default();
+        let mut scratch = MemSolution::empty();
+        // Several rounds into the same buffer, shrinking and growing.
+        for _ in 0..4 {
+            let n = rng.gen_range(0usize..48);
+            let demands: Vec<MemDemand> = (0..n)
+                .map(|_| MemDemand {
+                    base_time_per_instr: rng.gen_range(0.2f64..2.0) / 2.33e9,
+                    miss_ratio: rng.gen_range(0.0f64..0.06),
+                })
+                .collect();
+            solve_memory_into(&demands, &cfg, &mut scratch);
+            let fresh = solve_memory(&demands, &cfg);
+            assert_eq!(scratch, fresh, "reused buffer diverged from fresh solve");
+        }
     });
 }
 

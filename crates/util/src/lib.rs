@@ -16,7 +16,10 @@
 //!   with the failing seed reported for exact reproduction (replaces
 //!   `proptest`);
 //! * [`bench`] — a monotonic-clock micro-bench runner with warmup and
-//!   iteration control (replaces `criterion`).
+//!   iteration control (replaces `criterion`);
+//! * [`pool`] — a std-only work-sharing thread pool with deterministic
+//!   result ordering and a `DIKE_THREADS` environment override (replaces
+//!   `rayon` for the experiment drivers' embarrassingly parallel maps).
 //!
 //! The RNG stream and the JSON output shape are frozen by golden tests in
 //! `tests/`: any change to either is a breaking change for recorded
@@ -25,7 +28,9 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
 pub use json::{FromJson, JsonError, ToJson, Value};
+pub use pool::Pool;
 pub use rng::{Pcg32, SliceRandom};

@@ -1,0 +1,240 @@
+//! A std-only work-sharing thread pool for embarrassingly parallel maps.
+//!
+//! The experiment layer runs dozens of independent (workload × scheduler ×
+//! config) cells per figure; this module shards such index spaces across
+//! scoped `std::thread` workers while keeping the *output* order exactly
+//! the input order, so a parallel driver can be byte-identical to the
+//! serial one.
+//!
+//! Design:
+//!
+//! * **Work sharing, not work stealing.** Workers repeatedly claim the next
+//!   unclaimed index from a shared [`AtomicUsize`]; cells vary wildly in
+//!   cost (a saturated UM workload simulates far longer than a balanced
+//!   one), and a single atomic counter load-balances them optimally with
+//!   no per-item channel traffic.
+//! * **Deterministic result ordering.** Each claimed index writes into its
+//!   own pre-allocated slot, so `map_indexed(n, f)[i] == f(i)` regardless
+//!   of which worker ran it or in what order items finished.
+//! * **Graceful single-thread fallback.** With one worker (or one item)
+//!   the map degenerates to a plain serial loop on the calling thread — no
+//!   threads spawned, no atomics touched — so `DIKE_THREADS=1` is exactly
+//!   the pre-pool code path.
+//! * **Panic propagation.** A panicking worker aborts the scope and the
+//!   panic resurfaces on the caller, as with `std::thread::scope`.
+//!
+//! The worker count comes from the `DIKE_THREADS` environment variable
+//! when set (minimum 1), else from [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool configuration: just the worker count. Construction is free; the
+/// actual OS threads are scoped to each [`Pool::map_indexed`] call, so a
+/// `Pool` can be stored in configs and cloned freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from the environment: `DIKE_THREADS` if set and valid,
+    /// else the machine's available parallelism.
+    pub fn from_env() -> Self {
+        Pool::new(env_threads().unwrap_or_else(default_threads))
+    }
+
+    /// The worker count this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every index in `0..n`, in parallel, returning results
+    /// in index order. `f` must be `Sync` because multiple workers call it
+    /// concurrently.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let value = f(i);
+                        *slots[i].lock().expect("pool slot poisoned") = Some(value);
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker's panic payload resurfaces
+            // verbatim on the caller (the scope's implicit join would
+            // replace it with "a scoped thread panicked").
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("pool slot poisoned")
+                    .expect("every index claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// Apply `f` to every element of a slice, in parallel, preserving
+    /// order.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(&items[i]))
+    }
+}
+
+/// [`Pool::map_indexed`] on the environment-sized pool.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    Pool::from_env().map_indexed(n, f)
+}
+
+/// [`Pool::map`] on the environment-sized pool.
+pub fn map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    Pool::from_env().map(items, f)
+}
+
+/// The worker count an environment-sized pool would use.
+pub fn num_threads() -> usize {
+    Pool::from_env().threads()
+}
+
+/// Parse a `DIKE_THREADS`-style override. Returns `None` for unset, empty,
+/// unparsable or zero values (zero means "pick for me").
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("DIKE_THREADS").ok();
+    parse_threads(raw.as_deref())
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map_indexed(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Early indices take much longer than late ones: a naive
+        // completion-order collect would reverse them.
+        let pool = Pool::new(4);
+        let out = pool.map_indexed(16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_over_slice_preserves_order() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = Pool::new(2).map(&items, |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(5).threads(), 5);
+    }
+
+    #[test]
+    fn parse_threads_rejects_nonsense() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("abc")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some(" 4 ")), Some(4));
+        assert_eq!(parse_threads(Some("16")), Some(16));
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_stateful_per_item_work() {
+        // Each item seeds its own RNG from the index, so results cannot
+        // depend on which worker ran it.
+        let work = |i: usize| {
+            let mut rng = crate::Pcg32::seed_from_u64(i as u64);
+            (0..100).map(|_| rng.gen_range(0u64..1000)).sum::<u64>()
+        };
+        let serial: Vec<u64> = (0..24).map(work).collect();
+        for threads in [2, 8] {
+            assert_eq!(Pool::new(threads).map_indexed(24, work), serial);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        Pool::new(2).map_indexed(8, |i| {
+            if i == 3 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+}

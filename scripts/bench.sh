@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf-trajectory bench: times the solve_memory hot path and the 33-cell
+# configuration sweep (serial vs parallel), recording the numbers into
+# results/BENCH_sweep.json so regressions are visible release over release.
+#
+# Usage:
+#   scripts/bench.sh            # full run, records results/BENCH_sweep.json
+#   DIKE_BENCH_FAST=1 scripts/bench.sh
+#                               # smoke mode: tiny sample counts and scale,
+#                               # writes to target/ only (no recorded file
+#                               # is overwritten by a smoke run)
+#   DIKE_THREADS=8 scripts/bench.sh
+#                               # pin the parallel sweep's worker count
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# cargo bench runs the binary from the package directory, so the output
+# path must be absolute.
+if [[ "${DIKE_BENCH_FAST:-0}" == "1" ]]; then
+    out="$PWD/target/BENCH_sweep_smoke.json"
+    export DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}"
+    export DIKE_BENCH_WARMUP_MS="${DIKE_BENCH_WARMUP_MS:-20}"
+    export DIKE_BENCH_SAMPLE_MS="${DIKE_BENCH_SAMPLE_MS:-20}"
+else
+    out="$PWD/results/BENCH_sweep.json"
+fi
+
+DIKE_BENCH_JSON="$out" cargo bench -q --offline -p dike-bench --bench sweep_parallel
+
+echo "bench: OK ($out)"

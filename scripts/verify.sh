@@ -10,4 +10,12 @@ cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Parallel-driver smoke: the pooled sweep must stay byte-identical to the
+# serial path when actually running on multiple workers.
+DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
+
+# Bench smoke: the sweep_parallel target must run end to end (tiny samples,
+# writes to target/, never touches the recorded results/BENCH_sweep.json).
+DIKE_BENCH_FAST=1 scripts/bench.sh
+
 echo "verify: OK"
