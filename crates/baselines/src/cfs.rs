@@ -77,6 +77,9 @@ mod tests {
             StaticSpread::with_quantum(SimTime::from_ms(100)).initial_quantum(),
             SimTime::from_ms(100)
         );
-        assert_eq!(StaticSpread::default().initial_quantum(), SimTime::from_ms(500));
+        assert_eq!(
+            StaticSpread::default().initial_quantum(),
+            SimTime::from_ms(500)
+        );
     }
 }

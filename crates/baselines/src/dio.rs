@@ -127,7 +127,7 @@ mod tests {
     fn dio_pairs_extreme_miss_rates() {
         use dike_counters::RateSample;
         use dike_machine::topology::CoreKind;
-        use dike_machine::{AppId, ThreadCounters, ThreadId, VCoreId};
+        use dike_machine::{AppId, DomainId, ThreadCounters, ThreadId, VCoreId};
         use dike_sched_core::{CoreObservation, ThreadObservation};
 
         let threads: Vec<ThreadObservation> = [0.30, 0.01, 0.20, 0.05]
@@ -149,6 +149,7 @@ mod tests {
             .map(|c| CoreObservation {
                 id: VCoreId(c),
                 kind: CoreKind::FAST,
+                domain: DomainId(0),
                 bandwidth: 0.0,
                 occupants: vec![ThreadId(c)],
             })

@@ -1,0 +1,87 @@
+//! Scale bench: wall-clock of one full Dike run as the machine grows from
+//! the paper's 40 vcores to 160- and 320-vcore multi-controller boxes.
+//!
+//! Each bench times `run_cell` (machine build + workload spawn + a whole
+//! driven simulation) with default Dike on the matching [`scale`] sweep
+//! point, so the recorded numbers track the end-to-end cost of the
+//! per-domain contention solve as controller count rises. The 1-domain
+//! point doubles as the single-controller regression reference: the NUMA
+//! generalisation must not tax the paper machine.
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` uses this to record the numbers into
+//! `results/BENCH_scale.json`.
+
+use dike_experiments::scale::{scale_machine, scale_workload, SCALE_DOMAINS};
+use dike_experiments::{run_cell, RunOptions, SchedKind};
+use dike_scheduler::SchedConfig;
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::pool;
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+
+    let opts = RunOptions {
+        scale: if fast { 0.01 } else { 0.02 },
+        deadline_s: 60.0,
+        ..RunOptions::default()
+    };
+    for &domains in &SCALE_DOMAINS {
+        let machine = scale_machine(domains, opts.seed);
+        let workload = scale_workload(domains as usize);
+        let name = format!(
+            "scale/dike_{}dom_{}c",
+            domains,
+            machine.topology.num_vcores()
+        );
+        b.bench(&name, || {
+            let cell = run_cell(
+                black_box(&machine),
+                &workload,
+                &SchedKind::Dike(SchedConfig::DEFAULT),
+                &opts,
+            );
+            black_box(cell.fairness)
+        });
+    }
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

@@ -47,7 +47,12 @@ fn paper_scale_view(quantum_index: u64) -> SystemView {
     let cores = (0..40u32)
         .map(|c| CoreObservation {
             id: VCoreId(c),
-            kind: if c < 20 { CoreKind::FAST } else { CoreKind::SLOW },
+            kind: if c < 20 {
+                CoreKind::FAST
+            } else {
+                CoreKind::SLOW
+            },
+            domain: dike_machine::DomainId(0),
             bandwidth: threads[c as usize].rates.access_rate,
             occupants: vec![ThreadId(c)],
         })

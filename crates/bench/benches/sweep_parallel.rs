@@ -33,7 +33,11 @@ fn forty_demands() -> Vec<MemDemand> {
             let memory_bound = i % 2 == 0;
             MemDemand {
                 base_time_per_instr: (0.5 + 0.05 * (i % 8) as f64) / 2.33e9,
-                miss_ratio: if memory_bound { 0.02 + 0.001 * (i % 5) as f64 } else { 2e-4 },
+                miss_ratio: if memory_bound {
+                    0.02 + 0.001 * (i % 5) as f64
+                } else {
+                    2e-4
+                },
             }
         })
         .collect()
@@ -80,7 +84,10 @@ fn main() {
             .map(|r| {
                 Value::Object(vec![
                     ("name".into(), Value::Str(r.name.clone())),
-                    ("iters_per_sample".into(), Value::Num(Num::U(r.iters_per_sample))),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
                     ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
                     ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
                     ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
@@ -94,7 +101,10 @@ fn main() {
                     std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
                 )),
             ),
-            ("pool_threads".into(), Value::Num(Num::U(pool::num_threads() as u64))),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
             ("fast_mode".into(), Value::Bool(fast)),
             ("benches".into(), Value::Array(benches)),
         ]);

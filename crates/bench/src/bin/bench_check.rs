@@ -1,0 +1,102 @@
+//! Compare a smoke bench run against committed reference medians.
+//!
+//! Usage: `bench_check <smoke.json> <reference.json> [tolerance]`
+//!
+//! For every benchmark name present in both files, the smoke median must
+//! not exceed `tolerance ×` the committed median (default 3.0, or
+//! `DIKE_BENCH_TOLERANCE`). The check is one-sided: smoke mode runs the
+//! same or less work per iteration than the recorded full run (smaller
+//! workload scales, same hot paths), so "much slower than the reference"
+//! signals a perf regression while "faster" never does. See
+//! `EXPERIMENTS.md` for why the tolerance is this loose.
+
+use dike_util::json::{self, Value};
+use std::process::ExitCode;
+
+/// `(name, median_ns)` pairs from a `scripts/bench.sh` JSON document.
+fn medians(doc: &Value) -> Result<Vec<(String, f64)>, String> {
+    let benches = doc
+        .field("benches")
+        .and_then(|b| b.items().map(<[Value]>::to_vec))
+        .map_err(|e| format!("bad bench document: {e:?}"))?;
+    benches
+        .iter()
+        .map(|b| {
+            let name = match b.field("name") {
+                Ok(Value::Str(s)) => s.clone(),
+                other => return Err(format!("bad bench name: {other:?}")),
+            };
+            let median = match b.field("median_ns") {
+                Ok(Value::Num(n)) => n.as_f64(),
+                other => return Err(format!("bad median for {name}: {other:?}")),
+            };
+            Ok((name, median))
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    medians(&doc)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [smoke_path, ref_path, rest @ ..] = args.as_slice() else {
+        return Err("usage: bench_check <smoke.json> <reference.json> [tolerance]".into());
+    };
+    let tolerance: f64 = match rest {
+        [] => std::env::var("DIKE_BENCH_TOLERANCE")
+            .ok()
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| format!("bad DIKE_BENCH_TOLERANCE: {e}"))
+            })
+            .transpose()?
+            .unwrap_or(3.0),
+        [t] => t.parse().map_err(|e| format!("bad tolerance {t:?}: {e}"))?,
+        _ => return Err("too many arguments".into()),
+    };
+
+    let smoke = load(smoke_path)?;
+    let reference = load(ref_path)?;
+    let mut ok = true;
+    let mut compared = 0usize;
+    for (name, m) in &smoke {
+        let Some((_, r)) = reference.iter().find(|(n, _)| n == name) else {
+            println!("SKIP  {name}: not in reference");
+            continue;
+        };
+        compared += 1;
+        let ratio = m / r;
+        let verdict = if ratio <= tolerance { "ok  " } else { "SLOW" };
+        println!(
+            "{verdict}  {name}: smoke {m:.0} ns vs recorded {r:.0} ns ({ratio:.2}x, limit {tolerance:.1}x)"
+        );
+        if ratio > tolerance {
+            ok = false;
+        }
+    }
+    if compared == 0 {
+        return Err("no benchmark names in common — wrong files?".into());
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench_check: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("bench_check: FAIL (median above tolerance)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

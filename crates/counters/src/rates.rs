@@ -136,7 +136,13 @@ mod tests {
     #[test]
     fn all_fields_finite_for_finite_inputs() {
         let r = RateSample::from_deltas(5.0, 3.0, 4.0, 2.0, 1e-6);
-        for v in [r.access_rate, r.instr_rate, r.miss_ratio, r.llc_miss_rate, r.ipc] {
+        for v in [
+            r.access_rate,
+            r.instr_rate,
+            r.miss_ratio,
+            r.llc_miss_rate,
+            r.ipc,
+        ] {
             assert!(v.is_finite(), "{r:?}");
         }
         assert_eq!(r.miss_rate_percent(), 75.0);

@@ -67,12 +67,7 @@ fn windowed_mean_matches_naive_tail_mean() {
         for s in &samples {
             e.update(*s);
         }
-        let tail: Vec<f64> = samples
-            .iter()
-            .rev()
-            .take(window)
-            .copied()
-            .collect();
+        let tail: Vec<f64> = samples.iter().rev().take(window).copied().collect();
         let expect = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!((e.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
     });

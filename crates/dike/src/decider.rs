@@ -76,6 +76,7 @@ mod tests {
             threads,
             high_bw: vec![true, false],
             core_bw: vec![0.0, 0.0],
+            core_domain: vec![dike_machine::DomainId(0); 2],
             fairness_cv: 1.0,
             memory_fraction: 1.0,
         }
@@ -133,7 +134,13 @@ mod tests {
             Err(Rejection::NegativeProfit)
         );
         assert_eq!(
-            decide(&obs([false, false]), &pair(), &prediction(-1.0), true, false),
+            decide(
+                &obs([false, false]),
+                &pair(),
+                &prediction(-1.0),
+                true,
+                false
+            ),
             Ok(())
         );
     }

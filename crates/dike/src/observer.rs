@@ -16,7 +16,7 @@
 
 use crate::config::{CoreBwEstimate, CoreRanking, DikeConfig};
 use dike_counters::{Estimator, MovingMean};
-use dike_machine::{AppId, ThreadId, VCoreId};
+use dike_machine::{AppId, DomainId, ThreadId, VCoreId};
 use dike_sched_core::SystemView;
 
 /// A thread's observed class.
@@ -56,6 +56,10 @@ pub struct Observation {
     pub high_bw: Vec<bool>,
     /// Current `CoreBW` moving means (accesses/s), indexed by core.
     pub core_bw: Vec<f64>,
+    /// NUMA domain of each core (hardware knowledge passed through from the
+    /// view). The Selector pairs swap candidates within a domain so swaps
+    /// stay domain-local on multi-controller machines.
+    pub core_domain: Vec<DomainId>,
     /// Worst per-application coefficient of variation of thread access
     /// rates — the fairness-gate quantity of Algorithms 1 and 2 (the
     /// runtime analogue of Eqn 4's per-benchmark runtime CV; max rather
@@ -155,7 +159,8 @@ impl Observer {
                     let consumed = core.occupants.iter().any(|t| memory_thread.contains(t));
                     if consumed {
                         self.core_bw[core.id.index()].update(core.bandwidth);
-                        self.class_mean_mut(core.kind.freq_hz).update(core.bandwidth);
+                        self.class_mean_mut(core.kind.freq_hz)
+                            .update(core.bandwidth);
                     }
                 }
                 view.cores
@@ -258,10 +263,13 @@ impl Observer {
                 / threads.len() as f64
         };
 
+        let core_domain: Vec<DomainId> = view.cores.iter().map(|c| c.domain).collect();
+
         Observation {
             threads,
             high_bw,
             core_bw,
+            core_domain,
             fairness_cv,
             memory_fraction,
         }
@@ -322,6 +330,7 @@ mod tests {
                 } else {
                     CoreKind::SLOW
                 },
+                domain: DomainId(0),
                 bandwidth: rates_and_miss[c].0,
                 occupants: vec![ThreadId(c as u32)],
             })

@@ -93,6 +93,7 @@ mod tests {
             threads: Vec::new(),
             high_bw: Vec::new(),
             core_bw: Vec::new(),
+            core_domain: Vec::new(),
             fairness_cv,
             memory_fraction,
         }

@@ -254,6 +254,7 @@ mod tests {
             threads,
             high_bw: vec![true; rates.len()],
             core_bw: core_bw.to_vec(),
+            core_domain: vec![dike_machine::DomainId(0); rates.len()],
             fairness_cv: 1.0,
             memory_fraction: 1.0,
         }

@@ -198,14 +198,11 @@ mod tests {
     use super::*;
     use dike_machine::{presets, Machine, SimTime};
     use dike_sched_core::run;
-    use dike_workloads::{Placement, Workload};
     use dike_workloads::apps::AppKind;
+    use dike_workloads::{Placement, Workload};
 
     fn small_workload() -> Workload {
-        let mut w = Workload::plain(
-            "test",
-            vec![AppKind::Jacobi, AppKind::Leukocyte],
-        );
+        let mut w = Workload::plain("test", vec![AppKind::Jacobi, AppKind::Leukocyte]);
         w.threads_per_app = 4;
         w
     }

@@ -21,6 +21,14 @@
 //!   each other") or when the tail candidate's rate no longer exceeds the
 //!   head candidate's (a swap would be a strict loss, and the Predictor
 //!   would reject it anyway).
+//!
+//! On multi-controller (NUMA) machines pairing runs **per domain**: each
+//! memory controller gets its own head/tail scan over the threads homed on
+//! its cores, with the full `swap_size / 2` budget. Swaps therefore never
+//! cross a domain boundary — a cross-domain swap would pay the remote
+//! warm-up penalty and change both threads' contention domain, invalidating
+//! the Predictor's per-core bandwidth model. On a single-domain machine the
+//! per-domain scan degenerates to exactly the global Algorithm 1.
 
 use crate::observer::Observation;
 use dike_machine::{ThreadId, VCoreId};
@@ -38,7 +46,8 @@ pub struct Pair {
     pub high_vcore: VCoreId,
 }
 
-/// Form up to `swap_size / 2` swap pairs from an observation.
+/// Form swap pairs from an observation: up to `swap_size / 2` per NUMA
+/// domain, pairing only threads whose cores share a memory controller.
 ///
 /// Returns an empty vector when the system is already fair (the Algorithm 1
 /// early-out: `fairness < θ_f`).
@@ -51,7 +60,7 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
         return Vec::new();
     }
 
-    // Sort thread indices by access rate, ascending.
+    // Sort thread indices by access rate, ascending (shared by all domains).
     let mut by_rate: Vec<usize> = (0..obs.threads.len()).collect();
     by_rate.sort_by(|&a, &b| {
         obs.threads[a]
@@ -61,6 +70,34 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
             .then(obs.threads[a].id.cmp(&obs.threads[b].id))
     });
 
+    let num_domains = obs
+        .core_domain
+        .iter()
+        .map(|d| d.index() + 1)
+        .max()
+        .unwrap_or(1);
+
+    let mut used = vec![false; obs.threads.len()];
+    let mut pairs = Vec::with_capacity(want);
+    for dom in 0..num_domains {
+        let eligible = |i: usize| {
+            num_domains == 1 || obs.core_domain[obs.threads[i].vcore.index()].index() == dom
+        };
+        pair_within(obs, &by_rate, &mut used, &mut pairs, want, &eligible);
+    }
+    pairs
+}
+
+/// Algorithm 1's head/tail pairing restricted to the threads `eligible`
+/// accepts, appending at most `budget` pairs.
+fn pair_within(
+    obs: &Observation,
+    by_rate: &[usize],
+    used: &mut [bool],
+    pairs: &mut Vec<Pair>,
+    budget: usize,
+    eligible: &dyn Fn(usize) -> bool,
+) {
     let on_high_bw = |i: usize| obs.high_bw[obs.threads[i].vcore.index()];
     // A class violator breaks the placement rule: a memory thread on a
     // low-bandwidth core or a compute thread on a high-bandwidth core.
@@ -69,16 +106,14 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
         crate::observer::ThreadClass::Compute => obs.high_bw[obs.threads[i].vcore.index()],
     };
 
-    let mut used = vec![false; obs.threads.len()];
-    let mut pairs = Vec::with_capacity(want);
-
-    while pairs.len() < want {
+    let mut formed = 0;
+    while formed < budget {
         // Head: lowest-access unused thread on a high-bandwidth core
         // (scanning up from the low end of the sorted order).
         let low = by_rate
             .iter()
             .copied()
-            .find(|&idx| !used[idx] && on_high_bw(idx));
+            .find(|&idx| !used[idx] && eligible(idx) && on_high_bw(idx));
         let Some(li) = low else { break };
 
         // Tail: highest-access unused thread on a low-bandwidth core
@@ -87,7 +122,7 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
             .iter()
             .rev()
             .copied()
-            .find(|&idx| !used[idx] && !on_high_bw(idx) && idx != li);
+            .find(|&idx| !used[idx] && eligible(idx) && !on_high_bw(idx) && idx != li);
         let Some(hi) = high else { break };
 
         // Pointers effectively crossed: when *neither* side breaks the
@@ -113,15 +148,15 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
             high: obs.threads[hi].id,
             high_vcore: obs.threads[hi].vcore,
         });
+        formed += 1;
     }
-    pairs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::observer::{ObservedThread, ThreadClass};
-    use dike_machine::AppId;
+    use dike_machine::{AppId, DomainId};
 
     /// Build an observation: `(access_rate, on_high_bw_core)` per thread,
     /// thread i on vcore i.
@@ -152,9 +187,19 @@ mod tests {
             threads: ts,
             high_bw,
             core_bw: vec![0.0; n],
+            core_domain: vec![DomainId(0); n],
             fairness_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
             memory_fraction: 0.5,
         }
+    }
+
+    /// Like [`obs_from`] but with an explicit NUMA domain per core:
+    /// `(access_rate, on_high_bw, domain)` per thread, thread i on vcore i.
+    fn obs_with_domains(threads: &[(f64, bool, u32)]) -> Observation {
+        let flat: Vec<(f64, bool)> = threads.iter().map(|&(r, h, _)| (r, h)).collect();
+        let mut o = obs_from(&flat);
+        o.core_domain = threads.iter().map(|&(_, _, d)| DomainId(d)).collect();
+        o
     }
 
     #[test]
@@ -199,12 +244,7 @@ mod tests {
 
     #[test]
     fn pairs_are_disjoint_and_ordered_by_extremity() {
-        let o = obs_from(&[
-            (1e6, true),
-            (2e6, true),
-            (6e7, false),
-            (9e7, false),
-        ]);
+        let o = obs_from(&[(1e6, true), (2e6, true), (6e7, false), (9e7, false)]);
         let pairs = select_pairs(&o, 4, 0.1);
         assert_eq!(pairs.len(), 2);
         // Most extreme pair first.
@@ -223,12 +263,7 @@ mod tests {
     fn all_memory_threads_rotate_extremes_across_core_types() {
         // All M (unbalanced-memory case): weakest-on-fast pairs with
         // strongest-on-slow, realising the paper's same-type branch.
-        let o = obs_from(&[
-            (3e7, true),
-            (4e7, true),
-            (5e7, false),
-            (9e7, false),
-        ]);
+        let o = obs_from(&[(3e7, true), (4e7, true), (5e7, false), (9e7, false)]);
         let pairs = select_pairs(&o, 2, 0.1);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].low, ThreadId(0)); // weakest on a fast core
@@ -250,6 +285,90 @@ mod tests {
         // The only high-BW occupant already has the higher rate.
         let o = obs_from(&[(9e7, true), (1e6, false)]);
         assert!(select_pairs(&o, 4, 0.1).is_empty());
+    }
+
+    #[test]
+    fn pairs_never_cross_numa_domains() {
+        // Each domain has a C-on-fast / M-on-slow violator pair, but the
+        // globally most extreme pairing (t0 with t3) would cross domains.
+        let o = obs_with_domains(&[
+            (1e6, true, 0),  // t0: lowest rate, fast, domain 0
+            (8e7, false, 0), // t1: M on slow, domain 0
+            (2e6, true, 1),  // t2: C on fast, domain 1
+            (9e7, false, 1), // t3: highest rate, slow, domain 1
+        ]);
+        let pairs = select_pairs(&o, 8, 0.1);
+        assert_eq!(pairs.len(), 2);
+        // Domain 0's pair first, then domain 1's — never t0 with t3.
+        assert_eq!(pairs[0].low, ThreadId(0));
+        assert_eq!(pairs[0].high, ThreadId(1));
+        assert_eq!(pairs[1].low, ThreadId(2));
+        assert_eq!(pairs[1].high, ThreadId(3));
+        for p in &pairs {
+            assert_eq!(
+                o.core_domain[p.low_vcore.index()],
+                o.core_domain[p.high_vcore.index()],
+                "pair {p:?} crosses a domain boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_budget_applies_per_domain() {
+        // Two violator pairs per domain; swap_size 2 = one pair *per
+        // controller*, so a 2-domain machine forms two pairs total.
+        let o = obs_with_domains(&[
+            (1e6, true, 0),
+            (2e6, true, 0),
+            (7e7, false, 0),
+            (8e7, false, 0),
+            (3e6, true, 1),
+            (4e6, true, 1),
+            (6e7, false, 1),
+            (9e7, false, 1),
+        ]);
+        assert_eq!(select_pairs(&o, 2, 0.1).len(), 2);
+        assert_eq!(select_pairs(&o, 4, 0.1).len(), 4);
+    }
+
+    #[test]
+    fn domain_without_candidates_forms_no_pairs() {
+        // Domain 0 has both sides; domain 1 is all on high-BW cores (no
+        // tail candidate) and must stay silent rather than borrow a remote
+        // partner.
+        let o = obs_with_domains(&[
+            (1e6, true, 0),
+            (9e7, false, 0),
+            (5e6, true, 1),
+            (6e7, true, 1),
+        ]);
+        let pairs = select_pairs(&o, 8, 0.1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].low, ThreadId(0));
+        assert_eq!(pairs[0].high, ThreadId(1));
+    }
+
+    #[test]
+    fn single_domain_observation_matches_domain_blind_pairing() {
+        // The per-domain scan with one domain must reproduce the global
+        // algorithm exactly (the 1-domain regression contract).
+        let flat = [
+            (1e6, true),
+            (2e6, true),
+            (6e7, false),
+            (9e7, false),
+            (3e7, true),
+            (4e7, false),
+        ];
+        let o0 = obs_from(&flat);
+        let tagged: Vec<(f64, bool, u32)> = flat.iter().map(|&(r, h)| (r, h, 0)).collect();
+        let o1 = obs_with_domains(&tagged);
+        for swap_size in [0, 2, 4, 8, 16] {
+            assert_eq!(
+                select_pairs(&o0, swap_size, 0.1),
+                select_pairs(&o1, swap_size, 0.1)
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests on Dike's components: selector pairing, configuration
 //! ladder, optimizer convergence, and decider consistency.
 
-use dike_machine::{AppId, ThreadId, VCoreId};
+use dike_machine::{AppId, DomainId, ThreadId, VCoreId};
 use dike_scheduler::observer::{Observation, ObservedThread, ThreadClass};
 use dike_scheduler::{select_pairs, AdaptationGoal, DikeConfig, SchedConfig};
 use dike_util::check::check;
@@ -31,6 +31,7 @@ fn obs_from(threads: &[(f64, bool, bool)]) -> Observation {
         threads: ts,
         high_bw,
         core_bw: vec![1.0; threads.len()],
+        core_domain: vec![DomainId(0); threads.len()],
         fairness_cv: 10.0, // force the gate open
         memory_fraction: 0.5,
     }
@@ -46,32 +47,36 @@ fn gen_threads(rng: &mut Pcg32, lo_rate: f64, max_len: usize) -> Vec<(f64, bool,
 
 #[test]
 fn selector_pairs_are_disjoint_directed_and_bounded() {
-    check("selector_pairs_are_disjoint_directed_and_bounded", 256, |rng| {
-        let threads = gen_threads(rng, 0.0, 40);
-        let swap_size = rng.gen_range(0u32..20);
+    check(
+        "selector_pairs_are_disjoint_directed_and_bounded",
+        256,
+        |rng| {
+            let threads = gen_threads(rng, 0.0, 40);
+            let swap_size = rng.gen_range(0u32..20);
 
-        let obs = obs_from(&threads);
-        let pairs = select_pairs(&obs, swap_size, 0.1);
-        // Bounded by swapSize/2.
-        assert!(pairs.len() <= (swap_size / 2) as usize);
-        // Disjoint thread ids.
-        let mut ids: Vec<u32> = pairs.iter().flat_map(|p| [p.low.0, p.high.0]).collect();
-        let before = ids.len();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), before, "a thread appears in two pairs");
-        for p in &pairs {
-            // Direction: low member sits on a high-BW core, high member on
-            // a low-BW core (that is what the swap corrects).
-            assert!(obs.high_bw[p.low_vcore.index()]);
-            assert!(!obs.high_bw[p.high_vcore.index()]);
-            // Reported vcores match the threads'.
-            let low = obs.threads.iter().find(|t| t.id == p.low).unwrap();
-            let high = obs.threads.iter().find(|t| t.id == p.high).unwrap();
-            assert_eq!(low.vcore, p.low_vcore);
-            assert_eq!(high.vcore, p.high_vcore);
-        }
-    });
+            let obs = obs_from(&threads);
+            let pairs = select_pairs(&obs, swap_size, 0.1);
+            // Bounded by swapSize/2.
+            assert!(pairs.len() <= (swap_size / 2) as usize);
+            // Disjoint thread ids.
+            let mut ids: Vec<u32> = pairs.iter().flat_map(|p| [p.low.0, p.high.0]).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "a thread appears in two pairs");
+            for p in &pairs {
+                // Direction: low member sits on a high-BW core, high member on
+                // a low-BW core (that is what the swap corrects).
+                assert!(obs.high_bw[p.low_vcore.index()]);
+                assert!(!obs.high_bw[p.high_vcore.index()]);
+                // Reported vcores match the threads'.
+                let low = obs.threads.iter().find(|t| t.id == p.low).unwrap();
+                let high = obs.threads.iter().find(|t| t.id == p.high).unwrap();
+                assert_eq!(low.vcore, p.low_vcore);
+                assert_eq!(high.vcore, p.high_vcore);
+            }
+        },
+    );
 }
 
 #[test]
@@ -125,6 +130,7 @@ fn optimizer_converges_and_stays_valid() {
             threads: Vec::new(),
             high_bw: Vec::new(),
             core_bw: Vec::new(),
+            core_domain: Vec::new(),
             fairness_cv: 1.0,
             memory_fraction,
         };

@@ -10,10 +10,7 @@ fn main() {
     let workloads: Vec<usize> = if args.rest.is_empty() {
         vec![1, 9, 13]
     } else {
-        args.rest
-            .iter()
-            .filter_map(|s| s.parse().ok())
-            .collect()
+        args.rest.iter().filter_map(|s| s.parse().ok()).collect()
     };
     println!("Ablation study over workloads {workloads:?}\n");
     let rows = ablations::run(&args.opts, &workloads);

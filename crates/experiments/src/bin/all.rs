@@ -11,7 +11,10 @@ use dike_util::pool;
 fn main() {
     let args = cli::from_env();
     let opts = &args.opts;
-    println!("experiment pool: {} worker thread(s)\n", pool::num_threads());
+    println!(
+        "experiment pool: {} worker thread(s)\n",
+        pool::num_threads()
+    );
 
     println!("=== Figure 1 ===\n");
     print!("{}", fig1::render(&fig1::run(opts)).render());

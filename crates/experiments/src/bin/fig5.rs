@@ -2,20 +2,20 @@
 //! data behind Algorithm 2's adaptation rules. Pass a positional integer
 //! to limit workloads per class (default 2; the full figure uses 6).
 
-use dike_experiments::{cli, fig5};
 use dike_experiments::fig4::Heatmap;
 use dike_experiments::fig5::ClassContours;
+use dike_experiments::{cli, fig5};
 
 fn main() {
     let args = cli::from_env();
-    let per_class: usize = args
-        .rest
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
+    let per_class: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(2);
     println!("Figure 5 — per-class optimisation space ({per_class} workloads/class)\n");
     for c in fig5::run(&args.opts, per_class) {
-        println!("class {} (workloads: {})", c.class.label(), c.workloads.join(", "));
+        println!(
+            "class {} (workloads: {})",
+            c.class.label(),
+            c.workloads.join(", ")
+        );
         for map in [&c.fairness, &c.performance] {
             let t = map.render();
             println!("{}", t.render());

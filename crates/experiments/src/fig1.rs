@@ -118,9 +118,10 @@ pub fn run(opts: &RunOptions) -> Vec<Fig1Row> {
     let hetero = presets::paper_machine(opts.seed);
     let homo = presets::homogeneous_machine(opts.seed);
     let mut rows = Vec::new();
-    for (machine_label, machine_cfg, wl_nums) in
-        [("hetero", &hetero, vec![2usize, 15]), ("homo", &homo, vec![15])]
-    {
+    for (machine_label, machine_cfg, wl_nums) in [
+        ("hetero", &hetero, vec![2usize, 15]),
+        ("homo", &homo, vec![15]),
+    ] {
         for n in wl_nums {
             let w = paper::workload(n);
             let concurrent = concurrent_runtimes(machine_cfg, &w, opts);
@@ -187,7 +188,9 @@ pub fn quick_check(rows: &[Fig1Row]) -> Result<(), String> {
     };
     if let (Some(j), Some(s)) = (slow("jacobi"), slow("srad")) {
         if j <= s {
-            return Err(format!("jacobi ({j:.2}x) should slow more than srad ({s:.2}x)"));
+            return Err(format!(
+                "jacobi ({j:.2}x) should slow more than srad ({s:.2}x)"
+            ));
         }
     }
     // STREAM must suffer more on the heterogeneous machine, relative to

@@ -109,12 +109,7 @@ mod tests {
         for h in [&f, &p] {
             assert_eq!(h.values.len(), 4);
             assert!(h.values.iter().all(|r| r.len() == 8));
-            let max = h
-                .values
-                .iter()
-                .flatten()
-                .copied()
-                .fold(f64::MIN, f64::max);
+            let max = h.values.iter().flatten().copied().fold(f64::MIN, f64::max);
             assert!((max - 1.0).abs() < 1e-12, "{} max {max}", h.metric);
             assert!(h.values.iter().flatten().all(|&v| v > 0.0 && v <= 1.0));
             let t = h.render();

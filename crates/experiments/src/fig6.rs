@@ -98,7 +98,10 @@ pub fn run_subset(opts: &RunOptions, workload_numbers: &[usize]) -> Fig6 {
 pub fn run_subset_pool(opts: &RunOptions, workload_numbers: &[usize], pool: &Pool) -> Fig6 {
     let cfg = presets::paper_machine(opts.seed);
     let kinds = SchedKind::comparison_set();
-    let workloads: Vec<_> = workload_numbers.iter().map(|&n| paper::workload(n)).collect();
+    let workloads: Vec<_> = workload_numbers
+        .iter()
+        .map(|&n| paper::workload(n))
+        .collect();
     let tasks: Vec<_> = workloads
         .iter()
         .flat_map(|w| kinds.iter().map(move |k| (w, k.clone())))
@@ -106,7 +109,11 @@ pub fn run_subset_pool(opts: &RunOptions, workload_numbers: &[usize], pool: &Poo
     let mut results = run_cells(&cfg, &tasks, opts, pool).into_iter();
     let rows = workloads
         .iter()
-        .map(|_| (0..kinds.len()).map(|_| results.next().expect("cell")).collect())
+        .map(|_| {
+            (0..kinds.len())
+                .map(|_| results.next().expect("cell"))
+                .collect()
+        })
         .collect();
     Fig6 {
         schedulers: kinds.iter().map(|k| k.label()).collect(),

@@ -52,11 +52,7 @@ pub fn run(opts: &RunOptions) -> Vec<Fig8Trace> {
 pub fn render(trace: &Fig8Trace, max_points: usize) -> TextTable {
     let ds = trace.series.downsample(max_points);
     let mut t = TextTable::new(vec!["t(s)", "error", "trend"]);
-    let max_abs = ds
-        .values
-        .iter()
-        .map(|v| v.abs())
-        .fold(1e-9, f64::max);
+    let max_abs = ds.values.iter().map(|v| v.abs()).fold(1e-9, f64::max);
     for (time, value) in ds.iter() {
         let width = 20usize;
         let mid = width / 2;
@@ -88,7 +84,11 @@ mod tests {
         let traces = run_subset(&opts, &[6]);
         assert_eq!(traces.len(), 1);
         let tr = &traces[0];
-        assert!(tr.series.len() > 5, "too few trace points: {}", tr.series.len());
+        assert!(
+            tr.series.len() > 5,
+            "too few trace points: {}",
+            tr.series.len()
+        );
         // Errors stay bounded.
         let s = tr.series.summary();
         assert!(s.min > -1.0 && s.max < 1.0, "unbounded errors: {s:?}");

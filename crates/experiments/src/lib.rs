@@ -17,6 +17,7 @@
 //! | [`fig8`] | Figure 8 — prediction-error traces |
 //! | [`table3`] | Table III — swap counts |
 //! | [`ablations`] | DESIGN.md §5 design-choice ablations |
+//! | [`scale`] | beyond-paper: 40/160/320-vcore NUMA scale sweep |
 
 pub mod ablations;
 pub mod cli;
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod runner;
+pub mod scale;
 pub mod sweep;
 pub mod table3;
 

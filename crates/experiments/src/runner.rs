@@ -4,8 +4,8 @@
 use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
 use dike_machine::{Machine, MachineConfig, SimTime};
 use dike_metrics::RuntimeMatrix;
-use dike_scheduler::{Dike, DikeConfig, SchedConfig};
 use dike_sched_core::{run_with, SystemView};
+use dike_scheduler::{Dike, DikeConfig, SchedConfig};
 use dike_util::{json_enum, json_struct};
 use dike_workloads::{Placement, Workload};
 

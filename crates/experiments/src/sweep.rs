@@ -62,12 +62,24 @@ impl Sweep {
 
     /// Index of the best cell by fairness.
     pub fn best_fairness(&self) -> usize {
-        argmax(&self.cells.iter().map(|c| c.result.fairness).collect::<Vec<_>>())
+        argmax(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.result.fairness)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Index of the worst cell by fairness.
     pub fn worst_fairness(&self) -> usize {
-        argmin(&self.cells.iter().map(|c| c.result.fairness).collect::<Vec<_>>())
+        argmin(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.result.fairness)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Index of the best cell by performance (lowest mean app runtime).
@@ -241,8 +253,7 @@ mod tests {
         let bp = sweep.best_performance();
         let wp = sweep.worst_performance();
         assert!(
-            sweep.cells[bp].result.mean_app_runtime_s
-                <= sweep.cells[wp].result.mean_app_runtime_s
+            sweep.cells[bp].result.mean_app_runtime_s <= sweep.cells[wp].result.mean_app_runtime_s
         );
         assert!(sweep.cell(SchedConfig::DEFAULT).is_some());
     }
@@ -258,8 +269,7 @@ mod tests {
             ..RunOptions::default()
         };
         let cfg = presets::paper_machine(1);
-        let mut sweep =
-            sweep_workload_pool(&cfg, &paper::workload(1), &opts, &Pool::new(1));
+        let mut sweep = sweep_workload_pool(&cfg, &paper::workload(1), &opts, &Pool::new(1));
         sweep.cells[5].result.fairness = f64::NAN;
         sweep.cells[11].result.mean_app_runtime_s = f64::NAN;
         for idx in [

@@ -28,7 +28,15 @@ impl Table3 {
     /// Per-scheduler averages (the table's final column).
     pub fn averages(&self) -> Vec<f64> {
         (0..self.schedulers.len())
-            .map(|s| mean(&self.swaps.iter().map(|row| row[s] as f64).collect::<Vec<_>>()))
+            .map(|s| {
+                mean(
+                    &self
+                        .swaps
+                        .iter()
+                        .map(|row| row[s] as f64)
+                        .collect::<Vec<_>>(),
+                )
+            })
             .collect()
     }
 }
@@ -53,7 +61,10 @@ pub fn run_subset(opts: &RunOptions, workload_numbers: &[usize]) -> Table3 {
 pub fn run_subset_pool(opts: &RunOptions, workload_numbers: &[usize], pool: &Pool) -> Table3 {
     let cfg = presets::paper_machine(opts.seed);
     let kinds = kinds();
-    let workloads: Vec<_> = workload_numbers.iter().map(|&n| paper::workload(n)).collect();
+    let workloads: Vec<_> = workload_numbers
+        .iter()
+        .map(|&n| paper::workload(n))
+        .collect();
     let tasks: Vec<_> = workloads
         .iter()
         .flat_map(|w| kinds.iter().map(move |k| (w, k.clone())))

@@ -4,7 +4,7 @@
 //! wall-clock knob with no effect on any recorded figure or fixture.
 
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, table3, RunOptions};
+use dike_experiments::{fig6, scale, table3, RunOptions};
 use dike_machine::presets;
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -43,7 +43,10 @@ fn fig6_comparison_set_is_thread_count_invariant() {
     let serial = fig6::run_subset_pool(&opts, &[1, 13], &Pool::new(1));
     for threads in [2usize, 8] {
         let parallel = fig6::run_subset_pool(&opts, &[1, 13], &Pool::new(threads));
-        assert_eq!(serial, parallel, "{threads}-thread Fig 6 differs from serial");
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread Fig 6 differs from serial"
+        );
     }
 }
 
@@ -53,4 +56,26 @@ fn table3_swap_counts_are_thread_count_invariant() {
     let serial = table3::run_subset_pool(&opts, &[1], &Pool::new(1));
     let parallel = table3::run_subset_pool(&opts, &[1], &Pool::new(4));
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn scale_sweep_is_thread_count_invariant_on_numa_machines() {
+    // The multi-controller solve partitions demands per domain; this must
+    // not introduce any worker-count sensitivity (the machine is still
+    // simulated single-threaded per cell — only cells are sharded).
+    let opts = small_opts();
+    let serial = scale::run_scale_points_pool(&[1, 2], &opts, &Pool::new(1));
+    let serial_json = json::to_string(&serial);
+    assert!(
+        serial_json.contains("\"domains\""),
+        "scale points serialize"
+    );
+    for threads in [2usize, 8] {
+        let parallel = scale::run_scale_points_pool(&[1, 2], &opts, &Pool::new(threads));
+        assert_eq!(
+            serial_json,
+            json::to_string(&parallel),
+            "{threads}-thread scale sweep JSON must be byte-identical to serial"
+        );
+    }
 }

@@ -3,12 +3,14 @@
 use crate::topology::Topology;
 use dike_util::json_struct;
 
-/// Parameters of the shared memory system (one controller, as in the paper's
-/// single-memory-controller testbed).
+/// Parameters of the memory system. Every NUMA domain in the topology gets
+/// its own controller with these parameters; the paper's testbed is the
+/// single-controller (one-domain) case.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
-    /// Peak sustainable controller throughput in LLC-miss transfers per
-    /// second. With 64-byte lines, 400e6 accesses/s ≈ 24 GiB/s.
+    /// Peak sustainable *per-controller* throughput in LLC-miss transfers
+    /// per second. With 64-byte lines, 400e6 accesses/s ≈ 24 GiB/s. Total
+    /// machine bandwidth scales with the number of domains.
     pub bandwidth_accesses_per_sec: f64,
     /// Uncontended effective memory access latency in seconds. This is the
     /// *effective* per-miss stall after memory-level parallelism, not the
@@ -27,6 +29,12 @@ pub struct MemoryConfig {
     /// paper's `CoreBW` — not the contention physics. Real uncore counts
     /// run 10–50 % above demand misses on prefetch-friendly streams.
     pub prefetch_factor: f64,
+    /// Latency multiplier for a miss serviced by a *remote* controller: a
+    /// thread running outside its home domain pays this factor on every
+    /// per-miss stall (interconnect hop both ways). 1.5 is a typical local
+    /// vs. remote DRAM ratio on two-hop x86 servers. Irrelevant on
+    /// single-domain machines, where every access is local.
+    pub remote_latency_factor: f64,
 }
 
 impl Default for MemoryConfig {
@@ -37,6 +45,7 @@ impl Default for MemoryConfig {
             queue_gain: 0.9,
             max_utilisation: 0.75,
             prefetch_factor: 1.1,
+            remote_latency_factor: 1.5,
         }
     }
 }
@@ -84,19 +93,28 @@ pub struct MigrationConfig {
     /// lost NUMA locality stall the pipeline itself, independently of the
     /// shared-bandwidth picture.
     pub warmup_cpi_multiplier: f64,
+    /// Warm-up duration multiplier when the migration *leaves its NUMA
+    /// domain*: the refill streams from a remote controller, so the whole
+    /// warm-up window stretches by roughly the remote-access latency ratio.
+    /// Intra-domain moves use the base warm-up unchanged.
+    pub cross_domain_warmup_factor: f64,
 }
 
 impl Default for MigrationConfig {
     fn default() -> Self {
-        // Calibrated for the paper's dual-socket testbed, where a swap
-        // typically crosses sockets: run-queue hop plus a cold L2/LLC and
-        // lost NUMA locality for tens of milliseconds.
+        // The base costs model an *intra-domain* move: run-queue hop plus a
+        // cold private cache refilled from the local controller for tens of
+        // milliseconds (the paper's dual-socket testbed shares one memory
+        // controller, so all of its swaps are intra-domain). A move that
+        // crosses NUMA domains refills from a remote controller instead and
+        // pays `cross_domain_warmup_factor` on the warm-up window.
         MigrationConfig {
             dead_time_us: 3_000,
             warmup_us: 40_000,
             warmup_us_per_mib: 5_000,
             warmup_miss_multiplier: 3.0,
             warmup_cpi_multiplier: 2.5,
+            cross_domain_warmup_factor: 1.75,
         }
     }
 }
@@ -172,6 +190,7 @@ json_struct!(MemoryConfig {
     queue_gain,
     max_utilisation,
     prefetch_factor,
+    remote_latency_factor,
 });
 json_struct!(LlcConfig {
     capacity_mib,
@@ -184,6 +203,7 @@ json_struct!(MigrationConfig {
     warmup_us_per_mib,
     warmup_miss_multiplier,
     warmup_cpi_multiplier,
+    cross_domain_warmup_factor,
 });
 json_struct!(BalanceConfig {
     enabled,
@@ -235,6 +255,12 @@ impl MachineConfig {
         if !(self.migration.warmup_cpi_multiplier >= 1.0) {
             return Err("warmup_cpi_multiplier must be >= 1".into());
         }
+        if !(self.migration.cross_domain_warmup_factor >= 1.0) {
+            return Err("cross_domain_warmup_factor must be >= 1".into());
+        }
+        if !(self.memory.remote_latency_factor >= 1.0) {
+            return Err("remote_latency_factor must be >= 1".into());
+        }
         if self.balance.enabled && self.balance.interval_us == 0 {
             return Err("balance interval must be > 0 when enabled".into());
         }
@@ -260,6 +286,17 @@ pub mod presets {
             balance: BalanceConfig::default(),
             tick_us: 1_000,
             seed,
+        }
+    }
+
+    /// A scaled-out NUMA machine: `n_domains` replicas of the paper's
+    /// socket mix (10 fast + 10 slow physical cores, 2-way SMT), each
+    /// domain owning its own memory controller and LLC slice with the
+    /// paper-machine parameters. 4 domains = 160 vcores, 8 = 320.
+    pub fn numa_machine(n_domains: usize, seed: u64) -> MachineConfig {
+        MachineConfig {
+            topology: Topology::numa_uniform(n_domains, 10, 10, 2),
+            ..paper_machine(seed)
         }
     }
 
@@ -305,6 +342,20 @@ mod tests {
         assert!(presets::paper_machine(1).validate().is_ok());
         assert!(presets::homogeneous_machine(1).validate().is_ok());
         assert!(presets::small_machine(1).validate().is_ok());
+        assert!(presets::numa_machine(4, 1).validate().is_ok());
+        assert!(presets::numa_machine(8, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn numa_presets_scale_core_counts() {
+        assert_eq!(presets::numa_machine(4, 0).topology.num_vcores(), 160);
+        assert_eq!(presets::numa_machine(8, 0).topology.num_vcores(), 320);
+        assert_eq!(presets::numa_machine(8, 0).topology.num_domains(), 8);
+        // The 1-domain preset is the paper machine's topology exactly.
+        assert_eq!(
+            presets::numa_machine(1, 0).topology.num_vcores(),
+            presets::paper_machine(0).topology.num_vcores()
+        );
     }
 
     #[test]
@@ -341,6 +392,12 @@ mod tests {
         assert!(m.validate().is_err());
         let mut m = presets::small_machine(0);
         m.llc.capacity_mib = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = presets::small_machine(0);
+        m.memory.remote_latency_factor = 0.5;
+        assert!(m.validate().is_err());
+        let mut m = presets::small_machine(0);
+        m.migration.cross_domain_warmup_factor = 0.0;
         assert!(m.validate().is_err());
     }
 }

@@ -16,7 +16,14 @@
 //!   per-miss latency with an M/M/1-style factor; demand beyond the peak
 //!   bandwidth is served proportionally to demand (bandwidth sharing).
 
+//! * **Multiple controllers** ([`solve_memory_numa`]): on a NUMA machine
+//!   each domain's controller runs the same fixed point over the demands
+//!   *homed* to it, with remote threads (running outside their home domain)
+//!   paying a latency factor on every miss. The one-domain case reduces
+//!   bit-for-bit to [`solve_memory`].
+
 use crate::config::{LlcConfig, MemoryConfig};
+use crate::ids::DomainId;
 
 /// Miss-ratio inflation factor for a given total running working set.
 ///
@@ -119,12 +126,7 @@ pub fn solve_memory_reference(demands: &[MemDemand], cfg: &MemoryConfig) -> MemS
 /// the queue-inflated latency, every thread's rate at that latency, and
 /// returns `(latency, g(rho))` where `g` is the next utilisation estimate.
 #[inline]
-fn eval_map(
-    rho: f64,
-    demands: &[MemDemand],
-    cfg: &MemoryConfig,
-    rates: &mut [f64],
-) -> (f64, f64) {
+fn eval_map(rho: f64, demands: &[MemDemand], cfg: &MemoryConfig, rates: &mut [f64]) -> (f64, f64) {
     let r = rho.clamp(0.0, cfg.max_utilisation);
     let latency = cfg.base_latency_s * (1.0 + cfg.queue_gain * r / (1.0 - r));
     let mut miss_throughput = 0.0;
@@ -222,6 +224,221 @@ fn solve_memory_impl(
     } else {
         miss_throughput / bw
     };
+}
+
+/// One thread's demand on a multi-controller memory system: the plain
+/// [`MemDemand`] plus which controller its misses are homed to and whether
+/// the thread currently runs outside that domain (paying the remote-access
+/// latency factor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumaDemand {
+    /// Pipeline-side demand, as for the single-controller solver.
+    pub demand: MemDemand,
+    /// Controller that services this thread's misses (first-touch home).
+    pub home: DomainId,
+    /// True when the thread runs on a core outside its home domain.
+    pub remote: bool,
+}
+
+/// Solved state of one memory controller inside a [`NumaSolution`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DomainSolution {
+    /// Controller utilisation (achieved miss throughput / peak bandwidth).
+    pub utilisation: f64,
+    /// Effective *local* per-miss latency at this controller (seconds);
+    /// remote clients of the controller see it scaled by the remote factor.
+    pub latency_s: f64,
+}
+
+/// The solved state of a multi-controller memory system for one tick.
+///
+/// Like [`MemSolution`] it is reusable as a scratch buffer: the engine keeps
+/// one alive and calls [`solve_memory_numa_into`] every tick, so steady-state
+/// ticks perform no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct NumaSolution {
+    /// Achieved instruction rate (instructions/second) per input demand,
+    /// parallel to the input slice.
+    pub rates: Vec<f64>,
+    /// Per-controller utilisation and latency, indexed by domain.
+    pub domains: Vec<DomainSolution>,
+    // Per-domain partitioning scratch, reused across ticks.
+    scratch_idx: Vec<u32>,
+    scratch_demands: Vec<MemDemand>,
+    scratch_factors: Vec<f64>,
+    scratch_rates: Vec<f64>,
+}
+
+impl NumaSolution {
+    /// An empty solution, ready for reuse via [`solve_memory_numa_into`].
+    pub fn empty() -> Self {
+        NumaSolution::default()
+    }
+
+    /// Sum of achieved miss throughput (accesses/second) across all
+    /// controllers, computed from the solved utilisations.
+    pub fn total_miss_throughput(&self, cfg: &MemoryConfig) -> f64 {
+        self.domains
+            .iter()
+            .map(|d| d.utilisation * cfg.bandwidth_accesses_per_sec)
+            .sum()
+    }
+}
+
+/// Solve every controller of a multi-domain memory system for one tick.
+///
+/// Demands are partitioned by their *home* domain — misses always queue at
+/// the controller that owns the thread's memory, wherever the thread runs —
+/// and each partition gets its own [`solve_memory`]-style fixed point, with
+/// remote threads' per-miss stall scaled by
+/// [`MemoryConfig::remote_latency_factor`]. Controllers are independent:
+/// each has the full per-controller peak bandwidth.
+pub fn solve_memory_numa(
+    demands: &[NumaDemand],
+    num_domains: usize,
+    cfg: &MemoryConfig,
+) -> NumaSolution {
+    let mut out = NumaSolution::empty();
+    solve_memory_numa_into(demands, num_domains, cfg, &mut out);
+    out
+}
+
+/// [`solve_memory_numa`] writing into a caller-provided solution, reusing
+/// its allocations. This is the per-tick hot path on multi-domain machines.
+pub fn solve_memory_numa_into(
+    demands: &[NumaDemand],
+    num_domains: usize,
+    cfg: &MemoryConfig,
+    out: &mut NumaSolution,
+) {
+    assert!(num_domains >= 1, "need at least one memory controller");
+    out.rates.clear();
+    out.rates.resize(demands.len(), 0.0);
+    out.domains.clear();
+
+    for dom in 0..num_domains as u32 {
+        out.scratch_idx.clear();
+        out.scratch_demands.clear();
+        out.scratch_factors.clear();
+        for (i, nd) in demands.iter().enumerate() {
+            if nd.home.0 == dom {
+                out.scratch_idx.push(i as u32);
+                out.scratch_demands.push(nd.demand);
+                out.scratch_factors.push(if nd.remote {
+                    cfg.remote_latency_factor
+                } else {
+                    1.0
+                });
+            }
+        }
+        let (utilisation, latency_s) = solve_memory_scaled(
+            &out.scratch_demands,
+            &out.scratch_factors,
+            cfg,
+            &mut out.scratch_rates,
+        );
+        out.domains.push(DomainSolution {
+            utilisation,
+            latency_s,
+        });
+        for (k, &i) in out.scratch_idx.iter().enumerate() {
+            out.rates[i as usize] = out.scratch_rates[k];
+        }
+    }
+}
+
+/// One evaluation of the per-controller fixed-point map with per-demand
+/// latency factors. With all factors equal to 1.0 this computes exactly the
+/// same floating-point values as [`eval_map`] (multiplying by 1.0 is the
+/// identity), which is what makes the one-domain NUMA solve bit-compatible
+/// with the single-controller solver.
+#[inline]
+fn eval_map_scaled(
+    rho: f64,
+    demands: &[MemDemand],
+    factors: &[f64],
+    cfg: &MemoryConfig,
+    rates: &mut [f64],
+) -> (f64, f64) {
+    let r = rho.clamp(0.0, cfg.max_utilisation);
+    let latency = cfg.base_latency_s * (1.0 + cfg.queue_gain * r / (1.0 - r));
+    let mut miss_throughput = 0.0;
+    for ((rate, d), f) in rates.iter_mut().zip(demands).zip(factors) {
+        *rate = 1.0 / (d.base_time_per_instr + d.miss_ratio * latency * f);
+        miss_throughput += *rate * d.miss_ratio;
+    }
+    (latency, miss_throughput / cfg.bandwidth_accesses_per_sec)
+}
+
+/// The [`solve_memory_impl`] iteration scheme for one controller with
+/// per-demand latency factors. Returns `(utilisation, latency_s)` and fills
+/// `rates` (cleared and resized) with the achieved instruction rates.
+fn solve_memory_scaled(
+    demands: &[MemDemand],
+    factors: &[f64],
+    cfg: &MemoryConfig,
+    rates: &mut Vec<f64>,
+) -> (f64, f64) {
+    rates.clear();
+    if demands.is_empty() {
+        return (0.0, cfg.base_latency_s);
+    }
+    rates.resize(demands.len(), 0.0);
+
+    let bw = cfg.bandwidth_accesses_per_sec;
+    let mut rho = 0.0_f64;
+    let mut prev_delta = 0.0_f64;
+
+    for _ in 0..MAX_ITERS {
+        let (_, g_rho) = eval_map_scaled(rho, demands, factors, cfg, rates);
+        let damped = 0.5 * rho + 0.5 * g_rho;
+        let delta = damped - rho;
+        if delta.abs() <= REL_TOL * damped.abs().max(REL_TOL) {
+            rho = damped;
+            break;
+        }
+        if prev_delta != 0.0 {
+            let q = delta / prev_delta;
+            if q > -0.99 && q < 0.95 && q != 0.0 {
+                rho = (damped + delta * q / (1.0 - q)).max(0.0);
+                prev_delta = 0.0;
+                continue;
+            }
+        }
+        rho = damped;
+        prev_delta = delta;
+    }
+
+    let (latency, final_rho) = eval_map_scaled(rho, demands, factors, cfg, rates);
+    let miss_throughput = final_rho * bw;
+
+    // Proportional bandwidth sharing above peak, as in the single-controller
+    // solver. The weight is the unconstrained pipeline-side demand — the
+    // remote factor does not change how much controller bandwidth a miss
+    // consumes, only how long the requester stalls on it.
+    let utilisation = if miss_throughput > bw {
+        let total_weight: f64 = demands
+            .iter()
+            .map(|d| d.miss_ratio / d.base_time_per_instr)
+            .sum();
+        if total_weight > 0.0 {
+            for (rate, d) in rates.iter_mut().zip(demands) {
+                if d.miss_ratio > 0.0 {
+                    let share = bw * (d.miss_ratio / d.base_time_per_instr) / total_weight;
+                    *rate = rate.min(share / d.miss_ratio);
+                }
+            }
+        }
+        let served: f64 = rates
+            .iter()
+            .zip(demands)
+            .map(|(rate, d)| rate * d.miss_ratio)
+            .sum();
+        (served / bw).min(1.0)
+    } else {
+        miss_throughput / bw
+    };
+    (utilisation, latency)
 }
 
 #[cfg(test)]
@@ -359,6 +576,106 @@ mod tests {
     }
 
     #[test]
+    fn numa_single_domain_local_matches_single_controller_exactly() {
+        let cfg = mem_cfg();
+        let d1 = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.03,
+        };
+        let d2 = MemDemand {
+            base_time_per_instr: 0.6 / 1.21e9,
+            miss_ratio: 0.002,
+        };
+        let mut flat = vec![d1; 12];
+        flat.extend(vec![d2; 12]);
+        let numa: Vec<NumaDemand> = flat
+            .iter()
+            .map(|&demand| NumaDemand {
+                demand,
+                home: DomainId(0),
+                remote: false,
+            })
+            .collect();
+        let single = solve_memory(&flat, &cfg);
+        let multi = solve_memory_numa(&numa, 1, &cfg);
+        assert_eq!(single.rates, multi.rates, "one local domain is bit-exact");
+        assert_eq!(single.utilisation, multi.domains[0].utilisation);
+        assert_eq!(single.latency_s, multi.domains[0].latency_s);
+    }
+
+    #[test]
+    fn remote_threads_run_slower_than_local() {
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.03,
+        };
+        let local = NumaDemand {
+            demand: d,
+            home: DomainId(0),
+            remote: false,
+        };
+        let remote = NumaDemand {
+            remote: true,
+            ..local
+        };
+        let s = solve_memory_numa(&[local, remote], 1, &cfg);
+        assert!(
+            s.rates[0] > s.rates[1],
+            "remote access must cost: {} vs {}",
+            s.rates[0],
+            s.rates[1]
+        );
+    }
+
+    #[test]
+    fn domains_are_independent_controllers() {
+        // 32 heavy threads on one controller saturate it; split across two
+        // controllers each side solves as if alone.
+        let cfg = mem_cfg();
+        let d = MemDemand {
+            base_time_per_instr: 1.0 / 2.33e9,
+            miss_ratio: 0.05,
+        };
+        let one_side = solve_memory(&vec![d; 16], &cfg);
+        let split: Vec<NumaDemand> = (0..32)
+            .map(|i| NumaDemand {
+                demand: d,
+                home: DomainId((i % 2) as u32),
+                remote: false,
+            })
+            .collect();
+        let s = solve_memory_numa(&split, 2, &cfg);
+        assert_eq!(s.domains.len(), 2);
+        assert_eq!(s.rates[0], one_side.rates[0]);
+        assert_eq!(s.domains[0].utilisation, s.domains[1].utilisation);
+        // Aggregate throughput may exceed one controller's peak but never
+        // the sum of both peaks.
+        let total = s.total_miss_throughput(&cfg);
+        assert!(total <= 2.0 * cfg.bandwidth_accesses_per_sec * 1.0001);
+        assert!(total > cfg.bandwidth_accesses_per_sec * 0.9);
+    }
+
+    #[test]
+    fn empty_domain_reports_idle() {
+        let cfg = mem_cfg();
+        let d = NumaDemand {
+            demand: MemDemand {
+                base_time_per_instr: 1.0 / 2.33e9,
+                miss_ratio: 0.01,
+            },
+            home: DomainId(1),
+            remote: false,
+        };
+        let s = solve_memory_numa(&[d], 4, &cfg);
+        assert_eq!(s.domains.len(), 4);
+        assert_eq!(s.domains[0].utilisation, 0.0);
+        assert_eq!(s.domains[0].latency_s, cfg.base_latency_s);
+        assert!(s.domains[1].utilisation > 0.0);
+        assert!(s.rates[0] > 0.0);
+    }
+
+    #[test]
     fn latency_increases_with_load() {
         let cfg = mem_cfg();
         let d = MemDemand {
@@ -368,6 +685,9 @@ mod tests {
         let light = solve_memory(&[d], &cfg);
         let heavy = solve_memory(&vec![d; 32], &cfg);
         assert!(heavy.latency_s > light.latency_s);
-        assert!(heavy.latency_s <= cfg.base_latency_s * 25.0, "latency finite");
+        assert!(
+            heavy.latency_s <= cfg.base_latency_s * 25.0,
+            "latency finite"
+        );
     }
 }

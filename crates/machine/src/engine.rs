@@ -22,8 +22,11 @@
 //! compare schedulers fairly.
 
 use crate::config::MachineConfig;
-use crate::contention::{llc_inflation, solve_memory_into, MemDemand, MemSolution};
-use crate::ids::{AppId, BarrierId, SimTime, ThreadId, VCoreId};
+use crate::contention::{
+    llc_inflation, solve_memory_into, solve_memory_numa_into, MemDemand, MemSolution, NumaDemand,
+    NumaSolution,
+};
+use crate::ids::{AppId, BarrierId, DomainId, SimTime, ThreadId, VCoreId};
 use crate::thread::{CoreCounters, ThreadCounters, ThreadSpec, ThreadState};
 use std::collections::BTreeMap;
 
@@ -79,6 +82,11 @@ pub struct Machine {
     scratch_smt_factor: Vec<f64>,
     scratch_vcore_busy: Vec<bool>,
     scratch_finished: Vec<ThreadId>,
+    // Multi-domain scratch (unused on single-controller machines, whose
+    // tick path is unchanged from the original single-solver code).
+    scratch_domain_llc: Vec<f64>,
+    scratch_numa_demands: Vec<NumaDemand>,
+    scratch_numa_solution: NumaSolution,
 }
 
 impl Machine {
@@ -106,6 +114,9 @@ impl Machine {
             scratch_smt_factor: Vec::new(),
             scratch_vcore_busy: Vec::new(),
             scratch_finished: Vec::new(),
+            scratch_domain_llc: Vec::new(),
+            scratch_numa_demands: Vec::new(),
+            scratch_numa_solution: NumaSolution::empty(),
         }
     }
 
@@ -119,7 +130,10 @@ impl Machine {
         self.now
     }
 
-    /// Spawn a thread pinned to `vcore`.
+    /// Spawn a thread pinned to `vcore`. The thread's memory is homed to
+    /// the NUMA domain of that core (first touch) and stays there for life:
+    /// later migrations change where the thread *runs*, not where its
+    /// misses are serviced.
     ///
     /// # Panics
     /// Panics if the spec is invalid or the core id is out of range.
@@ -133,14 +147,19 @@ impl Machine {
         if let Some(b) = &spec.barrier {
             self.barrier_groups.entry(b.group).or_default().push(id);
         }
-        self.threads.push(ThreadState::new(spec, vcore));
-        self.events.push(MachineEvent::Spawned { thread: id, vcore });
+        let home = self.cfg.topology.domain_of(vcore);
+        self.threads.push(ThreadState::new(spec, vcore, home));
+        self.events
+            .push(MachineEvent::Spawned { thread: id, vcore });
         id
     }
 
     /// Move a thread to another virtual core. A move to the thread's current
     /// core is a no-op; a real move costs the configured dead time and cache
-    /// warm-up and increments the thread's migration counter.
+    /// warm-up and increments the thread's migration counter. A move that
+    /// crosses NUMA domains refills its cache from a remote controller, so
+    /// the warm-up window stretches by
+    /// [`crate::config::MigrationConfig::cross_domain_warmup_factor`].
     pub fn migrate(&mut self, thread: ThreadId, to: VCoreId) {
         assert!(
             to.index() < self.cfg.topology.num_vcores(),
@@ -161,10 +180,12 @@ impl Machine {
             .phase_at(t.retired)
             .map(|p| p.working_set_mib)
             .unwrap_or(0.0);
-        let warmup = self.cfg.migration.warmup_us
+        let mut warmup = self.cfg.migration.warmup_us
             + (ws_mib * self.cfg.migration.warmup_us_per_mib as f64) as u64;
-        t.warmup_until =
-            self.now + SimTime::from_us(self.cfg.migration.dead_time_us + warmup);
+        if self.cfg.topology.domain_of(from) != self.cfg.topology.domain_of(to) {
+            warmup = (warmup as f64 * self.cfg.migration.cross_domain_warmup_factor) as u64;
+        }
+        t.warmup_until = self.now + SimTime::from_us(self.cfg.migration.dead_time_us + warmup);
         t.counters.migrations += 1;
         self.events.push(MachineEvent::Migrated {
             thread,
@@ -204,6 +225,11 @@ impl Machine {
     /// The application a thread belongs to.
     pub fn app_of(&self, thread: ThreadId) -> AppId {
         self.threads[thread.index()].spec.app
+    }
+
+    /// The NUMA domain a thread's memory is homed to (fixed at spawn).
+    pub fn home_domain_of(&self, thread: ThreadId) -> DomainId {
+        self.threads[thread.index()].home_domain
     }
 
     /// The application name a thread belongs to.
@@ -299,9 +325,7 @@ impl Machine {
                 .threads
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| {
-                    !t.finished() && is_fast(t.vcore.index()) != move_to_fast
-                })
+                .filter(|(_, t)| !t.finished() && is_fast(t.vcore.index()) != move_to_fast)
                 .max_by_key(|(i, t)| (occupancy[t.vcore.index()], u32::MAX - *i as u32))
                 .map(|(i, _)| ThreadId(i as u32));
             let Some(thread) = source else { break };
@@ -368,8 +392,11 @@ impl Machine {
             .phase_at(t.retired)
             .map(|p| p.working_set_mib)
             .unwrap_or(0.0);
-        let warmup = self.cfg.migration.warmup_us
+        let mut warmup = self.cfg.migration.warmup_us
             + (ws_mib * self.cfg.migration.warmup_us_per_mib as f64) as u64;
+        if self.cfg.topology.domain_of(from) != self.cfg.topology.domain_of(to) {
+            warmup = (warmup as f64 * self.cfg.migration.cross_domain_warmup_factor) as u64;
+        }
         t.warmup_until = self.now + SimTime::from_us(warmup);
         self.balancer_moves += 1;
         self.events.push(MachineEvent::Balanced {
@@ -406,7 +433,10 @@ impl Machine {
     pub fn tick(&mut self) {
         // The OS balancer runs on its own coarse period.
         if self.cfg.balance.enabled
-            && self.now.as_us().is_multiple_of(self.cfg.balance.interval_us)
+            && self
+                .now
+                .as_us()
+                .is_multiple_of(self.cfg.balance.interval_us)
             && !self.threads.is_empty()
         {
             self.balance();
@@ -445,23 +475,51 @@ impl Machine {
                 }
             }
 
-            // 3. Shared-LLC pressure from total running working set.
-            let total_ws: f64 = self
-                .scratch_runnable
-                .iter()
-                .map(|&i| {
+            // 3. Shared-LLC pressure. On a single-controller machine one
+            // LLC spans the whole chip (the paper's testbed); on a NUMA
+            // machine each domain has its own LLC slice fed by the threads
+            // *running* in that domain. The single-domain arithmetic below
+            // is kept verbatim so paper-machine results stay bit-identical.
+            let multi = self.cfg.topology.num_domains() > 1;
+            if !multi {
+                let total_ws: f64 = self
+                    .scratch_runnable
+                    .iter()
+                    .map(|&i| {
+                        let t = &self.threads[i];
+                        t.spec
+                            .program
+                            .phase_at(t.retired)
+                            .map(|p| p.working_set_mib)
+                            .unwrap_or(0.0)
+                    })
+                    .sum();
+                let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
+                self.scratch_domain_llc.clear();
+                self.scratch_domain_llc.push(llc_factor);
+            } else {
+                self.scratch_domain_llc.clear();
+                self.scratch_domain_llc
+                    .resize(self.cfg.topology.num_domains(), 0.0);
+                for &i in &self.scratch_runnable {
                     let t = &self.threads[i];
-                    t.spec
+                    let ws = t
+                        .spec
                         .program
                         .phase_at(t.retired)
                         .map(|p| p.working_set_mib)
-                        .unwrap_or(0.0)
-                })
-                .sum();
-            let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
+                        .unwrap_or(0.0);
+                    let d = self.cfg.topology.domain_of(t.vcore).index();
+                    self.scratch_domain_llc[d] += ws;
+                }
+                for f in &mut self.scratch_domain_llc {
+                    *f = llc_inflation(*f, &self.cfg.llc);
+                }
+            }
 
             // Effective per-thread miss ratios and pipeline times.
             self.scratch_demands.clear();
+            self.scratch_numa_demands.clear();
             self.scratch_eff_mr.clear();
             for &i in &self.scratch_runnable {
                 let t = &self.threads[i];
@@ -470,6 +528,12 @@ impl Machine {
                     .program
                     .phase_at(t.retired)
                     .expect("runnable thread must have an active phase");
+                let run_domain = self.cfg.topology.domain_of(t.vcore);
+                let llc_factor = if multi {
+                    self.scratch_domain_llc[run_domain.index()]
+                } else {
+                    self.scratch_domain_llc[0]
+                };
                 let mut mr = phase.miss_ratio() * llc_factor;
                 let mut cpi = phase.cpi_exec;
                 if self.now < t.warmup_until {
@@ -482,25 +546,49 @@ impl Machine {
                 let share = 1.0 / self.scratch_vcore_load[v] as f64;
                 let freq = self.cfg.topology.freq_of(t.vcore);
                 let base_time = cpi / (freq * share * self.scratch_smt_factor[v]);
-                self.scratch_demands.push(MemDemand {
+                let demand = MemDemand {
                     base_time_per_instr: base_time,
                     miss_ratio: mr,
-                });
+                };
+                if multi {
+                    self.scratch_numa_demands.push(NumaDemand {
+                        demand,
+                        home: t.home_domain,
+                        remote: run_domain != t.home_domain,
+                    });
+                } else {
+                    self.scratch_demands.push(demand);
+                }
                 self.scratch_eff_mr.push(mr);
             }
 
-            // 4. Memory system (into the reusable solution buffer).
-            solve_memory_into(
-                &self.scratch_demands,
-                &self.cfg.memory,
-                &mut self.scratch_solution,
-            );
+            // 4. Memory system (into the reusable solution buffers): one
+            // global fixed point on the paper machine, one per controller
+            // on a NUMA machine.
+            if multi {
+                solve_memory_numa_into(
+                    &self.scratch_numa_demands,
+                    self.cfg.topology.num_domains(),
+                    &self.cfg.memory,
+                    &mut self.scratch_numa_solution,
+                );
+            } else {
+                solve_memory_into(
+                    &self.scratch_demands,
+                    &self.cfg.memory,
+                    &mut self.scratch_solution,
+                );
+            }
 
             // 5. Advance threads.
             self.scratch_vcore_busy.clear();
             self.scratch_vcore_busy.resize(n_vcores, false);
             for (k, &i) in self.scratch_runnable.iter().enumerate() {
-                let rate = self.scratch_solution.rates[k];
+                let rate = if multi {
+                    self.scratch_numa_solution.rates[k]
+                } else {
+                    self.scratch_solution.rates[k]
+                };
                 let mr = self.scratch_eff_mr[k];
                 let t = &mut self.threads[i];
                 let freq = self.cfg.topology.freq_of(t.vcore);
@@ -550,6 +638,9 @@ impl Machine {
                 t.counters.llc_accesses += advance * (apki / 1000.0).max(mr);
                 t.counters.cycles += freq * dt_s;
                 t.counters.busy_us += self.cfg.tick_us;
+                if multi && self.cfg.topology.domain_of(t.vcore) != t.home_domain {
+                    t.counters.remote_us += self.cfg.tick_us;
+                }
                 self.scratch_vcore_busy[t.vcore.index()] = true;
                 self.vcore_counters[t.vcore.index()].accesses +=
                     advance * mr * self.cfg.memory.prefetch_factor;
@@ -782,8 +873,8 @@ mod tests {
         let mut solo = Machine::new(small_machine_pinned(1));
         let s = solo.spawn(compute_spec(0, 1e8), VCoreId(0));
         solo.run_until_done(SimTime::from_secs_f64(10.0));
-        let ratio_a = m.finish_time(a).unwrap().as_secs_f64()
-            / solo.finish_time(s).unwrap().as_secs_f64();
+        let ratio_a =
+            m.finish_time(a).unwrap().as_secs_f64() / solo.finish_time(s).unwrap().as_secs_f64();
         assert!(ratio_a > 1.7 && ratio_a < 2.3, "sharing ratio {ratio_a}");
         assert!(m.finish_time(b).is_some());
     }
@@ -910,5 +1001,75 @@ mod tests {
     fn run_for_rejects_partial_ticks() {
         let mut m = Machine::new(presets::small_machine(1));
         m.run_for(SimTime::from_us(1500));
+    }
+
+    /// A 2-domain all-fast machine (2 pcores per domain, 2-way SMT = 8
+    /// vcores), balancer off so tests control placement exactly.
+    fn numa_small(seed: u64) -> crate::config::MachineConfig {
+        let mut cfg = presets::small_machine(seed);
+        cfg.topology = crate::topology::Topology::numa_uniform(2, 2, 0, 2);
+        cfg.balance.enabled = false;
+        cfg
+    }
+
+    #[test]
+    fn home_domain_is_fixed_at_spawn() {
+        let mut m = Machine::new(numa_small(1));
+        let t = m.spawn(memory_spec(0, 1e9), VCoreId(0));
+        assert_eq!(m.home_domain_of(t), crate::ids::DomainId(0));
+        m.migrate(t, VCoreId(4)); // domain 1
+        assert_eq!(m.home_domain_of(t), crate::ids::DomainId(0));
+        let u = m.spawn(memory_spec(1, 1e9), VCoreId(5));
+        assert_eq!(m.home_domain_of(u), crate::ids::DomainId(1));
+    }
+
+    #[test]
+    fn cross_domain_migration_costs_more_than_intra() {
+        // Identical fast cores; the only difference is whether the
+        // migration target shares the source's NUMA domain.
+        let run = |target: u32| {
+            let mut m = Machine::new(numa_small(1));
+            let t = m.spawn(memory_spec(0, 5e7), VCoreId(0));
+            m.migrate(t, VCoreId(target));
+            m.run_until_done(SimTime::from_secs_f64(30.0));
+            (
+                m.finish_time(t).unwrap().as_secs_f64(),
+                m.counters(t).remote_us,
+            )
+        };
+        let (intra_s, intra_remote) = run(2); // pcore 1, still domain 0
+        let (cross_s, cross_remote) = run(4); // pcore 2, domain 1
+        assert_eq!(intra_remote, 0);
+        assert!(cross_remote > 0, "remote residency must be counted");
+        assert!(
+            cross_s > intra_s * 1.05,
+            "cross-domain swap must cost more: {cross_s}s vs {intra_s}s"
+        );
+    }
+
+    #[test]
+    fn remote_us_zero_on_single_domain_machines() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let t = m.spawn(memory_spec(0, 1e8), VCoreId(0));
+        m.migrate(t, VCoreId(4));
+        m.run_until_done(SimTime::from_secs_f64(30.0));
+        assert_eq!(m.counters(t).remote_us, 0);
+    }
+
+    #[test]
+    fn numa_machine_runs_threads_in_every_domain() {
+        let mut cfg = presets::numa_machine(4, 3);
+        cfg.balance.enabled = false;
+        let mut m = Machine::new(cfg);
+        let mut ids = Vec::new();
+        for d in 0..4u32 {
+            ids.push(m.spawn(memory_spec(d, 5e7), VCoreId(d * 40)));
+        }
+        assert!(m.run_until_done(SimTime::from_secs_f64(30.0)));
+        for (d, &t) in ids.iter().enumerate() {
+            assert_eq!(m.home_domain_of(t), crate::ids::DomainId(d as u32));
+            assert_eq!(m.counters(t).remote_us, 0);
+            assert!(m.counters(t).instructions >= 5e7 - 1.0);
+        }
     }
 }

@@ -32,7 +32,13 @@ pub struct AppId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub u32);
 
-json_newtype!(VCoreId, PCoreId, ThreadId, AppId, BarrierId);
+/// Identifier of a NUMA domain: one memory controller plus the physical cores
+/// it is local to. The paper machine has a single domain; the scaled machines
+/// have 4 or 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DomainId(pub u32);
+
+json_newtype!(VCoreId, PCoreId, ThreadId, AppId, BarrierId, DomainId);
 
 impl VCoreId {
     /// The id as a plain index.
@@ -66,6 +72,14 @@ impl AppId {
     }
 }
 
+impl DomainId {
+    /// The id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl fmt::Display for VCoreId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "vcore{}", self.0)
@@ -87,6 +101,12 @@ impl fmt::Display for ThreadId {
 impl fmt::Display for AppId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "app{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
     }
 }
 
@@ -202,10 +222,12 @@ mod tests {
         assert_eq!(PCoreId(1).to_string(), "pcore1");
         assert_eq!(ThreadId(9).to_string(), "t9");
         assert_eq!(AppId(2).to_string(), "app2");
+        assert_eq!(DomainId(7).to_string(), "dom7");
         assert_eq!(ThreadId(9).index(), 9);
         assert_eq!(VCoreId(4).index(), 4);
         assert_eq!(PCoreId(4).index(), 4);
         assert_eq!(AppId(4).index(), 4);
+        assert_eq!(DomainId(4).index(), 4);
     }
 
     #[test]

@@ -51,9 +51,10 @@ pub mod topology;
 
 pub use config::{presets, LlcConfig, MachineConfig, MemoryConfig, MigrationConfig, SmtConfig};
 pub use contention::{
-    llc_inflation, solve_memory, solve_memory_into, solve_memory_reference, MemDemand, MemSolution,
+    llc_inflation, solve_memory, solve_memory_into, solve_memory_numa, solve_memory_numa_into,
+    solve_memory_reference, DomainSolution, MemDemand, MemSolution, NumaDemand, NumaSolution,
 };
 pub use engine::{Machine, MachineEvent};
-pub use ids::{AppId, BarrierId, PCoreId, SimTime, ThreadId, VCoreId};
+pub use ids::{AppId, BarrierId, DomainId, PCoreId, SimTime, ThreadId, VCoreId};
 pub use phase::{Phase, PhaseProgram, PhaseRepeat};
 pub use thread::{BarrierSpec, CoreCounters, ThreadCounters, ThreadSpec};

@@ -1,6 +1,6 @@
 //! Thread specifications and runtime state.
 
-use crate::ids::{AppId, BarrierId, SimTime, VCoreId};
+use crate::ids::{AppId, BarrierId, DomainId, SimTime, VCoreId};
 use crate::phase::PhaseProgram;
 use dike_util::json_struct;
 
@@ -61,6 +61,9 @@ pub struct ThreadCounters {
     pub cycles: f64,
     /// Wall time spent runnable on a core, in microseconds.
     pub busy_us: u64,
+    /// Wall time spent runnable on a core *outside the thread's home NUMA
+    /// domain*, in microseconds. Always 0 on single-domain machines.
+    pub remote_us: u64,
     /// Number of migrations performed on this thread.
     pub migrations: u64,
 }
@@ -74,6 +77,7 @@ impl ThreadCounters {
             llc_accesses: self.llc_accesses - earlier.llc_accesses,
             cycles: self.cycles - earlier.cycles,
             busy_us: self.busy_us - earlier.busy_us,
+            remote_us: self.remote_us - earlier.remote_us,
             migrations: self.migrations - earlier.migrations,
         }
     }
@@ -133,6 +137,7 @@ json_struct!(ThreadCounters {
     llc_accesses,
     cycles,
     busy_us,
+    remote_us,
     migrations,
 });
 json_struct!(CoreCounters { accesses, busy_us });
@@ -152,6 +157,9 @@ impl CoreCounters {
 pub(crate) struct ThreadState {
     pub spec: ThreadSpec,
     pub vcore: VCoreId,
+    /// NUMA domain the thread's memory is homed to (first touch: the domain
+    /// of the core it was spawned on). Misses always queue there.
+    pub home_domain: DomainId,
     /// Instructions retired so far.
     pub retired: f64,
     /// Completion time, once finished.
@@ -169,7 +177,7 @@ pub(crate) struct ThreadState {
 }
 
 impl ThreadState {
-    pub fn new(spec: ThreadSpec, vcore: VCoreId) -> Self {
+    pub fn new(spec: ThreadSpec, vcore: VCoreId, home_domain: DomainId) -> Self {
         let next_barrier_at = spec
             .barrier
             .map(|b| b.interval_instructions)
@@ -177,6 +185,7 @@ impl ThreadState {
         ThreadState {
             spec,
             vcore,
+            home_domain,
             retired: 0.0,
             finished_at: None,
             dead_until: SimTime::ZERO,
@@ -223,6 +232,7 @@ mod tests {
             llc_accesses: 300.0,
             cycles: 2000.0,
             busy_us: 10,
+            remote_us: 6,
             migrations: 1,
         };
         let b = ThreadCounters {
@@ -231,12 +241,14 @@ mod tests {
             llc_accesses: 120.0,
             cycles: 800.0,
             busy_us: 4,
+            remote_us: 2,
             migrations: 0,
         };
         let d = a.delta(&b);
         assert_eq!(d.instructions, 600.0);
         assert_eq!(d.llc_misses, 20.0);
         assert_eq!(d.llc_accesses, 180.0);
+        assert_eq!(d.remote_us, 4);
         assert_eq!(d.migrations, 1);
         assert!((a.miss_ratio() - 0.03).abs() < 1e-12);
         assert!((a.llc_miss_rate() - 0.1).abs() < 1e-12);
@@ -263,7 +275,7 @@ mod tests {
 
     #[test]
     fn new_thread_state_is_runnable() {
-        let s = ThreadState::new(spec(), VCoreId(0));
+        let s = ThreadState::new(spec(), VCoreId(0), DomainId(0));
         assert!(s.runnable(SimTime::ZERO));
         assert!(!s.finished());
         assert_eq!(s.next_barrier_at, f64::INFINITY);
@@ -271,7 +283,7 @@ mod tests {
 
     #[test]
     fn dead_time_blocks_execution() {
-        let mut s = ThreadState::new(spec(), VCoreId(0));
+        let mut s = ThreadState::new(spec(), VCoreId(0), DomainId(0));
         s.dead_until = SimTime::from_ms(5);
         assert!(!s.runnable(SimTime::from_ms(4)));
         assert!(s.runnable(SimTime::from_ms(5)));
@@ -285,7 +297,7 @@ mod tests {
             interval_instructions: 5000.0,
         });
         assert!(sp.validate().is_ok());
-        let s = ThreadState::new(sp, VCoreId(1));
+        let s = ThreadState::new(sp, VCoreId(1), DomainId(0));
         assert_eq!(s.next_barrier_at, 5000.0);
     }
 

@@ -7,7 +7,7 @@
 //! cores, each with a *kind* (its frequency class) and a number of SMT
 //! contexts (virtual cores).
 
-use crate::ids::{PCoreId, VCoreId};
+use crate::ids::{DomainId, PCoreId, VCoreId};
 use dike_util::{json_enum, json_struct};
 
 /// Named frequency class of a core.
@@ -65,10 +65,32 @@ pub struct PhysicalCore {
     pub smt_ways: u32,
 }
 
+/// A NUMA domain descriptor used by the multi-domain builders: one memory
+/// controller local to a block of physical cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumaDomain {
+    /// Fast physical cores in the domain.
+    pub n_fast: usize,
+    /// Slow physical cores in the domain.
+    pub n_slow: usize,
+    /// SMT contexts per physical core.
+    pub smt_ways: u32,
+}
+
+json_struct!(NumaDomain {
+    n_fast,
+    n_slow,
+    smt_ways,
+});
+
 /// The machine's core topology.
 ///
 /// Virtual cores are numbered densely: physical core `p`'s contexts occupy
 /// virtual ids `[first_vcore(p) .. first_vcore(p) + smt_ways)`.
+///
+/// Every physical core belongs to exactly one NUMA domain (the memory
+/// controller its misses are homed to). Single-controller machines — the
+/// paper's testbed — put every core in domain 0.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     pcores: Vec<PhysicalCore>,
@@ -76,6 +98,10 @@ pub struct Topology {
     vcore_to_pcore: Vec<PCoreId>,
     /// `pcore_first_vcore[p]` = first virtual core id of physical core `p`.
     pcore_first_vcore: Vec<u32>,
+    /// `pcore_domain[p]` = NUMA domain of physical core `p`.
+    pcore_domain: Vec<DomainId>,
+    /// Number of NUMA domains (= memory controllers).
+    num_domains: u32,
 }
 
 json_enum!(CoreClass { Fast, Slow, Other } {});
@@ -85,12 +111,27 @@ json_struct!(Topology {
     pcores,
     vcore_to_pcore,
     pcore_first_vcore,
+    pcore_domain,
+    num_domains,
 });
 
 impl Topology {
-    /// Build a topology from an explicit list of physical cores.
+    /// Build a single-domain topology from an explicit list of physical cores.
     pub fn new(pcores: Vec<PhysicalCore>) -> Self {
+        let n = pcores.len();
+        Topology::with_domains(pcores, vec![DomainId(0); n])
+    }
+
+    /// Build a topology with an explicit physical-core → NUMA-domain map.
+    ///
+    /// Domain ids must be dense (`0..num_domains` all occupied).
+    pub fn with_domains(pcores: Vec<PhysicalCore>, pcore_domain: Vec<DomainId>) -> Self {
         assert!(!pcores.is_empty(), "topology must have at least one core");
+        assert_eq!(
+            pcores.len(),
+            pcore_domain.len(),
+            "one domain id per physical core"
+        );
         let mut vcore_to_pcore = Vec::new();
         let mut pcore_first_vcore = Vec::with_capacity(pcores.len());
         for (p, core) in pcores.iter().enumerate() {
@@ -101,11 +142,62 @@ impl Topology {
                 vcore_to_pcore.push(PCoreId(p as u32));
             }
         }
+        let num_domains = pcore_domain.iter().map(|d| d.0 + 1).max().unwrap_or(1);
+        for d in 0..num_domains {
+            assert!(
+                pcore_domain.iter().any(|x| x.0 == d),
+                "domain ids must be dense: domain {d} has no cores"
+            );
+        }
         Topology {
             pcores,
             vcore_to_pcore,
             pcore_first_vcore,
+            pcore_domain,
+            num_domains,
         }
+    }
+
+    /// A multi-domain machine built from per-domain descriptors: domain `d`'s
+    /// cores are laid out contiguously (fast first), in domain order.
+    pub fn numa(domains: &[NumaDomain]) -> Self {
+        assert!(!domains.is_empty(), "need at least one NUMA domain");
+        let mut cores = Vec::new();
+        let mut core_domain = Vec::new();
+        for (d, dom) in domains.iter().enumerate() {
+            cores.extend(std::iter::repeat_n(
+                PhysicalCore {
+                    kind: CoreKind::FAST,
+                    smt_ways: dom.smt_ways,
+                },
+                dom.n_fast,
+            ));
+            cores.extend(std::iter::repeat_n(
+                PhysicalCore {
+                    kind: CoreKind::SLOW,
+                    smt_ways: dom.smt_ways,
+                },
+                dom.n_slow,
+            ));
+            core_domain.extend(std::iter::repeat_n(
+                DomainId(d as u32),
+                dom.n_fast + dom.n_slow,
+            ));
+        }
+        Topology::with_domains(cores, core_domain)
+    }
+
+    /// `n_domains` copies of the paper's socket mix (`n_fast` + `n_slow`
+    /// physical cores per domain, `smt_ways`-way SMT).
+    pub fn numa_uniform(n_domains: usize, n_fast: usize, n_slow: usize, smt_ways: u32) -> Self {
+        Topology::numa(&vec![
+            NumaDomain {
+                n_fast,
+                n_slow,
+                smt_ways,
+            };
+            n_domains
+        ])
     }
 
     /// A two-class machine: `n_fast` fast + `n_slow` slow physical cores,
@@ -174,6 +266,34 @@ impl Topology {
     #[inline]
     pub fn first_vcore(&self, p: PCoreId) -> VCoreId {
         VCoreId(self.pcore_first_vcore[p.index()])
+    }
+
+    /// Number of NUMA domains (memory controllers). Always >= 1.
+    #[inline]
+    pub fn num_domains(&self) -> usize {
+        self.num_domains as usize
+    }
+
+    /// NUMA domain of a physical core.
+    #[inline]
+    pub fn domain_of_pcore(&self, p: PCoreId) -> DomainId {
+        self.pcore_domain[p.index()]
+    }
+
+    /// NUMA domain of a virtual core (its physical core's domain).
+    #[inline]
+    pub fn domain_of(&self, v: VCoreId) -> DomainId {
+        self.pcore_domain[self.physical_of(v).index()]
+    }
+
+    /// Iterator over all domain ids.
+    pub fn domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        (0..self.num_domains).map(DomainId)
+    }
+
+    /// Virtual cores belonging to a domain, in id order.
+    pub fn vcores_in_domain(&self, d: DomainId) -> Vec<VCoreId> {
+        self.vcores().filter(|&v| self.domain_of(v) == d).collect()
     }
 
     /// Iterator over all virtual core ids.
@@ -291,5 +411,53 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn empty_topology_panics() {
         let _ = Topology::new(vec![]);
+    }
+
+    #[test]
+    fn single_domain_by_default() {
+        let t = Topology::two_class(10, 10, 2);
+        assert_eq!(t.num_domains(), 1);
+        for v in t.vcores() {
+            assert_eq!(t.domain_of(v), DomainId(0));
+        }
+        assert_eq!(t.vcores_in_domain(DomainId(0)).len(), 40);
+    }
+
+    #[test]
+    fn numa_uniform_layout_is_per_domain_contiguous() {
+        // 4 domains x (10 fast + 10 slow) x 2-way SMT = 160 vcores.
+        let t = Topology::numa_uniform(4, 10, 10, 2);
+        assert_eq!(t.num_domains(), 4);
+        assert_eq!(t.num_pcores(), 80);
+        assert_eq!(t.num_vcores(), 160);
+        // Domain d owns vcores [40d, 40d+40); the first half are fast.
+        assert_eq!(t.domain_of(VCoreId(0)), DomainId(0));
+        assert_eq!(t.domain_of(VCoreId(39)), DomainId(0));
+        assert_eq!(t.domain_of(VCoreId(40)), DomainId(1));
+        assert_eq!(t.domain_of(VCoreId(159)), DomainId(3));
+        assert_eq!(t.kind_of(VCoreId(40)).label(), "fast");
+        assert_eq!(t.kind_of(VCoreId(79)).label(), "slow");
+        for d in t.domains() {
+            let vs = t.vcores_in_domain(d);
+            assert_eq!(vs.len(), 40);
+            let fast = vs
+                .iter()
+                .filter(|&&v| t.kind_of(v).class == CoreClass::Fast)
+                .count();
+            assert_eq!(fast, 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_domain_ids_panic() {
+        let cores = vec![
+            PhysicalCore {
+                kind: CoreKind::FAST,
+                smt_ways: 1,
+            };
+            2
+        ];
+        let _ = Topology::with_domains(cores, vec![DomainId(0), DomainId(2)]);
     }
 }

@@ -1,9 +1,9 @@
 //! Property tests on the machine model's invariants.
 
 use dike_machine::{
-    llc_inflation, presets, solve_memory, solve_memory_into, solve_memory_reference, AppId,
-    LlcConfig, Machine, MemDemand, MemSolution, MemoryConfig, Phase, PhaseProgram, PhaseRepeat,
-    SimTime, ThreadSpec, VCoreId,
+    llc_inflation, presets, solve_memory, solve_memory_into, solve_memory_numa,
+    solve_memory_reference, AppId, DomainId, LlcConfig, Machine, MemDemand, MemSolution,
+    MemoryConfig, NumaDemand, Phase, PhaseProgram, PhaseRepeat, SimTime, ThreadSpec, VCoreId,
 };
 use dike_util::check::check;
 use dike_util::Pcg32;
@@ -31,40 +31,44 @@ fn gen_program(rng: &mut Pcg32) -> PhaseProgram {
 
 #[test]
 fn threads_always_finish_and_counters_are_consistent() {
-    check("threads_always_finish_and_counters_are_consistent", 32, |rng| {
-        let n_programs = rng.gen_range(1usize..6);
-        let programs: Vec<PhaseProgram> = (0..n_programs).map(|_| gen_program(rng)).collect();
-        let seed = rng.gen_range(0u64..1000);
+    check(
+        "threads_always_finish_and_counters_are_consistent",
+        32,
+        |rng| {
+            let n_programs = rng.gen_range(1usize..6);
+            let programs: Vec<PhaseProgram> = (0..n_programs).map(|_| gen_program(rng)).collect();
+            let seed = rng.gen_range(0u64..1000);
 
-        let mut machine = Machine::new(presets::small_machine(seed));
-        let n_vcores = machine.config().topology.num_vcores();
-        let mut threads = Vec::new();
-        for (i, program) in programs.iter().enumerate() {
-            let spec = ThreadSpec {
-                app: AppId(i as u32),
-                app_name: format!("p{i}"),
-                program: program.clone(),
-                barrier: None,
-            };
-            threads.push(machine.spawn(spec, VCoreId((i % n_vcores) as u32)));
-        }
-        let done = machine.run_until_done(SimTime::from_secs_f64(600.0));
-        assert!(done, "threads did not finish");
-        for (t, program) in threads.iter().zip(&programs) {
-            let c = machine.counters(*t);
-            // Retired exactly the budget (within float tolerance).
-            assert!(
-                (c.instructions - program.total_instructions).abs()
-                    < 1e-6 * program.total_instructions + 1.0
-            );
-            // A miss is an access; counters are non-negative and finite.
-            assert!(c.llc_misses <= c.llc_accesses + 1e-9);
-            assert!(c.llc_misses >= 0.0 && c.cycles >= 0.0);
-            assert!(c.instructions.is_finite() && c.llc_misses.is_finite());
-            assert!(machine.finish_time(*t).is_some());
-            assert!(machine.progress_of(*t) == 1.0);
-        }
-    });
+            let mut machine = Machine::new(presets::small_machine(seed));
+            let n_vcores = machine.config().topology.num_vcores();
+            let mut threads = Vec::new();
+            for (i, program) in programs.iter().enumerate() {
+                let spec = ThreadSpec {
+                    app: AppId(i as u32),
+                    app_name: format!("p{i}"),
+                    program: program.clone(),
+                    barrier: None,
+                };
+                threads.push(machine.spawn(spec, VCoreId((i % n_vcores) as u32)));
+            }
+            let done = machine.run_until_done(SimTime::from_secs_f64(600.0));
+            assert!(done, "threads did not finish");
+            for (t, program) in threads.iter().zip(&programs) {
+                let c = machine.counters(*t);
+                // Retired exactly the budget (within float tolerance).
+                assert!(
+                    (c.instructions - program.total_instructions).abs()
+                        < 1e-6 * program.total_instructions + 1.0
+                );
+                // A miss is an access; counters are non-negative and finite.
+                assert!(c.llc_misses <= c.llc_accesses + 1e-9);
+                assert!(c.llc_misses >= 0.0 && c.cycles >= 0.0);
+                assert!(c.instructions.is_finite() && c.llc_misses.is_finite());
+                assert!(machine.finish_time(*t).is_some());
+                assert!(machine.progress_of(*t) == 1.0);
+            }
+        },
+    );
 }
 
 #[test]
@@ -72,8 +76,9 @@ fn migrations_never_lose_work() {
     check("migrations_never_lose_work", 32, |rng| {
         let program = gen_program(rng);
         let n_migrations = rng.gen_range(0usize..6);
-        let migrate_at_ms: Vec<u64> =
-            (0..n_migrations).map(|_| rng.gen_range(1u64..200)).collect();
+        let migrate_at_ms: Vec<u64> = (0..n_migrations)
+            .map(|_| rng.gen_range(1u64..200))
+            .collect();
         let seed = rng.gen_range(0u64..100);
 
         let mut machine = Machine::new(presets::small_machine(seed));
@@ -132,7 +137,12 @@ fn memory_solver_is_sane() {
             assert!(*rate <= 1.0 / d.base_time_per_instr + 1e-3);
         }
         // Served bandwidth never exceeds the peak.
-        let served: f64 = s.rates.iter().zip(&demands).map(|(r, d)| r * d.miss_ratio).sum();
+        let served: f64 = s
+            .rates
+            .iter()
+            .zip(&demands)
+            .map(|(r, d)| r * d.miss_ratio)
+            .sum();
         assert!(served <= bw * 1.0001, "served {served} > bw {bw}");
         assert!((0.0..=1.0).contains(&s.utilisation));
         assert!(s.latency_s >= cfg.base_latency_s);
@@ -146,67 +156,191 @@ fn memory_solver_early_exit_matches_full_iteration_budget() {
     // iteration budget. Across random demand vectors (light, contended
     // and saturated), every achieved rate must agree to 1e-9 relative —
     // i.e. the early exit never truncates a solve prematurely.
-    check("memory_solver_early_exit_matches_full_iteration_budget", 64, |rng| {
-        let n_demands = rng.gen_range(1usize..64);
-        let raw: Vec<(f64, f64)> = (0..n_demands)
-            .map(|_| (rng.gen_range(0.2f64..2.5), rng.gen_range(0.0f64..0.08)))
-            .collect();
-        let bw = rng.gen_range(2e7f64..1.5e9);
+    check(
+        "memory_solver_early_exit_matches_full_iteration_budget",
+        64,
+        |rng| {
+            let n_demands = rng.gen_range(1usize..64);
+            let raw: Vec<(f64, f64)> = (0..n_demands)
+                .map(|_| (rng.gen_range(0.2f64..2.5), rng.gen_range(0.0f64..0.08)))
+                .collect();
+            let bw = rng.gen_range(2e7f64..1.5e9);
 
-        let cfg = MemoryConfig {
-            bandwidth_accesses_per_sec: bw,
-            ..MemoryConfig::default()
-        };
-        let demands: Vec<MemDemand> = raw
-            .into_iter()
-            .map(|(cpi, mr)| MemDemand {
-                base_time_per_instr: cpi / 2.33e9,
-                miss_ratio: mr,
-            })
-            .collect();
-        let fast = solve_memory(&demands, &cfg);
-        let full = solve_memory_reference(&demands, &cfg);
-        assert_eq!(fast.rates.len(), full.rates.len());
-        for (a, b) in fast.rates.iter().zip(&full.rates) {
+            let cfg = MemoryConfig {
+                bandwidth_accesses_per_sec: bw,
+                ..MemoryConfig::default()
+            };
+            let demands: Vec<MemDemand> = raw
+                .into_iter()
+                .map(|(cpi, mr)| MemDemand {
+                    base_time_per_instr: cpi / 2.33e9,
+                    miss_ratio: mr,
+                })
+                .collect();
+            let fast = solve_memory(&demands, &cfg);
+            let full = solve_memory_reference(&demands, &cfg);
+            assert_eq!(fast.rates.len(), full.rates.len());
+            for (a, b) in fast.rates.iter().zip(&full.rates) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                    "early-exit rate {a} deviates from reference {b}"
+                );
+            }
             assert!(
-                (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
-                "early-exit rate {a} deviates from reference {b}"
+                (fast.utilisation - full.utilisation).abs() <= 1e-9,
+                "utilisation {} vs {}",
+                fast.utilisation,
+                full.utilisation
             );
-        }
-        assert!(
-            (fast.utilisation - full.utilisation).abs() <= 1e-9,
-            "utilisation {} vs {}",
-            fast.utilisation,
-            full.utilisation
-        );
-        assert!(
-            (fast.latency_s - full.latency_s).abs() <= 1e-9 * full.latency_s,
-            "latency {} vs {}",
-            fast.latency_s,
-            full.latency_s
-        );
-    });
+            assert!(
+                (fast.latency_s - full.latency_s).abs() <= 1e-9 * full.latency_s,
+                "latency {} vs {}",
+                fast.latency_s,
+                full.latency_s
+            );
+        },
+    );
 }
 
 #[test]
 fn memory_solver_into_reuses_buffer_and_matches_allocating_path() {
-    check("memory_solver_into_reuses_buffer_and_matches_allocating_path", 32, |rng| {
-        let cfg = MemoryConfig::default();
-        let mut scratch = MemSolution::empty();
-        // Several rounds into the same buffer, shrinking and growing.
-        for _ in 0..4 {
-            let n = rng.gen_range(0usize..48);
-            let demands: Vec<MemDemand> = (0..n)
-                .map(|_| MemDemand {
-                    base_time_per_instr: rng.gen_range(0.2f64..2.0) / 2.33e9,
-                    miss_ratio: rng.gen_range(0.0f64..0.06),
+    check(
+        "memory_solver_into_reuses_buffer_and_matches_allocating_path",
+        32,
+        |rng| {
+            let cfg = MemoryConfig::default();
+            let mut scratch = MemSolution::empty();
+            // Several rounds into the same buffer, shrinking and growing.
+            for _ in 0..4 {
+                let n = rng.gen_range(0usize..48);
+                let demands: Vec<MemDemand> = (0..n)
+                    .map(|_| MemDemand {
+                        base_time_per_instr: rng.gen_range(0.2f64..2.0) / 2.33e9,
+                        miss_ratio: rng.gen_range(0.0f64..0.06),
+                    })
+                    .collect();
+                solve_memory_into(&demands, &cfg, &mut scratch);
+                let fresh = solve_memory(&demands, &cfg);
+                assert_eq!(scratch, fresh, "reused buffer diverged from fresh solve");
+            }
+        },
+    );
+}
+
+#[test]
+fn numa_solver_with_one_home_domain_matches_single_controller() {
+    // A multi-domain memory system in which every demand is homed to one
+    // domain and runs locally must reproduce the single-controller solution
+    // (the other controllers solve empty systems). Agreement within 1e-9
+    // relative is required — in practice it is bit-exact.
+    check(
+        "numa_solver_with_one_home_domain_matches_single_controller",
+        48,
+        |rng| {
+            let n_demands = rng.gen_range(1usize..48);
+            let n_domains = rng.gen_range(1usize..8);
+            let home = DomainId(rng.gen_range(0u32..n_domains as u32));
+            let raw: Vec<(f64, f64)> = (0..n_demands)
+                .map(|_| (rng.gen_range(0.2f64..2.5), rng.gen_range(0.0f64..0.08)))
+                .collect();
+            let bw = rng.gen_range(2e7f64..1.5e9);
+
+            let cfg = MemoryConfig {
+                bandwidth_accesses_per_sec: bw,
+                ..MemoryConfig::default()
+            };
+            let demands: Vec<MemDemand> = raw
+                .into_iter()
+                .map(|(cpi, mr)| MemDemand {
+                    base_time_per_instr: cpi / 2.33e9,
+                    miss_ratio: mr,
                 })
                 .collect();
-            solve_memory_into(&demands, &cfg, &mut scratch);
-            let fresh = solve_memory(&demands, &cfg);
-            assert_eq!(scratch, fresh, "reused buffer diverged from fresh solve");
-        }
-    });
+            let numa_demands: Vec<NumaDemand> = demands
+                .iter()
+                .map(|&demand| NumaDemand {
+                    demand,
+                    home,
+                    remote: false,
+                })
+                .collect();
+            let single = solve_memory(&demands, &cfg);
+            let multi = solve_memory_numa(&numa_demands, n_domains, &cfg);
+            assert_eq!(multi.domains.len(), n_domains);
+            for (a, b) in multi.rates.iter().zip(&single.rates) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                    "numa rate {a} deviates from single-controller {b}"
+                );
+            }
+            let dom = &multi.domains[home.index()];
+            assert!((dom.utilisation - single.utilisation).abs() <= 1e-9);
+            assert!((dom.latency_s - single.latency_s).abs() <= 1e-9 * single.latency_s);
+            for (d, sol) in multi.domains.iter().enumerate() {
+                if d != home.index() {
+                    assert_eq!(sol.utilisation, 0.0, "unused controller must be idle");
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn numa_total_bandwidth_never_exceeds_sum_of_controller_peaks() {
+    check(
+        "numa_total_bandwidth_never_exceeds_sum_of_controller_peaks",
+        48,
+        |rng| {
+            let n_demands = rng.gen_range(1usize..96);
+            let n_domains = rng.gen_range(1usize..8);
+            let raw: Vec<(f64, f64, u32, bool)> = (0..n_demands)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.2f64..2.5),
+                        rng.gen_range(0.0f64..0.1),
+                        rng.gen_range(0u32..n_domains as u32),
+                        rng.gen_range(0u32..4) == 0,
+                    )
+                })
+                .collect();
+            let bw = rng.gen_range(2e7f64..5e8);
+
+            let cfg = MemoryConfig {
+                bandwidth_accesses_per_sec: bw,
+                ..MemoryConfig::default()
+            };
+            let demands: Vec<NumaDemand> = raw
+                .into_iter()
+                .map(|(cpi, mr, home, remote)| NumaDemand {
+                    demand: MemDemand {
+                        base_time_per_instr: cpi / 2.33e9,
+                        miss_ratio: mr,
+                    },
+                    home: DomainId(home),
+                    remote,
+                })
+                .collect();
+            let s = solve_memory_numa(&demands, n_domains, &cfg);
+            // Per-controller served bandwidth respects each controller's peak...
+            let mut per_domain = vec![0.0f64; n_domains];
+            for (rate, d) in s.rates.iter().zip(&demands) {
+                assert!(*rate > 0.0 && rate.is_finite());
+                per_domain[d.home.index()] += rate * d.demand.miss_ratio;
+            }
+            for (served, sol) in per_domain.iter().zip(&s.domains) {
+                assert!(*served <= bw * 1.0001, "served {served} > peak {bw}");
+                assert!((0.0..=1.0).contains(&sol.utilisation));
+                assert!(sol.latency_s >= cfg.base_latency_s);
+            }
+            // ... so total machine bandwidth never exceeds the sum of peaks.
+            let total: f64 = per_domain.iter().sum();
+            assert!(
+                total <= n_domains as f64 * bw * 1.0001,
+                "total {total} > {} * {bw}",
+                n_domains
+            );
+        },
+    );
 }
 
 #[test]

@@ -71,11 +71,7 @@ impl RuntimeMatrix {
 
     /// Makespan: the completion time of the slowest thread overall.
     pub fn makespan(&self) -> f64 {
-        self.per_app
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0, f64::max)
+        self.per_app.iter().flatten().copied().fold(0.0, f64::max)
     }
 
     /// The prior-work unfairness metric: max thread runtime over min thread

@@ -117,7 +117,7 @@ mod tests {
         assert_eq!(d.len(), 5);
         assert_eq!(d.values[0], 0.5); // mean of 0,1
         assert_eq!(d.values[4], 8.5); // mean of 8,9
-        // No-op when already small enough.
+                                      // No-op when already small enough.
         assert_eq!(s.downsample(100), s);
     }
 }

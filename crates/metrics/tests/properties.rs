@@ -57,16 +57,13 @@ fn geomean_between_min_and_max() {
 fn fairness_is_at_most_one_and_one_iff_uniform() {
     check("fairness_is_at_most_one_and_one_iff_uniform", 256, |rng| {
         let n_apps = rng.gen_range(1usize..6);
-        let per_app: Vec<Vec<f64>> =
-            (0..n_apps).map(|_| gen_vec(rng, 0.1, 1e4, 2, 10)).collect();
+        let per_app: Vec<Vec<f64>> = (0..n_apps).map(|_| gen_vec(rng, 0.1, 1e4, 2, 10)).collect();
 
         let m = RuntimeMatrix::new(per_app.clone());
         let f = m.fairness();
         assert!(f <= 1.0 + 1e-12);
         // Uniform apps => fairness exactly 1.
-        let uniform = RuntimeMatrix::new(
-            per_app.iter().map(|ts| vec![3.5; ts.len()]).collect(),
-        );
+        let uniform = RuntimeMatrix::new(per_app.iter().map(|ts| vec![3.5; ts.len()]).collect());
         assert!((uniform.fairness() - 1.0).abs() < 1e-12);
         // Aggregates relate sensibly.
         assert!(m.makespan() >= m.mean_app_runtime() - 1e-9);

@@ -141,8 +141,13 @@ pub fn run_with(
             }
             let cur = machine.counters(id);
             let d = cur.delta(&prev_thread[i]);
-            let rates =
-                RateSample::from_deltas(d.instructions, d.llc_misses, d.llc_accesses, d.cycles, dt_s);
+            let rates = RateSample::from_deltas(
+                d.instructions,
+                d.llc_misses,
+                d.llc_accesses,
+                d.cycles,
+                dt_s,
+            );
             threads.push(ThreadObservation {
                 id,
                 app: machine.app_of(id),
@@ -168,6 +173,7 @@ pub fn run_with(
             cores.push(CoreObservation {
                 id: vid,
                 kind: machine.config().topology.kind_of(vid),
+                domain: machine.config().topology.domain_of(vid),
                 bandwidth: d.accesses / dt_s,
                 occupants,
             });
@@ -274,13 +280,18 @@ mod tests {
         let mut s = NullScheduler::new(SimTime::from_ms(100));
         let mut seen = 0;
         let mut last_rate = 0.0;
-        run_with(&mut m, &mut s, SimTime::from_ms(500), |view: &SystemView| {
-            seen += 1;
-            assert_eq!(view.threads.len(), 2);
-            assert_eq!(view.cores.len(), 8);
-            last_rate = view.threads[0].rates.access_rate;
-            assert_eq!(view.quantum, SimTime::from_ms(100));
-        });
+        run_with(
+            &mut m,
+            &mut s,
+            SimTime::from_ms(500),
+            |view: &SystemView| {
+                seen += 1;
+                assert_eq!(view.threads.len(), 2);
+                assert_eq!(view.cores.len(), 8);
+                last_rate = view.threads[0].rates.access_rate;
+                assert_eq!(view.quantum, SimTime::from_ms(100));
+            },
+        );
         assert!(seen >= 4, "saw {seen} views");
         assert!(last_rate > 0.0);
     }

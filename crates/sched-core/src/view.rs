@@ -8,7 +8,7 @@
 
 use dike_counters::RateSample;
 use dike_machine::topology::CoreKind;
-use dike_machine::{AppId, SimTime, ThreadCounters, ThreadId, VCoreId};
+use dike_machine::{AppId, DomainId, SimTime, ThreadCounters, ThreadId, VCoreId};
 
 /// Per-thread observation for the last quantum.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +35,9 @@ pub struct CoreObservation {
     pub id: VCoreId,
     /// Core kind (class + frequency) — public hardware knowledge.
     pub kind: CoreKind,
+    /// NUMA domain of the core — public hardware knowledge, like the kind.
+    /// Always `DomainId(0)` on single-controller machines.
+    pub domain: DomainId,
     /// Memory accesses served per second on this core over the last
     /// quantum — the raw input to the paper's `CoreBW` moving mean.
     pub bandwidth: f64,
@@ -134,12 +137,14 @@ mod tests {
                 CoreObservation {
                     id: VCoreId(0),
                     kind: CoreKind::FAST,
+                    domain: DomainId(0),
                     bandwidth: 5.0,
                     occupants: vec![ThreadId(0)],
                 },
                 CoreObservation {
                     id: VCoreId(1),
                     kind: CoreKind::SLOW,
+                    domain: DomainId(0),
                     bandwidth: 7.0,
                     occupants: vec![ThreadId(1)],
                 },

@@ -57,15 +57,11 @@ impl Bench {
     /// non-flag argument is a name filter; `--bench`/`--exact` flags that
     /// cargo forwards are ignored).
     pub fn from_env() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Bench {
             samples: env_u64("DIKE_BENCH_SAMPLES").map_or(20, |n| n.max(1) as u32),
             warmup: Duration::from_millis(env_u64("DIKE_BENCH_WARMUP_MS").unwrap_or(300)),
-            target_sample: Duration::from_millis(
-                env_u64("DIKE_BENCH_SAMPLE_MS").unwrap_or(100),
-            ),
+            target_sample: Duration::from_millis(env_u64("DIKE_BENCH_SAMPLE_MS").unwrap_or(100)),
             filter,
             results: Vec::new(),
         }

@@ -409,13 +409,11 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let cp =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(cp)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                         }
@@ -483,8 +481,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number token is ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number token is ASCII");
         if text.is_empty() || text == "-" {
             return Err(self.err("invalid number"));
         }
@@ -733,7 +731,10 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
                 items.len()
             )));
         }
-        Ok((A::from_json_value(&items[0])?, B::from_json_value(&items[1])?))
+        Ok((
+            A::from_json_value(&items[0])?,
+            B::from_json_value(&items[1])?,
+        ))
     }
 }
 

@@ -165,7 +165,11 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             let pool = Pool::new(threads);
             let out = pool.map_indexed(37, |i| i * i);
-            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "{threads} threads");
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
         }
     }
 

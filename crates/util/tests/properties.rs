@@ -13,8 +13,7 @@ use dike_util::{json_enum, json_newtype, json_struct, Pcg32, SliceRandom};
 ///
 /// Golden: regenerate only on a deliberate stream break (see module doc).
 const GOLDEN_SEED42_U32: [u32; 8] = [
-    3508393247, 2846903365, 3050928809, 2850731726, 4131377665, 2643455979,
-    3642635281, 4055695308,
+    3508393247, 2846903365, 3050928809, 2850731726, 4131377665, 2643455979, 3642635281, 4055695308,
 ];
 
 /// First four `next_u64` outputs of `Pcg32::seed_from_u64(0)`.
@@ -34,16 +33,14 @@ fn rng_stream_is_frozen() {
     let mut rng = Pcg32::seed_from_u64(42);
     let got: Vec<u32> = (0..8).map(|_| rng.next_u32()).collect();
     assert_eq!(
-        got,
-        GOLDEN_SEED42_U32,
+        got, GOLDEN_SEED42_U32,
         "Pcg32 u32 stream changed — breaking for all seeded fixtures"
     );
 
     let mut rng = Pcg32::seed_from_u64(0);
     let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
     assert_eq!(
-        got,
-        GOLDEN_SEED0_U64,
+        got, GOLDEN_SEED0_U64,
         "Pcg32 u64 stream changed — breaking for all seeded fixtures"
     );
 

@@ -46,11 +46,7 @@ fn pools() -> (Vec<AppKind>, Vec<AppKind>) {
 ///
 /// Apps are drawn without replacement within each pool when possible and
 /// with replacement otherwise.
-pub fn random_workload(
-    class: WorkloadClass,
-    cfg: GeneratorConfig,
-    seed: u64,
-) -> Workload {
+pub fn random_workload(class: WorkloadClass, cfg: GeneratorConfig, seed: u64) -> Workload {
     assert!(cfg.num_apps >= 2, "need at least two apps");
     let mut rng = Pcg32::seed_from_u64(seed);
     let (memory_pool, compute_pool) = pools();
@@ -62,7 +58,10 @@ pub fn random_workload(
     let n = cfg.num_apps;
     let num_memory = match class {
         WorkloadClass::Balanced => {
-            assert!(n.is_multiple_of(2), "a balanced workload needs an even app count");
+            assert!(
+                n.is_multiple_of(2),
+                "a balanced workload needs an even app count"
+            );
             n / 2
         }
         WorkloadClass::UnbalancedCompute => rng.gen_range(0..=(n - 1) / 2),

@@ -14,24 +14,24 @@ use crate::workload::WorkloadClass;
 /// WL1).
 pub const TABLE2: [[AppKind; 4]; 16] = [
     // B: Balanced (2M / 2C)
-    [Jacobi, Needle, Leukocyte, LavaMd],           // WL1
-    [Jacobi, Streamcluster, Leukocyte, Srad],      // WL2
-    [Streamcluster, Needle, Hotspot, LavaMd],      // WL3
-    [Jacobi, Streamcluster, LavaMd, Heartwall],    // WL4
-    [Streamcluster, Needle, Leukocyte, Hotspot],   // WL5
-    [Jacobi, Needle, Heartwall, Srad],             // WL6
+    [Jacobi, Needle, Leukocyte, LavaMd],         // WL1
+    [Jacobi, Streamcluster, Leukocyte, Srad],    // WL2
+    [Streamcluster, Needle, Hotspot, LavaMd],    // WL3
+    [Jacobi, Streamcluster, LavaMd, Heartwall],  // WL4
+    [Streamcluster, Needle, Leukocyte, Hotspot], // WL5
+    [Jacobi, Needle, Heartwall, Srad],           // WL6
     // UC: Unbalanced-Compute (1M / 3C)
-    [Jacobi, LavaMd, Leukocyte, Srad],             // WL7
-    [Needle, Hotspot, Leukocyte, Heartwall],       // WL8
-    [Streamcluster, Heartwall, Leukocyte, Srad],   // WL9
-    [Jacobi, Hotspot, Leukocyte, Heartwall],       // WL10
-    [Needle, LavaMd, Hotspot, Srad],               // WL11
+    [Jacobi, LavaMd, Leukocyte, Srad],           // WL7
+    [Needle, Hotspot, Leukocyte, Heartwall],     // WL8
+    [Streamcluster, Heartwall, Leukocyte, Srad], // WL9
+    [Jacobi, Hotspot, Leukocyte, Heartwall],     // WL10
+    [Needle, LavaMd, Hotspot, Srad],             // WL11
     // UM: Unbalanced-Memory (3M / 1C)
-    [Jacobi, Needle, Streamcluster, LavaMd],       // WL12
-    [Jacobi, Needle, StreamOmp, Leukocyte],        // WL13
-    [Streamcluster, Needle, StreamOmp, LavaMd],    // WL14
-    [Jacobi, Streamcluster, StreamOmp, Hotspot],   // WL15
-    [Jacobi, Needle, Streamcluster, Srad],         // WL16
+    [Jacobi, Needle, Streamcluster, LavaMd],     // WL12
+    [Jacobi, Needle, StreamOmp, Leukocyte],      // WL13
+    [Streamcluster, Needle, StreamOmp, LavaMd],  // WL14
+    [Jacobi, Streamcluster, StreamOmp, Hotspot], // WL15
+    [Jacobi, Needle, Streamcluster, Srad],       // WL16
 ];
 
 /// Workload `WLn` for `n` in `1..=16`.
@@ -107,10 +107,7 @@ mod tests {
     #[test]
     fn memory_counts_per_class() {
         for (i, row) in TABLE2.iter().enumerate() {
-            let m = row
-                .iter()
-                .filter(|a| a.class() == AppClass::Memory)
-                .count();
+            let m = row.iter().filter(|a| a.class() == AppClass::Memory).count();
             let expect = match i {
                 0..=5 => 2,
                 6..=10 => 1,

@@ -12,25 +12,29 @@ const CLASSES: [WorkloadClass; 3] = [
 
 #[test]
 fn generated_workloads_match_their_class_and_spawn() {
-    check("generated_workloads_match_their_class_and_spawn", 64, |rng| {
-        let class = CLASSES[rng.gen_range(0usize..CLASSES.len())];
-        let seed = rng.gen_range(0u64..500);
-        let threads_per_app = rng.gen_range(1usize..8);
+    check(
+        "generated_workloads_match_their_class_and_spawn",
+        64,
+        |rng| {
+            let class = CLASSES[rng.gen_range(0usize..CLASSES.len())];
+            let seed = rng.gen_range(0u64..500);
+            let threads_per_app = rng.gen_range(1usize..8);
 
-        let cfg = GeneratorConfig {
-            num_apps: 4,
-            threads_per_app,
-            with_kmeans: true,
-        };
-        let w = random_workload(class, cfg, seed);
-        assert_eq!(w.class(), class);
-        assert_eq!(w.num_threads(), 5 * threads_per_app);
-        // Spawns cleanly on the paper machine.
-        let mut machine = Machine::new(presets::paper_machine(seed));
-        let spawned = w.spawn(&mut machine, Placement::Random(seed), 0.01);
-        assert_eq!(spawned.threads.len(), w.num_threads());
-        assert_eq!(machine.num_threads(), w.num_threads());
-    });
+            let cfg = GeneratorConfig {
+                num_apps: 4,
+                threads_per_app,
+                with_kmeans: true,
+            };
+            let w = random_workload(class, cfg, seed);
+            assert_eq!(w.class(), class);
+            assert_eq!(w.num_threads(), 5 * threads_per_app);
+            // Spawns cleanly on the paper machine.
+            let mut machine = Machine::new(presets::paper_machine(seed));
+            let spawned = w.spawn(&mut machine, Placement::Random(seed), 0.01);
+            assert_eq!(spawned.threads.len(), w.num_threads());
+            assert_eq!(machine.num_threads(), w.num_threads());
+        },
+    );
 }
 
 #[test]

@@ -32,7 +32,10 @@ fn main() {
     println!("completed: {}", result.completed);
     println!("wall time: {:.2}s", result.wall.as_secs_f64());
     println!("quanta:    {}", result.quanta);
-    println!("swaps:     {} (migrations: {})", result.swaps, result.migrations);
+    println!(
+        "swaps:     {} (migrations: {})",
+        result.swaps, result.migrations
+    );
 
     // The paper's fairness metric (Eqn 4): 1 − mean per-app coefficient of
     // variation of thread runtimes.
@@ -43,7 +46,10 @@ fn main() {
             .map(|a| result.app_runtimes(a.0))
             .collect(),
     );
-    println!("fairness:  {:.4} (1.0 = every app's threads finished together)", matrix.fairness());
+    println!(
+        "fairness:  {:.4} (1.0 = every app's threads finished together)",
+        matrix.fairness()
+    );
 
     for t in &result.threads {
         println!(

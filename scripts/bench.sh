@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Perf-trajectory bench: times the solve_memory hot path and the 33-cell
-# configuration sweep (serial vs parallel), recording the numbers into
-# results/BENCH_sweep.json so regressions are visible release over release.
+# Perf-trajectory bench: times the solve_memory hot path, the 33-cell
+# configuration sweep (serial vs parallel) and the NUMA scale sweep,
+# recording the numbers into results/BENCH_sweep.json and
+# results/BENCH_scale.json so regressions are visible release over release.
 #
 # Usage:
-#   scripts/bench.sh            # full run, records results/BENCH_sweep.json
+#   scripts/bench.sh            # full run, records results/BENCH_*.json
 #   DIKE_BENCH_FAST=1 scripts/bench.sh
 #                               # smoke mode: tiny sample counts and scale,
 #                               # writes to target/ only (no recorded file
@@ -15,16 +16,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # cargo bench runs the binary from the package directory, so the output
-# path must be absolute.
+# paths must be absolute.
 if [[ "${DIKE_BENCH_FAST:-0}" == "1" ]]; then
-    out="$PWD/target/BENCH_sweep_smoke.json"
+    out_sweep="$PWD/target/BENCH_sweep_smoke.json"
+    out_scale="$PWD/target/BENCH_scale_smoke.json"
     export DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}"
     export DIKE_BENCH_WARMUP_MS="${DIKE_BENCH_WARMUP_MS:-20}"
     export DIKE_BENCH_SAMPLE_MS="${DIKE_BENCH_SAMPLE_MS:-20}"
 else
-    out="$PWD/results/BENCH_sweep.json"
+    out_sweep="$PWD/results/BENCH_sweep.json"
+    out_scale="$PWD/results/BENCH_scale.json"
 fi
 
-DIKE_BENCH_JSON="$out" cargo bench -q --offline -p dike-bench --bench sweep_parallel
+DIKE_BENCH_JSON="$out_sweep" cargo bench -q --offline -p dike-bench --bench sweep_parallel
+DIKE_BENCH_JSON="$out_scale" cargo bench -q --offline -p dike-bench --bench scale
 
-echo "bench: OK ($out)"
+echo "bench: OK ($out_sweep, $out_scale)"

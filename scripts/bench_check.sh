@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Bench regression check: run the smoke benches and compare their medians
+# against the committed results/BENCH_*.json references.
+#
+# Smoke mode runs the same hot paths at equal-or-smaller workload scales,
+# so each smoke median should come in at or below the recorded full-run
+# median; a median more than DIKE_BENCH_TOLERANCE× (default 3×) above the
+# reference fails the check. The tolerance absorbs host differences and
+# smoke-mode noise — rationale in EXPERIMENTS.md. CI runs this as a
+# separate non-blocking job: a trip is a signal to investigate, not a
+# merge gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIKE_BENCH_FAST=1 scripts/bench.sh
+
+cargo build -q --offline -p dike-bench --bin bench_check
+check=target/debug/bench_check
+
+fail=0
+"$check" target/BENCH_sweep_smoke.json results/BENCH_sweep.json || fail=1
+"$check" target/BENCH_scale_smoke.json results/BENCH_scale.json || fail=1
+
+if [[ "$fail" != 0 ]]; then
+    echo "bench_check: FAIL"
+    exit 1
+fi
+echo "bench_check: OK"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline-purity guard: the workspace must build with zero crates.io
+# dependencies (everything lives under crates/, with dike-util standing in
+# for the usual external crates). Fail if any workspace manifest
+# reintroduces a registry dependency — i.e. a dependency entry that
+# neither declares `path = ...` nor inherits a workspace path dependency
+# via `workspace = true`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=$(awk '
+    /^\[/ { in_dep = ($0 ~ /dependencies[].]/) }
+    in_dep && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+        if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+            print FILENAME ": " $0
+    }
+' Cargo.toml crates/*/Cargo.toml)
+
+if [[ -n "$bad" ]]; then
+    echo "offline_guard: registry dependencies are not allowed:"
+    echo "$bad"
+    exit 1
+fi
+echo "offline_guard: OK"

@@ -6,6 +6,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Offline purity: no manifest may reintroduce a crates.io dependency.
+scripts/offline_guard.sh
+
+cargo fmt --all -- --check
 cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -14,8 +18,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # serial path when actually running on multiple workers.
 DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
 
-# Bench smoke: the sweep_parallel target must run end to end (tiny samples,
-# writes to target/, never touches the recorded results/BENCH_sweep.json).
+# Bench smoke: the bench targets must run end to end (tiny samples, writes
+# to target/, never touches the recorded results/BENCH_*.json).
 DIKE_BENCH_FAST=1 scripts/bench.sh
 
 echo "verify: OK"

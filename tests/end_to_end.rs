@@ -113,10 +113,7 @@ fn runs_are_deterministic_per_seed() {
         (
             r.wall,
             r.swaps,
-            r.threads
-                .iter()
-                .map(|t| t.finished_at)
-                .collect::<Vec<_>>(),
+            r.threads.iter().map(|t| t.finished_at).collect::<Vec<_>>(),
         )
     };
     assert_eq!(once(7), once(7));

@@ -61,7 +61,11 @@ fn light_headline_shape() {
     // settle phase eats part of the gain; the full-scale ordering is the
     // ignored test below).
     let speed = geomeans(&fig.speedups());
-    assert!(speed[dike] > 0.98, "Dike speedup geomean {:.4}", speed[dike]);
+    assert!(
+        speed[dike] > 0.98,
+        "Dike speedup geomean {:.4}",
+        speed[dike]
+    );
 }
 
 #[test]
@@ -195,8 +199,12 @@ fn full_headline_orderings() {
         speed[dio]
     );
     // Table III: overall swap averages clearly below DIO's.
-    let avg = |s: usize| {
-        fig.rows.iter().map(|r| r[s].swaps as f64).sum::<f64>() / fig.rows.len() as f64
-    };
-    assert!(avg(dike) * 1.5 < avg(dio), "Dike {} vs DIO {}", avg(dike), avg(dio));
+    let avg =
+        |s: usize| fig.rows.iter().map(|r| r[s].swaps as f64).sum::<f64>() / fig.rows.len() as f64;
+    assert!(
+        avg(dike) * 1.5 < avg(dio),
+        "Dike {} vs DIO {}",
+        avg(dike),
+        avg(dio)
+    );
 }

@@ -27,13 +27,13 @@ fn random_workloads_complete_under_dike_and_dio() {
             vec![Box::new(Dike::new()), Box::new(Dio::new())];
         for sched in schedulers.iter_mut() {
             let mut machine = Machine::new(presets::paper_machine(seed));
-            let spawned = workload.spawn(
-                &mut machine,
-                Placement::Random(placement_seed),
-                0.05,
-            );
+            let spawned = workload.spawn(&mut machine, Placement::Random(placement_seed), 0.05);
             let result = run(&mut machine, sched.as_mut(), SimTime::from_secs_f64(120.0));
-            assert!(result.completed, "{} stalled on {}", result.scheduler, workload.name);
+            assert!(
+                result.completed,
+                "{} stalled on {}",
+                result.scheduler, workload.name
+            );
             // Counter sanity for every thread.
             for t in &result.threads {
                 assert!(t.counters.instructions > 0.0);
