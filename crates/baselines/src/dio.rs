@@ -160,6 +160,8 @@ mod tests {
             quantum_index: 0,
             threads,
             cores,
+            arrived: vec![],
+            departed: vec![],
         };
         let mut dio = Dio::new();
         let mut actions = Actions::default();

@@ -1,0 +1,85 @@
+//! Open-system bench: wall-clock of one open-system cell — arrival-trace
+//! generation, mid-run spawning through the event-driven driver, and the
+//! windowed-fairness reduction — at each offered-load level.
+//!
+//! Each bench times `run_open_cell` with default Dike on the WL1-derived
+//! Poisson trace of one [`LOAD_LEVELS_MS`] level, so the recorded numbers
+//! track the end-to-end cost of the open path (admission, sub-segment
+//! quanta, per-window reduction) as churn rises. Regressions here usually
+//! mean the driver's admit loop or the view rebuild grew a per-arrival
+//! cost it should not have.
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` uses this to record the numbers into
+//! `results/BENCH_open.json`.
+
+use dike_experiments::open::{run_open_cell, wl1_trace, LOAD_LEVELS_MS};
+use dike_experiments::{RunOptions, SchedKind};
+use dike_machine::presets;
+use dike_scheduler::SchedConfig;
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::pool;
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+
+    let opts = RunOptions {
+        scale: if fast { 0.01 } else { 0.02 },
+        deadline_s: 120.0,
+        ..RunOptions::default()
+    };
+    let machine = presets::paper_machine(opts.seed);
+    for &mean_ms in &LOAD_LEVELS_MS {
+        let trace = wl1_trace(mean_ms, opts.seed);
+        let name = format!("open/dike_{}ms_{}thr", mean_ms as u64, trace.num_threads());
+        b.bench(&name, || {
+            let point = run_open_cell(
+                black_box(&machine),
+                &trace,
+                &SchedKind::Dike(SchedConfig::DEFAULT),
+                &opts,
+            );
+            black_box(point.mean_sojourn_s)
+        });
+    }
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

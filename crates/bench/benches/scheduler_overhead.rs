@@ -63,6 +63,8 @@ fn paper_scale_view(quantum_index: u64) -> SystemView {
         quantum_index,
         threads,
         cores,
+        arrived: vec![],
+        departed: vec![],
     }
 }
 

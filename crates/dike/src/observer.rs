@@ -341,6 +341,8 @@ mod tests {
             quantum_index: 0,
             threads,
             cores,
+            arrived: vec![],
+            departed: vec![],
         }
     }
 

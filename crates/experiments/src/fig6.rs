@@ -5,7 +5,7 @@
 use crate::runner::{run_cells, CellResult, RunOptions, SchedKind};
 use dike_machine::presets;
 use dike_metrics::{geometric_mean, mean, pct, relative_improvement, TextTable};
-use dike_util::Pool;
+use dike_util::{json_struct, Pool};
 use dike_workloads::paper;
 
 /// All cells of the comparison, grouped by workload.
@@ -16,6 +16,8 @@ pub struct Fig6 {
     /// `rows[w][s]` = cell for workload `w` under scheduler `s`.
     pub rows: Vec<Vec<CellResult>>,
 }
+
+json_struct!(Fig6 { schedulers, rows });
 
 impl Fig6 {
     /// Fairness improvement over the baseline per workload per scheduler

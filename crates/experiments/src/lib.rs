@@ -28,6 +28,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod open;
 pub mod runner;
 pub mod scale;
 pub mod sweep;

@@ -4,7 +4,7 @@
 use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
 use dike_machine::{Machine, MachineConfig, SimTime};
 use dike_metrics::RuntimeMatrix;
-use dike_sched_core::{run_with, SystemView};
+use dike_sched_core::{run_with, NullScheduler, SystemView};
 use dike_scheduler::{Dike, DikeConfig, SchedConfig};
 use dike_util::{json_enum, json_struct};
 use dike_workloads::{Placement, Workload};
@@ -12,6 +12,9 @@ use dike_workloads::{Placement, Workload};
 /// Which scheduling policy to run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchedKind {
+    /// No-op scheduler: threads stay where the driver placed them (the
+    /// open-system floor — no migration response to churn at all).
+    Null,
     /// Linux-CFS stand-in (the baseline).
     Cfs,
     /// Distributed Intensity Online.
@@ -30,7 +33,7 @@ pub enum SchedKind {
     DikeCustom(DikeConfig),
 }
 
-json_enum!(SchedKind { Cfs, Dio, SortOnce, DikeAf, DikeAp } {
+json_enum!(SchedKind { Null, Cfs, Dio, SortOnce, DikeAf, DikeAp } {
     Random(u64),
     Dike(SchedConfig),
     DikeCustom(DikeConfig)
@@ -40,6 +43,7 @@ impl SchedKind {
     /// Display name matching the paper's figures.
     pub fn label(&self) -> String {
         match self {
+            SchedKind::Null => "Null".into(),
             SchedKind::Cfs => "Linux-CFS".into(),
             SchedKind::Dio => "DIO".into(),
             SchedKind::Random(_) => "Random".into(),
@@ -176,6 +180,12 @@ pub fn run_cell_with(
     // one so its predictor state survives the run.
     let mut dike_handle: Option<Dike> = None;
     let result = match kind {
+        SchedKind::Null => run_with(
+            &mut machine,
+            &mut NullScheduler::new(SimTime::from_ms(100)),
+            deadline,
+            observer,
+        ),
         SchedKind::Cfs => run_with(&mut machine, &mut StaticSpread::new(), deadline, observer),
         SchedKind::Dio => run_with(&mut machine, &mut Dio::new(), deadline, observer),
         SchedKind::Random(seed) => run_with(

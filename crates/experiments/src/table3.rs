@@ -10,7 +10,7 @@ use crate::runner::{run_cells, RunOptions, SchedKind};
 use dike_machine::presets;
 use dike_metrics::{mean, TextTable};
 use dike_scheduler::SchedConfig;
-use dike_util::Pool;
+use dike_util::{json_struct, Pool};
 use dike_workloads::paper;
 
 /// Swap counts per workload (rows) per scheduler (columns).
@@ -23,6 +23,12 @@ pub struct Table3 {
     /// `swaps[w][s]`.
     pub swaps: Vec<Vec<u64>>,
 }
+
+json_struct!(Table3 {
+    schedulers,
+    workloads,
+    swaps,
+});
 
 impl Table3 {
     /// Per-scheduler averages (the table's final column).

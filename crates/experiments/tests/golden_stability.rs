@@ -1,0 +1,88 @@
+//! Golden-stability regression: the closed-system experiment path must
+//! stay byte-identical across driver refactors.
+//!
+//! The fixtures under `tests/fixtures/` were serialized from the
+//! pre-open-system (closed, fixed-population) driver. Any change to the
+//! quantum loop, view construction or result reduction that alters a
+//! single byte of these artefacts is a behaviour change to the recorded
+//! figures (fig2/4/5/6a/6b/table3 all reduce through the same
+//! `run_cell`/`sweep` machinery exercised here) and must be flagged, not
+//! silently absorbed.
+//!
+//! To *intentionally* re-baseline after a deliberate behaviour change:
+//!
+//! ```sh
+//! DIKE_REGEN_GOLDENS=1 cargo test -p dike-experiments --test golden_stability
+//! ```
+
+use dike_experiments::sweep::sweep_workload_pool;
+use dike_experiments::{fig6, table3, RunOptions};
+use dike_machine::presets;
+use dike_util::{json, Pool};
+use dike_workloads::paper;
+use std::path::PathBuf;
+
+fn small_opts() -> RunOptions {
+    RunOptions {
+        scale: 0.02,
+        deadline_s: 60.0,
+        ..RunOptions::default()
+    }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var("DIKE_REGEN_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); generate with DIKE_REGEN_GOLDENS=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "golden {name} drifted: the closed-system driver path is no longer \
+         byte-identical to the recorded baseline (DIKE_REGEN_GOLDENS=1 only \
+         after a deliberate behaviour change)"
+    );
+}
+
+/// Figure 2's machinery: a full 33-configuration sweep of one workload
+/// (WL2 is the first of fig2's selected set). Covers fig4/fig5 too — they
+/// reduce the same `sweep_workload_pool` output differently.
+#[test]
+fn fig2_sweep_is_byte_identical_to_pre_refactor_golden() {
+    let opts = small_opts();
+    let sweep = sweep_workload_pool(
+        &presets::paper_machine(opts.seed),
+        &paper::workload(2),
+        &opts,
+        &Pool::new(1),
+    );
+    check_golden("golden_fig2_wl2.json", &json::to_string(&sweep));
+}
+
+/// Table III's machinery: swap counts for one B and one UM workload under
+/// DIO and the three Dike variants.
+#[test]
+fn table3_swaps_are_byte_identical_to_pre_refactor_golden() {
+    let opts = small_opts();
+    let t3 = table3::run_subset_pool(&opts, &[1, 13], &Pool::new(1));
+    check_golden("golden_table3.json", &json::to_string(&t3));
+}
+
+/// Figure 6's machinery: the five-scheduler comparison set on WL1 (the
+/// cells behind both 6a fairness improvements and 6b speedups).
+#[test]
+fn fig6_comparison_is_byte_identical_to_pre_refactor_golden() {
+    let opts = small_opts();
+    let fig = fig6::run_subset_pool(&opts, &[1], &Pool::new(1));
+    check_golden("golden_fig6_wl1.json", &json::to_string(&fig));
+}

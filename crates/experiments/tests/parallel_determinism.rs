@@ -4,7 +4,7 @@
 //! wall-clock knob with no effect on any recorded figure or fixture.
 
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, scale, table3, RunOptions};
+use dike_experiments::{fig6, open, scale, table3, RunOptions};
 use dike_machine::presets;
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -56,6 +56,26 @@ fn table3_swap_counts_are_thread_count_invariant() {
     let serial = table3::run_subset_pool(&opts, &[1], &Pool::new(1));
     let parallel = table3::run_subset_pool(&opts, &[1], &Pool::new(4));
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn open_experiment_is_thread_count_invariant() {
+    // The open driver injects arrivals mid-run; each cell still simulates
+    // single-threaded, and the `(level × scheduler)` fan-out must not leak
+    // worker count into any byte of the output.
+    let opts = small_opts();
+    let levels = [2000.0, 1000.0];
+    let serial = open::run_open_points_pool(&levels, &opts, &Pool::new(1));
+    let serial_json = json::to_string(&serial);
+    assert!(serial_json.contains("\"windows\""), "open points serialize");
+    for threads in [2usize, 8] {
+        let parallel = open::run_open_points_pool(&levels, &opts, &Pool::new(threads));
+        assert_eq!(
+            serial_json,
+            json::to_string(&parallel),
+            "{threads}-thread open experiment JSON must be byte-identical to serial"
+        );
+    }
 }
 
 #[test]

@@ -131,9 +131,12 @@ impl Machine {
     }
 
     /// Spawn a thread pinned to `vcore`. The thread's memory is homed to
-    /// the NUMA domain of that core (first touch) and stays there for life:
-    /// later migrations change where the thread *runs*, not where its
-    /// misses are serviced.
+    /// the NUMA domain of that core (first touch **at actual spawn time** —
+    /// a mid-run arrival homes to wherever it first lands) and stays there
+    /// for life: later migrations change where the thread *runs*, not where
+    /// its misses are serviced. Thread ids are dense and stable: the `n`-th
+    /// spawn — whether at `t = 0` or mid-run — is `ThreadId(n)`, and ids
+    /// are never reused after retirement.
     ///
     /// # Panics
     /// Panics if the spec is invalid or the core id is out of range.
@@ -148,7 +151,8 @@ impl Machine {
             self.barrier_groups.entry(b.group).or_default().push(id);
         }
         let home = self.cfg.topology.domain_of(vcore);
-        self.threads.push(ThreadState::new(spec, vcore, home));
+        self.threads
+            .push(ThreadState::new(spec, vcore, home, self.now));
         self.events
             .push(MachineEvent::Spawned { thread: id, vcore });
         id
@@ -250,6 +254,30 @@ impl Machine {
     /// Completion time of a thread, if finished.
     pub fn finish_time(&self, thread: ThreadId) -> Option<SimTime> {
         self.threads[thread.index()].finished_at
+    }
+
+    /// Machine time at which a thread was spawned (zero for threads spawned
+    /// before the run started).
+    pub fn spawn_time(&self, thread: ThreadId) -> SimTime {
+        self.threads[thread.index()].spawned_at
+    }
+
+    /// Virtual cores with no unfinished occupant, in id order — the free
+    /// slots a mid-run arrival can be placed on (a retired thread frees its
+    /// vcore the moment it finishes).
+    pub fn idle_vcores(&self) -> Vec<VCoreId> {
+        let mut occupied = vec![false; self.cfg.topology.num_vcores()];
+        for t in &self.threads {
+            if !t.finished() {
+                occupied[t.vcore.index()] = true;
+            }
+        }
+        occupied
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| !o)
+            .map(|(v, _)| VCoreId(v as u32))
+            .collect()
     }
 
     /// Fraction of a thread's instructions retired so far, in `[0, 1]`.
@@ -1054,6 +1082,34 @@ mod tests {
         m.migrate(t, VCoreId(4));
         m.run_until_done(SimTime::from_secs_f64(30.0));
         assert_eq!(m.counters(t).remote_us, 0);
+    }
+
+    #[test]
+    fn mid_run_spawn_records_time_home_and_dense_id() {
+        let mut m = Machine::new(numa_small(1));
+        let a = m.spawn(compute_spec(0, 1e6), VCoreId(0));
+        assert_eq!(m.spawn_time(a), SimTime::ZERO);
+        m.run_for(SimTime::from_ms(50));
+        // First-touch homing happens at actual spawn time, on the core the
+        // arrival lands on — domain 1 here, regardless of earlier threads.
+        let b = m.spawn(compute_spec(1, 1e6), VCoreId(5));
+        assert_eq!(b, ThreadId(1), "ids stay dense across mid-run spawns");
+        assert_eq!(m.spawn_time(b), SimTime::from_ms(50));
+        assert_eq!(m.home_domain_of(b), crate::ids::DomainId(1));
+        assert!(m.run_until_done(SimTime::from_secs_f64(10.0)));
+        // A finished thread is retired: its vcore shows up as idle again.
+        assert!(m.idle_vcores().contains(&VCoreId(5)));
+        assert_eq!(m.idle_vcores().len(), 8);
+    }
+
+    #[test]
+    fn idle_vcores_excludes_occupied_slots() {
+        let mut m = Machine::new(small_machine_pinned(1));
+        m.spawn(compute_spec(0, 1e9), VCoreId(2));
+        m.spawn(compute_spec(1, 1e9), VCoreId(2)); // doubled up
+        let idle = m.idle_vcores();
+        assert!(!idle.contains(&VCoreId(2)));
+        assert_eq!(idle.len(), 7, "one occupied vcore on an 8-vcore machine");
     }
 
     #[test]

@@ -160,6 +160,10 @@ pub(crate) struct ThreadState {
     /// NUMA domain the thread's memory is homed to (first touch: the domain
     /// of the core it was spawned on). Misses always queue there.
     pub home_domain: DomainId,
+    /// Machine time at which the thread was spawned. Zero for a closed
+    /// workload; mid-run arrivals record their actual arrival instant so
+    /// fairness can normalise by sojourn time.
+    pub spawned_at: SimTime,
     /// Instructions retired so far.
     pub retired: f64,
     /// Completion time, once finished.
@@ -177,7 +181,12 @@ pub(crate) struct ThreadState {
 }
 
 impl ThreadState {
-    pub fn new(spec: ThreadSpec, vcore: VCoreId, home_domain: DomainId) -> Self {
+    pub fn new(
+        spec: ThreadSpec,
+        vcore: VCoreId,
+        home_domain: DomainId,
+        spawned_at: SimTime,
+    ) -> Self {
         let next_barrier_at = spec
             .barrier
             .map(|b| b.interval_instructions)
@@ -186,6 +195,7 @@ impl ThreadState {
             spec,
             vcore,
             home_domain,
+            spawned_at,
             retired: 0.0,
             finished_at: None,
             dead_until: SimTime::ZERO,
@@ -275,7 +285,7 @@ mod tests {
 
     #[test]
     fn new_thread_state_is_runnable() {
-        let s = ThreadState::new(spec(), VCoreId(0), DomainId(0));
+        let s = ThreadState::new(spec(), VCoreId(0), DomainId(0), SimTime::ZERO);
         assert!(s.runnable(SimTime::ZERO));
         assert!(!s.finished());
         assert_eq!(s.next_barrier_at, f64::INFINITY);
@@ -283,7 +293,7 @@ mod tests {
 
     #[test]
     fn dead_time_blocks_execution() {
-        let mut s = ThreadState::new(spec(), VCoreId(0), DomainId(0));
+        let mut s = ThreadState::new(spec(), VCoreId(0), DomainId(0), SimTime::ZERO);
         s.dead_until = SimTime::from_ms(5);
         assert!(!s.runnable(SimTime::from_ms(4)));
         assert!(s.runnable(SimTime::from_ms(5)));
@@ -297,7 +307,7 @@ mod tests {
             interval_instructions: 5000.0,
         });
         assert!(sp.validate().is_ok());
-        let s = ThreadState::new(sp, VCoreId(1), DomainId(0));
+        let s = ThreadState::new(sp, VCoreId(1), DomainId(0), SimTime::ZERO);
         assert_eq!(s.next_barrier_at, 5000.0);
     }
 

@@ -13,8 +13,10 @@ pub mod fairness;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
+pub mod windowed;
 
 pub use fairness::{relative_improvement, speedup, RuntimeMatrix};
 pub use stats::{coefficient_of_variation, geometric_mean, mean, std_dev, Summary};
 pub use table::{pct, ratio, TextTable};
 pub use timeseries::TimeSeries;
+pub use windowed::{mean_sojourn, windowed_fairness, ThreadSpan, WindowPoint};

@@ -5,11 +5,39 @@
 //! scheduler, and applies the resulting migrations — mirroring a userspace
 //! contention-aware scheduler daemon reading perf counters and calling
 //! `sched_setaffinity` on a timer.
+//!
+//! Two run modes share one event-driven loop:
+//!
+//! * **Closed** ([`run`]/[`run_with`]): every thread is spawned before the
+//!   driver starts and the system runs to empty — the paper's batch mixes.
+//! * **Open** ([`run_open`]/[`run_open_with`]): an arrival plan injects
+//!   threads mid-run. Quantum boundaries stay on the regular grid the
+//!   policy chose; arrival instants split a quantum into sub-segments so a
+//!   thread starts executing at its arrival time, not at the next
+//!   boundary. An arrival with no idle vcore waits in a FIFO queue until a
+//!   departure frees a slot (slots are re-checked at every arrival instant
+//!   and quantum boundary). An empty machine idles forward to the next
+//!   arrival instead of terminating.
+//!
+//! The closed path is the open path with an empty plan, and is
+//! byte-identical to the pre-open-system driver (enforced by the
+//! `golden_stability` fixtures in `dike-experiments`).
 
 use crate::scheduler::Scheduler;
 use crate::view::{Actions, CoreObservation, SystemView, ThreadObservation};
 use dike_counters::RateSample;
-use dike_machine::{CoreCounters, Machine, SimTime, ThreadCounters, ThreadId, VCoreId};
+use dike_machine::{CoreCounters, Machine, SimTime, ThreadCounters, ThreadId, ThreadSpec, VCoreId};
+use std::collections::VecDeque;
+
+/// A thread arrival scheduled for a future machine time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedSpawn {
+    /// Machine time at which the thread arrives (rounded up to the tick
+    /// grid by the driver).
+    pub at: SimTime,
+    /// What to spawn.
+    pub spec: ThreadSpec,
+}
 
 /// Outcome of a driven run.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,44 +67,48 @@ pub struct ThreadResult {
     pub app: u32,
     /// Application name.
     pub app_name: String,
+    /// Time the thread was spawned (zero in a closed run; the arrival
+    /// instant in an open run).
+    pub spawned_at: SimTime,
     /// Completion time, if the thread finished.
     pub finished_at: Option<SimTime>,
     /// Final cumulative counters.
     pub counters: ThreadCounters,
 }
 
+impl ThreadResult {
+    /// Sojourn (response) time in seconds: completion minus arrival, the
+    /// quantity fairness normalises by in an open system. An unfinished
+    /// thread is charged up to `wall` (a fairness-conservative choice: a
+    /// straggler that never finished is maximally unfair). Equal to the
+    /// absolute completion time in a closed run, where `spawned_at` is 0.
+    pub fn sojourn_secs(&self, wall: SimTime) -> f64 {
+        self.finished_at
+            .unwrap_or(wall)
+            .saturating_sub(self.spawned_at)
+            .as_secs_f64()
+    }
+}
+
 impl RunResult {
-    /// Per-app thread runtimes in seconds. Unfinished threads are charged
-    /// the full wall time (a fairness-conservative choice: a straggler that
-    /// never finished is maximally unfair).
+    /// Per-app thread sojourn times in seconds, for every app present.
     pub fn per_app_runtimes(&self) -> Vec<(u32, Vec<f64>)> {
         let mut apps: Vec<u32> = self.threads.iter().map(|t| t.app).collect();
         apps.sort_unstable();
         apps.dedup();
         apps.into_iter()
-            .map(|app| {
-                let times: Vec<f64> = self
-                    .threads
-                    .iter()
-                    .filter(|t| t.app == app)
-                    .map(|t| {
-                        t.finished_at
-                            .map(|f| f.as_secs_f64())
-                            .unwrap_or(self.wall.as_secs_f64())
-                    })
-                    .collect();
-                (app, times)
-            })
+            .map(|app| (app, self.app_runtimes(app)))
             .collect()
     }
 
-    /// Runtimes of one app's threads.
+    /// Sojourn times of one app's threads, without rebuilding the whole
+    /// per-app table.
     pub fn app_runtimes(&self, app: u32) -> Vec<f64> {
-        self.per_app_runtimes()
-            .into_iter()
-            .find(|(a, _)| *a == app)
-            .map(|(_, v)| v)
-            .unwrap_or_default()
+        self.threads
+            .iter()
+            .filter(|t| t.app == app)
+            .map(|t| t.sojourn_secs(self.wall))
+            .collect()
     }
 }
 
@@ -92,6 +124,32 @@ pub fn run_with(
     machine: &mut Machine,
     scheduler: &mut dyn Scheduler,
     deadline: SimTime,
+    observer: impl FnMut(&SystemView),
+) -> RunResult {
+    run_open_with(machine, scheduler, deadline, Vec::new(), observer)
+}
+
+/// Run an open system: `arrivals` are injected mid-run, and the run ends
+/// when the plan is drained, the wait queue is empty and every spawned
+/// thread has finished (or at `deadline`).
+pub fn run_open(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    arrivals: Vec<TimedSpawn>,
+) -> RunResult {
+    run_open_with(machine, scheduler, deadline, arrivals, |_| {})
+}
+
+/// [`run_open`] with a per-quantum view observer. This is the single
+/// driver loop behind both run modes; see the module docs for the open
+/// semantics (sub-segment execution at arrival instants, FIFO wait queue,
+/// idle-forward on an empty machine).
+pub fn run_open_with(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    arrivals: Vec<TimedSpawn>,
     mut observer: impl FnMut(&SystemView),
 ) -> RunResult {
     let tick = machine.config().tick_us;
@@ -99,37 +157,117 @@ pub fn run_with(
         let us = q.as_us().max(tick);
         SimTime::from_us(us - us % tick)
     };
+    // The machine advances in whole ticks, so arrival instants round up to
+    // the tick grid; equal-time arrivals keep their plan order.
+    let mut pending: VecDeque<TimedSpawn> = {
+        let mut a = arrivals;
+        for ts in &mut a {
+            let us = ts.at.as_us().div_ceil(tick) * tick;
+            ts.at = SimTime::from_us(us);
+        }
+        a.sort_by_key(|ts| ts.at);
+        a.into()
+    };
+    let mut waiting: VecDeque<ThreadSpec> = VecDeque::new();
 
     let mut quantum = clamp_quantum(scheduler.initial_quantum());
-    let n_threads = machine.num_threads();
     let n_vcores = machine.config().topology.num_vcores();
-    let mut prev_thread: Vec<ThreadCounters> = (0..n_threads)
+    let mut prev_thread: Vec<ThreadCounters> = (0..machine.num_threads())
         .map(|i| machine.counters(ThreadId(i as u32)))
+        .collect();
+    let mut prev_finished: Vec<bool> = (0..machine.num_threads())
+        .map(|i| machine.finish_time(ThreadId(i as u32)).is_some())
         .collect();
     let mut prev_core: Vec<CoreCounters> = (0..n_vcores)
         .map(|v| machine.core_counters(VCoreId(v as u32)))
         .collect();
+    let mut arrived: Vec<ThreadId> = Vec::new();
 
     let mut quanta = 0u64;
     let migrations_before = machine.total_migrations();
 
-    while !machine.all_done() && machine.now() < deadline {
+    // Admit everything due by `now`: move due plan entries to the wait
+    // queue, then place queued specs (FIFO) on idle vcores, lowest id
+    // first. Specs that find no slot stay queued until a departure frees
+    // one.
+    let admit = |machine: &mut Machine,
+                 pending: &mut VecDeque<TimedSpawn>,
+                 waiting: &mut VecDeque<ThreadSpec>,
+                 prev_thread: &mut Vec<ThreadCounters>,
+                 prev_finished: &mut Vec<bool>,
+                 arrived: &mut Vec<ThreadId>| {
+        while pending.front().is_some_and(|ts| ts.at <= machine.now()) {
+            waiting.push_back(pending.pop_front().expect("checked front").spec);
+        }
+        if waiting.is_empty() {
+            return;
+        }
+        for vcore in machine.idle_vcores() {
+            let Some(spec) = waiting.pop_front() else {
+                break;
+            };
+            let id = machine.spawn(spec, vcore);
+            prev_thread.push(machine.counters(id));
+            prev_finished.push(false);
+            arrived.push(id);
+        }
+    };
+
+    while machine.now() < deadline {
+        admit(
+            machine,
+            &mut pending,
+            &mut waiting,
+            &mut prev_thread,
+            &mut prev_finished,
+            &mut arrived,
+        );
+        let open_work_left = !pending.is_empty() || !waiting.is_empty();
+        if machine.all_done() && !open_work_left {
+            break;
+        }
+
+        // One scheduling quantum, executed in sub-segments so that a
+        // mid-quantum arrival starts running at its arrival instant. With
+        // an empty plan this is a single `run_for(step)` — the closed
+        // path, byte-identical to the pre-open-system driver.
         let remaining = deadline.saturating_sub(machine.now());
         let step = clamp_quantum(if quantum.as_us() < remaining.as_us() {
             quantum
         } else {
             remaining
         });
-        machine.run_for(step);
+        let q_end = machine.now() + step;
+        while machine.now() < q_end {
+            let seg_end = match pending.front() {
+                Some(ts) if ts.at > machine.now() && ts.at < q_end => ts.at,
+                _ => q_end,
+            };
+            machine.run_for(seg_end.saturating_sub(machine.now()));
+            if machine.now() < q_end {
+                admit(
+                    machine,
+                    &mut pending,
+                    &mut waiting,
+                    &mut prev_thread,
+                    &mut prev_finished,
+                    &mut arrived,
+                );
+            }
+        }
         quanta += 1;
 
-        if machine.all_done() {
+        if machine.all_done() && pending.is_empty() && waiting.is_empty() {
             break;
         }
 
-        // Build the view from counter deltas.
+        // Build the view from counter deltas. A thread that arrived inside
+        // this quantum is observed over the full quantum length (its rates
+        // slightly underestimate its true rates for one quantum).
+        let n_threads = machine.num_threads();
         let dt_s = step.as_secs_f64();
         let mut threads = Vec::new();
+        let mut departed = Vec::new();
         #[allow(clippy::needless_range_loop)] // i indexes two parallel arrays
         for i in 0..n_threads {
             let id = ThreadId(i as u32);
@@ -137,6 +275,10 @@ pub fn run_with(
                 // Still update prev so a thread finishing mid-run does not
                 // distort later deltas (it cannot, but keep it coherent).
                 prev_thread[i] = machine.counters(id);
+                if !prev_finished[i] {
+                    prev_finished[i] = true;
+                    departed.push(id);
+                }
                 continue;
             }
             let cur = machine.counters(id);
@@ -184,6 +326,8 @@ pub fn run_with(
             quantum_index: quanta - 1,
             threads,
             cores,
+            arrived: std::mem::take(&mut arrived),
+            departed,
         };
 
         observer(&view);
@@ -203,13 +347,14 @@ pub fn run_with(
         scheduler: scheduler.name().to_string(),
         wall: machine.now(),
         completed: machine.all_done(),
-        threads: (0..n_threads)
+        threads: (0..machine.num_threads())
             .map(|i| {
                 let id = ThreadId(i as u32);
                 ThreadResult {
                     id,
                     app: machine.app_of(id).0,
                     app_name: machine.app_name_of(id).to_string(),
+                    spawned_at: machine.spawn_time(id),
                     finished_at: machine.finish_time(id),
                     counters: machine.counters(id),
                 }
@@ -346,5 +491,143 @@ mod tests {
         // Must not panic (run_for requires tick multiples).
         let r = run(&mut m, &mut Odd, SimTime::from_ms(10));
         assert!(r.quanta > 0);
+    }
+
+    fn spec_for(app: u32, instructions: f64) -> ThreadSpec {
+        ThreadSpec {
+            app: AppId(app),
+            app_name: format!("app{app}"),
+            program: PhaseProgram::single(Phase::steady(0.8, 10.0, 2.0, 1e7), instructions),
+            barrier: None,
+        }
+    }
+
+    #[test]
+    fn arrival_with_all_vcores_busy_queues_until_a_slot_frees() {
+        let mut m = Machine::new(presets::small_machine(1));
+        // Fill all 8 vcores: one short thread on vcore 0, seven long ones.
+        // The short thread outlives the arrival instant, so the arrival
+        // finds no idle vcore and must queue.
+        m.spawn(spec_for(0, 2e8), VCoreId(0));
+        for v in 1..8u32 {
+            m.spawn(spec_for(v, 2e9), VCoreId(v));
+        }
+        let arrivals = vec![TimedSpawn {
+            at: SimTime::from_ms(100),
+            spec: spec_for(8, 2e7),
+        }];
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let r = run_open(&mut m, &mut s, SimTime::from_secs_f64(120.0), arrivals);
+        assert!(r.completed);
+        assert_eq!(r.threads.len(), 9);
+        let freed = r.threads[0].finished_at.expect("short thread finishes");
+        let queued = &r.threads[8];
+        // The arrival was due at 100ms but no vcore was idle; it must wait
+        // in the FIFO queue until the short thread departs.
+        assert!(
+            queued.spawned_at >= freed && queued.spawned_at > SimTime::from_ms(100),
+            "spawned_at {:?} vs freed {:?}",
+            queued.spawned_at,
+            freed
+        );
+        // It takes the freed slot (the only idle vcore at admit time).
+        assert_eq!(m.vcore_of(ThreadId(8)), VCoreId(0));
+        // Sojourn time is measured from the actual spawn, not from zero.
+        let sojourn = queued.sojourn_secs(r.wall);
+        let total = queued.finished_at.unwrap().as_secs_f64();
+        assert!(sojourn < total);
+    }
+
+    #[test]
+    fn departure_mid_quantum_is_reported_once_in_departed() {
+        let mut m = Machine::new(presets::small_machine(1));
+        m.spawn(spec_for(0, 3e7), VCoreId(0)); // finishes mid-run
+        m.spawn(spec_for(1, 2e9), VCoreId(1));
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let mut departures: Vec<(u64, Vec<ThreadId>)> = Vec::new();
+        let mut seen_alive_after_departure = false;
+        run_open_with(
+            &mut m,
+            &mut s,
+            SimTime::from_secs_f64(60.0),
+            Vec::new(),
+            |view| {
+                if !view.departed.is_empty() {
+                    departures.push((view.quantum_index, view.departed.clone()));
+                }
+                if departures.len() == 1 && view.thread(ThreadId(0)).is_some() {
+                    seen_alive_after_departure = true;
+                }
+            },
+        );
+        // Thread 0 departs exactly once and is gone from `threads` in the
+        // same view and every later one.
+        assert_eq!(departures.len(), 1, "departures: {departures:?}");
+        assert_eq!(departures[0].1, vec![ThreadId(0)]);
+        assert!(!seen_alive_after_departure);
+        // The departure happened strictly inside a quantum, not at a
+        // boundary the driver would have stopped at anyway.
+        let fin = m.finish_time(ThreadId(0)).unwrap();
+        assert_ne!(fin.as_us() % 100_000, 0, "finish at {fin:?}");
+    }
+
+    #[test]
+    fn empty_machine_idles_until_first_arrival() {
+        let mut m = Machine::new(presets::small_machine(1));
+        // Arrival mid-quantum (550ms with a 100ms quantum) exercises the
+        // sub-segment split: the thread starts at its arrival instant.
+        // Long enough to outlive its arrival quantum, so the quantum's
+        // view (with the `arrived` entry) is actually built.
+        let arrivals = vec![TimedSpawn {
+            at: SimTime::from_ms(550),
+            spec: spec_for(0, 2e8),
+        }];
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let mut first_arrival_view: Option<(SimTime, Vec<ThreadId>)> = None;
+        let r = run_open_with(
+            &mut m,
+            &mut s,
+            SimTime::from_secs_f64(60.0),
+            arrivals,
+            |view| {
+                if !view.arrived.is_empty() && first_arrival_view.is_none() {
+                    first_arrival_view = Some((view.now, view.arrived.clone()));
+                }
+            },
+        );
+        assert!(r.completed);
+        assert_eq!(r.threads.len(), 1);
+        assert_eq!(r.threads[0].spawned_at, SimTime::from_ms(550));
+        assert!(r.threads[0].finished_at.unwrap() > SimTime::from_ms(550));
+        // The machine idled forward through the empty quanta instead of
+        // exiting: wall time covers the pre-arrival gap too.
+        assert!(r.wall > SimTime::from_ms(550));
+        // The arrival is reported in the view of the quantum it landed in.
+        let (at, ids) = first_arrival_view.expect("arrival observed");
+        assert_eq!(ids, vec![ThreadId(0)]);
+        assert_eq!(at, SimTime::from_ms(600));
+    }
+
+    #[test]
+    fn arrivals_round_up_to_tick_grid_and_keep_plan_order() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let arrivals = vec![
+            TimedSpawn {
+                at: SimTime::from_us(1_499), // rounds up to 2ms
+                spec: spec_for(0, 2e7),
+            },
+            TimedSpawn {
+                at: SimTime::from_us(2_000), // same tick, later in plan
+                spec: spec_for(1, 2e7),
+            },
+        ];
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let r = run_open(&mut m, &mut s, SimTime::from_secs_f64(60.0), arrivals);
+        assert!(r.completed);
+        assert_eq!(r.threads[0].spawned_at, SimTime::from_ms(2));
+        assert_eq!(r.threads[1].spawned_at, SimTime::from_ms(2));
+        // Stable sort: plan order decides ids for equal-time arrivals.
+        assert_eq!(r.threads[0].app, 0);
+        assert_eq!(r.threads[1].app, 1);
     }
 }

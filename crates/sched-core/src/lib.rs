@@ -11,12 +11,15 @@
 //!   baselines;
 //! * [`run`] / [`run_with`] — the quantum driver connecting a policy to a
 //!   [`dike_machine::Machine`], the simulated analogue of a userspace
-//!   scheduling daemon on a perf-counter timer.
+//!   scheduling daemon on a perf-counter timer;
+//! * [`run_open`] / [`run_open_with`] — the same driver fed a
+//!   [`TimedSpawn`] plan, for open systems where threads arrive and
+//!   depart mid-run.
 
 pub mod driver;
 pub mod scheduler;
 pub mod view;
 
-pub use driver::{run, run_with, RunResult, ThreadResult};
+pub use driver::{run, run_open, run_open_with, run_with, RunResult, ThreadResult, TimedSpawn};
 pub use scheduler::{NullScheduler, Scheduler};
 pub use view::{Actions, CoreObservation, SystemView, ThreadObservation};

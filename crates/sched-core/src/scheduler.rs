@@ -66,6 +66,8 @@ mod tests {
             quantum_index: 0,
             threads: vec![],
             cores: vec![],
+            arrived: vec![],
+            departed: vec![],
         };
         let mut actions = Actions::default();
         s.on_quantum(&view, &mut actions);

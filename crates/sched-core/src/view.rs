@@ -58,6 +58,14 @@ pub struct SystemView {
     pub threads: Vec<ThreadObservation>,
     /// All cores, in core-id order.
     pub cores: Vec<CoreObservation>,
+    /// Threads that arrived (were spawned) during the quantum that just
+    /// elapsed, in spawn order. Always empty for a closed workload, where
+    /// every thread exists before the driver starts.
+    pub arrived: Vec<ThreadId>,
+    /// Threads that departed (finished) during the quantum that just
+    /// elapsed, in thread-id order. Departed threads are absent from
+    /// `threads`; policies must evict any per-thread state they keep.
+    pub departed: Vec<ThreadId>,
 }
 
 impl SystemView {
@@ -133,6 +141,8 @@ mod tests {
             quantum: SimTime::from_ms(500),
             quantum_index: 0,
             threads: vec![obs(0, 10.0), obs(1, 20.0)],
+            arrived: vec![ThreadId(0)],
+            departed: vec![ThreadId(9)],
             cores: vec![
                 CoreObservation {
                     id: VCoreId(0),

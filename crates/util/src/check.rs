@@ -1,11 +1,14 @@
 //! A seeded property-testing harness.
 //!
-//! Replaces the workspace's former `proptest!` blocks with the part of
-//! property testing the tests actually relied on: many randomized cases
-//! per property, full determinism, and an exactly reproducible failure.
-//! There is no shrinking — instead the harness prints the failing case
-//! seed, and `DIKE_CHECK_SEED` re-runs that single case under a debugger
-//! or with extra logging.
+//! Replaces the workspace's former `proptest!` blocks with the parts of
+//! property testing the tests actually rely on: many randomized cases per
+//! property, full determinism, an exactly reproducible failure, and a
+//! *shrunk* counterexample. On failure the harness does not stop at the
+//! first failing input: it greedily bisects the failing case's draws
+//! toward their range minimums (see [`crate::rng`]'s shrink shift) while
+//! the property keeps failing, then reports the minimized draws plus a
+//! `DIKE_CHECK_SEED=… DIKE_CHECK_SHRINK=…` line that reproduces the
+//! minimized case exactly.
 //!
 //! ```ignore
 //! use dike_util::check::check;
@@ -23,8 +26,24 @@
 //!   count passed at the call site (global stress/smoke dial).
 //! * `DIKE_CHECK_SEED=<seed>` — run exactly one case, generated from this
 //!   seed; use the seed printed by a failure report.
+//! * `DIKE_CHECK_SHRINK=<shift>` — with `DIKE_CHECK_SEED`, replay the
+//!   case at the reported shrink level instead of the raw draws.
+//!
+//! ## How shrinking works
+//!
+//! Classic shrinkers mutate a recorded value tree; this harness exploits
+//! that every sample funnels through two [`crate::Pcg32`] methods
+//! (`bounded_u64` for integers, `gen_f64` for floats). A thread-local
+//! *shrink shift* `s` makes each funnel return its value shifted toward
+//! the range minimum (`v >> s`, or `v / 2^s` for floats) while consuming
+//! exactly the raw draws of the unshrunk run — so the case keeps its
+//! shape (same number of draws, same branching on draw count) and only
+//! its magnitudes shrink. The harness raises `s` while the property still
+//! fails and stops at the last failing level: a greedy bisection of every
+//! drawn value at once, converging in at most 64 replays.
 
-use crate::rng::{splitmix64, Pcg32};
+use crate::rng::{self, splitmix64, Pcg32};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// The base stream all properties derive their case seeds from. Fixed so
 /// a failure seed stays valid across machines and runs.
@@ -34,17 +53,21 @@ const CHECK_STREAM_SEED: u64 = 0xD1CE_0000_2016_0001;
 ///
 /// Each case gets a fresh [`Pcg32`] derived from the property `name` and
 /// the case index, so adding or reordering properties in a file never
-/// changes the inputs another property sees. On panic, the case seed is
-/// printed in a `DIKE_CHECK_SEED=... ` form that reproduces the exact
-/// failing input.
+/// changes the inputs another property sees. On panic, the failing case
+/// is shrunk (see the module docs) and the minimized draws are printed
+/// with a `DIKE_CHECK_SEED=… DIKE_CHECK_SHRINK=…` reproduction line; the
+/// minimized run's panic is then propagated.
 pub fn check<F>(name: &str, cases: u32, mut f: F)
 where
     F: FnMut(&mut Pcg32),
 {
     if let Some(seed) = env_u64("DIKE_CHECK_SEED") {
-        let guard = FailureReport { name, seed };
-        let mut rng = Pcg32::seed_from_u64(seed);
-        f(&mut rng);
+        let shift = env_u64("DIKE_CHECK_SHRINK").unwrap_or(0) as u32;
+        let guard = FailureReport { name, seed, shift };
+        rng::set_shrink_shift(shift);
+        let mut case_rng = Pcg32::seed_from_u64(seed);
+        f(&mut case_rng);
+        rng::set_shrink_shift(0);
         std::mem::forget(guard);
         return;
     }
@@ -65,28 +88,93 @@ where
     for case in 0..cases {
         let mut case_state = s.wrapping_add(case as u64);
         let seed = splitmix64(&mut case_state);
-        let guard = FailureReport { name, seed };
-        let mut rng = Pcg32::seed_from_u64(seed);
-        f(&mut rng);
-        std::mem::forget(guard);
+        if let Err(payload) = run_case(&mut f, seed, 0) {
+            shrink_and_report(name, seed, &mut f, payload);
+        }
     }
 }
 
-/// Prints the reproduction line if dropped while panicking.
-///
-/// A Drop guard (rather than `catch_unwind`) keeps `f` free of
-/// `UnwindSafe` bounds and preserves the original panic message/location.
+/// Run one case at a shrink level, catching any panic.
+fn run_case<F>(f: &mut F, seed: u64, shift: u32) -> Result<(), Box<dyn std::any::Any + Send>>
+where
+    F: FnMut(&mut Pcg32),
+{
+    rng::set_shrink_shift(shift);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut case_rng = Pcg32::seed_from_u64(seed);
+        f(&mut case_rng);
+    }));
+    rng::set_shrink_shift(0);
+    outcome
+}
+
+/// Greedily shrink the failing case, print the minimized counterexample,
+/// and propagate the (minimized) panic.
+fn shrink_and_report<F>(
+    name: &str,
+    seed: u64,
+    f: &mut F,
+    original: Box<dyn std::any::Any + Send>,
+) -> !
+where
+    F: FnMut(&mut Pcg32),
+{
+    // Raise the shift while the property still fails; stop at the first
+    // level that passes (greedy bisection of every draw at once).
+    let mut best = 0u32;
+    for shift in 1..=63 {
+        if run_case(f, seed, shift).is_err() {
+            best = shift;
+        } else {
+            break;
+        }
+    }
+
+    // Replay the minimized case once more with the draw log on, to print
+    // the actual counterexample values.
+    rng::set_shrink_shift(best);
+    rng::start_draw_log();
+    let minimized = catch_unwind(AssertUnwindSafe(|| {
+        let mut case_rng = Pcg32::seed_from_u64(seed);
+        f(&mut case_rng);
+    }));
+    let draws = rng::take_draw_log();
+    rng::set_shrink_shift(0);
+
+    eprintln!(
+        "property `{name}` failed; minimized counterexample (shrink level {best}, {} draws):",
+        draws.len()
+    );
+    for (i, d) in draws.iter().enumerate() {
+        eprintln!("  draw[{i}] = {d}");
+    }
+    eprintln!("reproduce with DIKE_CHECK_SEED={seed} DIKE_CHECK_SHRINK={best} cargo test {name}");
+
+    match minimized {
+        Err(payload) => resume_unwind(payload),
+        // A flaky property (fails, then passes on the identical replay)
+        // cannot happen with a deterministic generator, but if `f` keeps
+        // external state, fall back to the original failure.
+        Ok(()) => resume_unwind(original),
+    }
+}
+
+/// Prints the reproduction line if dropped while panicking (the
+/// `DIKE_CHECK_SEED` replay path, which runs `f` uncaught so a debugger
+/// sees the original panic site).
 struct FailureReport<'a> {
     name: &'a str,
     seed: u64,
+    shift: u32,
 }
 
 impl Drop for FailureReport<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
+            rng::set_shrink_shift(0);
             eprintln!(
-                "property `{}` failed; reproduce with DIKE_CHECK_SEED={} cargo test {}",
-                self.name, self.seed, self.name
+                "property `{}` failed; reproduce with DIKE_CHECK_SEED={} DIKE_CHECK_SHRINK={} cargo test {}",
+                self.name, self.seed, self.shift, self.name
             );
         }
     }
@@ -99,6 +187,7 @@ fn env_u64(var: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
 
     #[test]
     fn runs_requested_case_count() {
@@ -133,5 +222,59 @@ mod tests {
     #[should_panic(expected = "deliberate")]
     fn panics_propagate() {
         check("boom", 4, |_rng| panic!("deliberate"));
+    }
+
+    /// The known-failure shrink test: a property failing whenever a draw
+    /// from `0..1000` is ≥ 10 must be minimized to a value just past the
+    /// threshold — `v >> s` halves per level, so the last failing level
+    /// lands in `[10, 19]`.
+    #[test]
+    fn known_failure_shrinks_to_just_past_the_threshold() {
+        let last_seen = Cell::new(u64::MAX);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check("shrink_known_failure", 64, |rng| {
+                let v = rng.gen_range(0u64..1000);
+                last_seen.set(v);
+                assert!(v < 10, "too big: {v}");
+            });
+        }));
+        assert!(outcome.is_err(), "property must fail somewhere in 64 cases");
+        let v = last_seen.get();
+        assert!(
+            (10..20).contains(&v),
+            "minimized value {v} should sit just past the failing threshold"
+        );
+    }
+
+    /// Shrinking preserves the case's *shape*: the same number of draws
+    /// is consumed at every shrink level, so multi-draw properties keep
+    /// their structure while values shrink.
+    #[test]
+    fn shrinking_keeps_the_draw_count_stable() {
+        let draws_in_failing_run = Cell::new(0usize);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check("shrink_draw_count", 32, |rng| {
+                let mut n = 0usize;
+                let a = rng.gen_range(0u64..100);
+                n += 1;
+                let b = rng.gen_range(0u64..100);
+                n += 1;
+                draws_in_failing_run.set(n);
+                assert!(a + b < 5, "sum too big: {a} + {b}");
+            });
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(draws_in_failing_run.get(), 2);
+    }
+
+    /// The minimized panic (not the original) is what propagates, so
+    /// `should_panic(expected = …)` matches the shrunk values.
+    #[test]
+    #[should_panic(expected = "too big")]
+    fn minimized_panic_propagates() {
+        check("shrink_propagates", 16, |rng| {
+            let v = rng.gen_range(0u64..1_000_000);
+            assert!(v < 3, "too big: {v}");
+        });
     }
 }

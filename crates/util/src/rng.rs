@@ -14,6 +14,51 @@
 //! * [`SliceRandom`] — Fisher–Yates `shuffle`, uniform `choose`, and
 //!   without-replacement `sample` on slices.
 
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    /// Shrink shift applied by the `check` harness while minimizing a
+    /// failing case: sampled values are shifted toward their range minimum
+    /// by `v >> shift` without consuming fewer raw draws, so the generator
+    /// state (and with it every later draw in the case) stays aligned with
+    /// the original failure.
+    static SHRINK_SHIFT: Cell<u32> = const { Cell::new(0) };
+    /// When `Some`, every funnel draw appends its (post-shrink) value —
+    /// the `check` harness's minimized-counterexample report.
+    static DRAW_LOG: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+/// Set the shrink shift for the current thread (0 = off). Used only by
+/// the `check` harness.
+pub(crate) fn set_shrink_shift(shift: u32) {
+    SHRINK_SHIFT.with(|c| c.set(shift));
+}
+
+/// Start recording funnel draws on the current thread.
+pub(crate) fn start_draw_log() {
+    DRAW_LOG.with(|l| *l.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stop recording and return the draws captured since
+/// [`start_draw_log`].
+pub(crate) fn take_draw_log() -> Vec<String> {
+    DRAW_LOG.with(|l| l.borrow_mut().take().unwrap_or_default())
+}
+
+#[inline]
+fn shrink_shift() -> u32 {
+    SHRINK_SHIFT.with(|c| c.get())
+}
+
+#[inline]
+fn log_draw(value: impl std::fmt::Display) {
+    DRAW_LOG.with(|l| {
+        if let Some(log) = l.borrow_mut().as_mut() {
+            log.push(value.to_string());
+        }
+    });
+}
+
 /// Advance a SplitMix64 state and return the next output.
 ///
 /// This is the reference finalizer (Steele, Lea & Flood 2014); it is a
@@ -84,6 +129,12 @@ impl Pcg32 {
     /// Uniform integer in `[0, bound)` via Lemire's unbiased widening
     /// multiply with rejection.
     ///
+    /// This is the funnel for every integer sample (ranges, shuffles,
+    /// choices), so it is also where the `check` harness's shrink shift
+    /// applies: the raw draws (and thus the generator state) are exactly
+    /// those of an unshrunk run, only the returned value is pulled toward
+    /// zero.
+    ///
     /// # Panics
     /// Panics if `bound` is zero.
     pub fn bounded_u64(&mut self, bound: u64) -> u64 {
@@ -97,7 +148,9 @@ impl Pcg32 {
                 lo = m as u64;
             }
         }
-        (m >> 64) as u64
+        let v = ((m >> 64) as u64) >> shrink_shift().min(63);
+        log_draw(v);
+        v
     }
 
     /// Uniform sample from an integer or float range, e.g.
@@ -111,10 +164,20 @@ impl Pcg32 {
         range.sample_from(self)
     }
 
-    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits. The float
+    /// funnel — the `check` harness's shrink shift halves the unit sample
+    /// per step, pulling float draws toward their range minimum.
     #[inline]
     pub fn gen_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let shift = shrink_shift();
+        let v = if shift == 0 {
+            unit
+        } else {
+            unit * (1.0 / (1u64 << shift.min(53)) as f64)
+        };
+        log_draw(v);
+        v
     }
 
     /// Fair coin flip.

@@ -1,0 +1,239 @@
+//! Deterministic open-system arrival traces.
+//!
+//! A closed workload spawns every thread at time zero; an *open* system
+//! receives applications mid-run. [`ArrivalTrace`] is the serializable
+//! description of such a run: a list of `(time, app, nthreads)` events,
+//! either hand-written or drawn from the seeded Poisson-like generator
+//! ([`ArrivalTrace::poisson`]). Traces are plain data — the driver decides
+//! what to do when a slot is not free — and round-trip through JSON so an
+//! experiment's exact arrival schedule can be archived with its results.
+
+use crate::apps::AppKind;
+use dike_machine::{AppId, BarrierId, SimTime, ThreadSpec};
+use dike_util::{json_struct, Pcg32, SliceRandom};
+
+/// One arrival: `nthreads` threads of `app` become runnable at `at_ms`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalEvent {
+    /// Arrival instant in milliseconds of machine time.
+    pub at_ms: u64,
+    /// Application to spawn.
+    pub app: AppKind,
+    /// Number of threads the application arrives with.
+    pub nthreads: u32,
+}
+
+/// A deterministic schedule of mid-run arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Trace name (reported in experiment output).
+    pub name: String,
+    /// Arrival events in the order they were generated. Not necessarily
+    /// sorted; consumers sort by time (stably) before injecting.
+    pub events: Vec<ArrivalEvent>,
+}
+
+json_struct!(ArrivalEvent {
+    at_ms,
+    app,
+    nthreads,
+});
+json_struct!(ArrivalTrace { name, events });
+
+/// Shape parameters for the Poisson-like generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalConfig {
+    /// Mean inter-arrival time in milliseconds (the offered-load knob:
+    /// smaller mean = higher arrival rate).
+    pub mean_interarrival_ms: f64,
+    /// Events past this horizon are discarded; the run itself keeps going
+    /// until the last admitted thread finishes.
+    pub horizon_ms: u64,
+    /// Inclusive range of threads per arriving application.
+    pub threads_min: u32,
+    /// See `threads_min`.
+    pub threads_max: u32,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            mean_interarrival_ms: 2_000.0,
+            horizon_ms: 30_000,
+            threads_min: 2,
+            threads_max: 4,
+        }
+    }
+}
+
+impl ArrivalTrace {
+    /// Draw a trace with exponential inter-arrival times of the configured
+    /// mean (a Poisson arrival process sampled on the millisecond grid),
+    /// apps chosen uniformly from `apps`, and uniform thread counts.
+    /// Deterministic in `(apps, cfg, seed)`.
+    ///
+    /// # Panics
+    /// Panics if `apps` is empty or the config is degenerate.
+    pub fn poisson(
+        name: impl Into<String>,
+        apps: &[AppKind],
+        cfg: &ArrivalConfig,
+        seed: u64,
+    ) -> ArrivalTrace {
+        assert!(!apps.is_empty(), "need at least one app to draw from");
+        assert!(
+            cfg.mean_interarrival_ms > 0.0,
+            "mean inter-arrival must be > 0"
+        );
+        assert!(
+            cfg.threads_min >= 1 && cfg.threads_min <= cfg.threads_max,
+            "thread range must be non-empty and start at >= 1"
+        );
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Inverse-CDF exponential sample; gen_f64 is in [0, 1), so the
+            // argument to ln is in (0, 1] and the draw is finite.
+            let u = rng.gen_f64();
+            t += -(1.0 - u).ln() * cfg.mean_interarrival_ms;
+            let at_ms = t.ceil() as u64;
+            if at_ms > cfg.horizon_ms {
+                break;
+            }
+            let app = *apps.choose(&mut rng).expect("non-empty app pool");
+            let nthreads = rng.gen_range(cfg.threads_min..=cfg.threads_max);
+            events.push(ArrivalEvent {
+                at_ms,
+                app,
+                nthreads,
+            });
+        }
+        ArrivalTrace {
+            name: name.into(),
+            events,
+        }
+    }
+
+    /// Total number of threads across all events.
+    pub fn num_threads(&self) -> usize {
+        self.events.iter().map(|e| e.nthreads as usize).sum()
+    }
+
+    /// Expand the trace into per-thread `(arrival time, spec)` pairs, in
+    /// event order. Each event becomes one application instance: a fresh
+    /// dense `AppId` (the event index) and a matching barrier group, so two
+    /// arrivals of the same `AppKind` stay distinct applications.
+    pub fn spawn_plan(&self, scale: f64) -> Vec<(SimTime, ThreadSpec)> {
+        let mut plan = Vec::with_capacity(self.num_threads());
+        for (i, ev) in self.events.iter().enumerate() {
+            let app_id = AppId(i as u32);
+            let barrier = BarrierId(i as u32);
+            for _ in 0..ev.nthreads {
+                plan.push((
+                    SimTime::from_ms(ev.at_ms),
+                    ev.app.thread_spec(app_id, scale, barrier),
+                ));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_util::json;
+
+    fn pool() -> Vec<AppKind> {
+        vec![AppKind::Jacobi, AppKind::LavaMd, AppKind::Kmeans]
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let cfg = ArrivalConfig::default();
+        let a = ArrivalTrace::poisson("t", &pool(), &cfg, 7);
+        let b = ArrivalTrace::poisson("t", &pool(), &cfg, 7);
+        assert_eq!(a, b);
+        let c = ArrivalTrace::poisson("t", &pool(), &cfg, 8);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn poisson_respects_horizon_and_thread_range() {
+        let cfg = ArrivalConfig {
+            mean_interarrival_ms: 100.0,
+            horizon_ms: 10_000,
+            threads_min: 1,
+            threads_max: 3,
+        };
+        let t = ArrivalTrace::poisson("t", &pool(), &cfg, 1);
+        assert!(!t.events.is_empty());
+        for e in &t.events {
+            assert!(e.at_ms <= cfg.horizon_ms);
+            assert!((1..=3).contains(&e.nthreads));
+        }
+        // Times are non-decreasing (inter-arrival deltas are positive).
+        assert!(t.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_configured_rate() {
+        let cfg = ArrivalConfig {
+            mean_interarrival_ms: 200.0,
+            horizon_ms: 200_000,
+            threads_min: 1,
+            threads_max: 1,
+        };
+        let t = ArrivalTrace::poisson("t", &pool(), &cfg, 3);
+        // ~1000 events expected; the sample mean of an exponential with
+        // mean 200 should land well within [150, 250].
+        let n = t.events.len() as f64;
+        let mean = t.events.last().unwrap().at_ms as f64 / n;
+        assert!(n > 500.0, "only {n} events");
+        assert!((150.0..250.0).contains(&mean), "sample mean {mean}");
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let t = ArrivalTrace::poisson("wl1-open", &pool(), &ArrivalConfig::default(), 42);
+        let s = json::to_string(&t);
+        let back: ArrivalTrace = json::from_str(&s).expect("parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn spawn_plan_expands_events_into_distinct_apps() {
+        let trace = ArrivalTrace {
+            name: "hand".into(),
+            events: vec![
+                ArrivalEvent {
+                    at_ms: 100,
+                    app: AppKind::Kmeans,
+                    nthreads: 2,
+                },
+                ArrivalEvent {
+                    at_ms: 300,
+                    app: AppKind::Kmeans,
+                    nthreads: 1,
+                },
+            ],
+        };
+        let plan = trace.spawn_plan(0.1);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].0, SimTime::from_ms(100));
+        assert_eq!(plan[2].0, SimTime::from_ms(300));
+        // Same kind, different arrivals: distinct app ids and barrier
+        // groups, so the instances do not synchronise with each other.
+        assert_eq!(plan[0].1.app, AppId(0));
+        assert_eq!(plan[1].1.app, AppId(0));
+        assert_eq!(plan[2].1.app, AppId(1));
+        assert_ne!(
+            plan[0].1.barrier.unwrap().group,
+            plan[2].1.barrier.unwrap().group
+        );
+        for (_, spec) in &plan {
+            spec.validate().expect("valid spec");
+        }
+    }
+}

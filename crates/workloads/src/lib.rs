@@ -16,10 +16,12 @@
 //!   models what a contention-oblivious balancer converges to).
 
 pub mod apps;
+pub mod arrival;
 pub mod generator;
 pub mod paper;
 pub mod workload;
 
 pub use apps::{AppClass, AppKind};
+pub use arrival::{ArrivalConfig, ArrivalEvent, ArrivalTrace};
 pub use generator::{random_workload, GeneratorConfig};
 pub use workload::{Placement, SpawnedWorkload, Workload, WorkloadClass};

@@ -14,8 +14,9 @@ cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Parallel-driver smoke: the pooled sweep must stay byte-identical to the
-# serial path when actually running on multiple workers.
+# Parallel-driver smoke: the pooled sweeps — closed and the open-system
+# experiment — must stay byte-identical to the serial path when actually
+# running on multiple workers.
 DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
 
 # Bench smoke: the bench targets must run end to end (tiny samples, writes
