@@ -76,12 +76,14 @@ impl Scheduler for Dio {
     fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
         let mut order: Vec<usize> = (0..view.threads.len()).collect();
         // Sort by LLC miss rate, highest first (ties by id for determinism).
+        // Total order so corrupted (NaN) samples under fault injection
+        // sort deterministically instead of panicking; identical to the
+        // old partial order on healthy (finite, non-negative) rates.
         order.sort_by(|&a, &b| {
             view.threads[b]
                 .rates
                 .llc_miss_rate
-                .partial_cmp(&view.threads[a].rates.llc_miss_rate)
-                .expect("miss rates are finite")
+                .total_cmp(&view.threads[a].rates.llc_miss_rate)
                 .then(view.threads[a].id.cmp(&view.threads[b].id))
         });
         let n = order.len();

@@ -58,13 +58,15 @@ impl Scheduler for SortOnce {
                 .expect("finite frequencies")
                 .then(a.cmp(&b))
         });
+        // Total order so corrupted (NaN) samples under fault injection
+        // sort deterministically instead of panicking; identical to the
+        // old partial order on healthy (finite, non-negative) rates.
         let mut threads: Vec<usize> = (0..view.threads.len()).collect();
         threads.sort_by(|&a, &b| {
             view.threads[b]
                 .rates
                 .llc_miss_rate
-                .partial_cmp(&view.threads[a].rates.llc_miss_rate)
-                .expect("finite miss rates")
+                .total_cmp(&view.threads[a].rates.llc_miss_rate)
                 .then(view.threads[a].id.cmp(&view.threads[b].id))
         });
         // Assign thread k to core k of the sorted core list. Only emit

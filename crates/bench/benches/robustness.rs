@@ -1,0 +1,100 @@
+//! Robustness bench: wall-clock of one fault-injected cell — the seeded
+//! per-channel fault draws in the driver's hot loop, the hardened
+//! observer's holdover bookkeeping, and the actuation planner's
+//! verify/retry pass.
+//!
+//! Three points bracket the cost: the zero-fault hardened cell (the
+//! injection layer gated off — only the planner's verify pass and any
+//! retries against the substrate balancer remain), and the worst
+//! telemetry level for both the trusting and the hardened pipeline (the
+//! per-thread-per-quantum fault hashing plus degradation machinery).
+//! Regressions here usually mean the fault gate leaked work onto the
+//! zero-fault path or the holdover scan stopped being linear.
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` uses this to record the numbers into
+//! `results/BENCH_robustness.json`.
+
+use dike_experiments::robustness::run_robustness_cell;
+use dike_experiments::{RunOptions, SchedKind};
+use dike_machine::{presets, FaultConfig};
+use dike_scheduler::SchedConfig;
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::pool;
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+
+    let opts = RunOptions {
+        scale: if fast { 0.01 } else { 0.02 },
+        deadline_s: 120.0,
+        ..RunOptions::default()
+    };
+    let base = presets::paper_machine(opts.seed);
+    let mut worst = base.clone();
+    worst.faults = FaultConfig::telemetry_axis(0.30, opts.seed);
+
+    let cases: [(&str, &dike_machine::MachineConfig, SchedKind); 3] = [
+        (
+            "robustness/zero_fault_dike_h",
+            &base,
+            SchedKind::DikeHardened,
+        ),
+        (
+            "robustness/telemetry30_dike",
+            &worst,
+            SchedKind::Dike(SchedConfig::DEFAULT),
+        ),
+        (
+            "robustness/telemetry30_dike_h",
+            &worst,
+            SchedKind::DikeHardened,
+        ),
+    ];
+    for (name, cfg, kind) in &cases {
+        b.bench(name, || {
+            let point = run_robustness_cell("telemetry", 0.30, black_box(cfg), kind, &opts);
+            black_box(point.mean_windowed_fairness)
+        });
+    }
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

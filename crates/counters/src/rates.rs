@@ -72,6 +72,40 @@ impl RateSample {
     pub fn miss_rate_percent(&self) -> f64 {
         self.llc_miss_rate * 100.0
     }
+
+    /// True when every field is a finite number and inside its physical
+    /// bounds (rates non-negative, ratios in their valid ranges — the
+    /// `llc_miss_rate` is misses per access, so at most 1).
+    pub fn is_plausible(&self) -> bool {
+        self.access_rate.is_finite()
+            && self.access_rate >= 0.0
+            && self.instr_rate.is_finite()
+            && self.instr_rate >= 0.0
+            && self.miss_ratio.is_finite()
+            && self.miss_ratio >= 0.0
+            && (0.0..=1.0).contains(&self.llc_miss_rate)
+            && self.ipc.is_finite()
+            && self.ipc >= 0.0
+    }
+
+    /// A defensively cleaned copy: non-finite or negative fields become
+    /// zero and ratio fields are clamped to their physical ranges. A
+    /// plausible sample passes through bit-identical — the sanitizer never
+    /// perturbs healthy telemetry, which keeps fault-free runs
+    /// byte-identical to the goldens.
+    pub fn sanitized(&self) -> RateSample {
+        if self.is_plausible() {
+            return *self;
+        }
+        let clean = |v: f64| if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+        RateSample {
+            access_rate: clean(self.access_rate),
+            instr_rate: clean(self.instr_rate),
+            miss_ratio: clean(self.miss_ratio),
+            llc_miss_rate: clean(self.llc_miss_rate).min(1.0),
+            ipc: clean(self.ipc),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +165,33 @@ mod tests {
         // NaN durations must not leak NaN rates either.
         let r = RateSample::from_deltas(1e9, 1e6, 1e7, 1e9, f64::NAN);
         assert_eq!(r, RateSample::default());
+    }
+
+    #[test]
+    fn sanitized_passes_healthy_samples_through_unchanged() {
+        let r = RateSample::from_deltas(1000.0, 50.0, 400.0, 2000.0, 0.5);
+        assert!(r.is_plausible());
+        assert_eq!(r.sanitized(), r);
+        assert!(RateSample::default().is_plausible());
+    }
+
+    #[test]
+    fn sanitized_scrubs_poisoned_samples() {
+        let poisoned = RateSample {
+            access_rate: f64::NAN,
+            instr_rate: f64::INFINITY,
+            miss_ratio: -0.5,
+            llc_miss_rate: 7.0,
+            ipc: f64::NAN,
+        };
+        assert!(!poisoned.is_plausible());
+        let clean = poisoned.sanitized();
+        assert!(clean.is_plausible());
+        assert_eq!(clean.access_rate, 0.0);
+        assert_eq!(clean.instr_rate, 0.0);
+        assert_eq!(clean.miss_ratio, 0.0);
+        assert_eq!(clean.llc_miss_rate, 1.0);
+        assert_eq!(clean.ipc, 0.0);
     }
 
     #[test]

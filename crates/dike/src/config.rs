@@ -166,6 +166,80 @@ impl Default for SchedConfig {
     }
 }
 
+/// Graceful-degradation knobs (the hardened pipeline of DESIGN.md §11).
+/// Present (`DikeConfig::hardening = Some(..)`) only on the hardened
+/// variants; the paper-faithful policies leave it `None` and keep the
+/// original trusting pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardeningConfig {
+    /// How many quanta a thread's last good sample may be held over when
+    /// its current sample is missing or implausible, before the thread is
+    /// treated as unknown (zero rates, zero confidence).
+    pub holdover_age_cap: u32,
+    /// Per-quantum decay of sample confidence while holding over: after
+    /// `k` quanta on stale data, confidence is `confidence_decay^k`.
+    pub confidence_decay: f64,
+    /// Minimum pair confidence (the lower of the two members') for the
+    /// Decider to accept a swap; below it the pair is rejected outright.
+    /// The default (0.6) sits above the first decay step (0.5), so
+    /// held-over threads inform the fairness estimates but are never
+    /// themselves actuation-eligible — moving a thread on stale placement
+    /// data is worse than leaving it put.
+    pub min_confidence: f64,
+    /// Physical upper bound on a believable per-thread access rate, in
+    /// accesses/s. Anything above it is treated as a corrupted
+    /// (saturated) reading. The paper machine's controller peaks at 4e8;
+    /// an order of magnitude above that is unreachable by any real thread.
+    pub max_plausible_rate: f64,
+    /// Re-issues allowed per unconfirmed swap before abandoning it
+    /// (`sched_core::SwapPlanner` retry budget).
+    pub retry_budget: u32,
+    /// Quanta an abandoned swap's members stay under substrate (CFS-like)
+    /// placement before Dike may pair them again.
+    pub fallback_cooldown_quanta: u32,
+}
+
+json_struct!(HardeningConfig {
+    holdover_age_cap,
+    confidence_decay,
+    min_confidence,
+    max_plausible_rate,
+    retry_budget,
+    fallback_cooldown_quanta,
+});
+
+impl Default for HardeningConfig {
+    fn default() -> Self {
+        HardeningConfig {
+            holdover_age_cap: 4,
+            confidence_decay: 0.5,
+            min_confidence: 0.6,
+            max_plausible_rate: 4e9,
+            retry_budget: 3,
+            fallback_cooldown_quanta: 8,
+        }
+    }
+}
+
+impl HardeningConfig {
+    /// Validate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.holdover_age_cap == 0 {
+            return Err("holdover_age_cap must be >= 1".into());
+        }
+        if !(0.0 < self.confidence_decay && self.confidence_decay < 1.0) {
+            return Err("confidence_decay must be in (0,1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.min_confidence) {
+            return Err("min_confidence must be in [0,1]".into());
+        }
+        if !(self.max_plausible_rate > 0.0) {
+            return Err("max_plausible_rate must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full Dike configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DikeConfig {
@@ -201,6 +275,9 @@ pub struct DikeConfig {
     pub uc_band: f64,
     /// Upper band; see [`DikeConfig::uc_band`].
     pub um_band: f64,
+    /// Graceful-degradation hardening; `None` (the default) keeps the
+    /// paper-faithful trusting pipeline.
+    pub hardening: Option<HardeningConfig>,
 }
 
 json_struct!(DikeConfig {
@@ -215,6 +292,7 @@ json_struct!(DikeConfig {
     swap_oh_ms,
     uc_band,
     um_band,
+    hardening,
 });
 
 impl Default for DikeConfig {
@@ -231,6 +309,7 @@ impl Default for DikeConfig {
             swap_oh_ms: 3.0,
             uc_band: 0.30,
             um_band: 0.50,
+            hardening: None,
         }
     }
 }
@@ -260,9 +339,23 @@ impl DikeConfig {
         }
     }
 
+    /// The hardened non-adaptive policy ("Dike-H"): the default pipeline
+    /// plus the full degradation ladder (sanitize → holdover → retry/
+    /// backoff → demotion).
+    pub fn hardened(sched: SchedConfig) -> Self {
+        DikeConfig {
+            sched,
+            hardening: Some(HardeningConfig::default()),
+            ..DikeConfig::default()
+        }
+    }
+
     /// Validate.
     pub fn validate(&self) -> Result<(), String> {
         self.sched.validate()?;
+        if let Some(h) = &self.hardening {
+            h.validate()?;
+        }
         if !(self.fairness_threshold > 0.0) {
             return Err("fairness_threshold must be > 0".into());
         }
@@ -379,6 +472,42 @@ mod tests {
             Some(AdaptationGoal::Performance)
         );
         assert_eq!(DikeConfig::default().adaptation, None);
+    }
+
+    #[test]
+    fn hardened_preset_validates_and_defaults_are_sane() {
+        let c = DikeConfig::hardened(SchedConfig::DEFAULT);
+        assert!(c.validate().is_ok());
+        let h = c.hardening.expect("hardening present");
+        assert!(h.holdover_age_cap >= 1);
+        assert!(h.retry_budget >= 1);
+        // Plain presets stay unhardened (paper-faithful).
+        assert!(DikeConfig::default().hardening.is_none());
+        assert!(DikeConfig::adaptive_fairness().hardening.is_none());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // exercising one bad field at a time
+    fn hardening_validation_rejects_nonsense() {
+        let mut h = HardeningConfig::default();
+        h.holdover_age_cap = 0;
+        assert!(h.validate().is_err());
+        let mut h = HardeningConfig::default();
+        h.confidence_decay = 1.0;
+        assert!(h.validate().is_err());
+        let mut h = HardeningConfig::default();
+        h.confidence_decay = f64::NAN;
+        assert!(h.validate().is_err());
+        let mut h = HardeningConfig::default();
+        h.min_confidence = 1.5;
+        assert!(h.validate().is_err());
+        let mut h = HardeningConfig::default();
+        h.max_plausible_rate = f64::NAN;
+        assert!(h.validate().is_err());
+        // An invalid hardening block fails the whole config.
+        let mut c = DikeConfig::hardened(SchedConfig::DEFAULT);
+        c.hardening.as_mut().unwrap().holdover_age_cap = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod tests {
                 llc_miss_rate: 0.2,
                 class: ThreadClass::Memory,
                 migrated_last_quantum: migrated[i as usize],
+                confidence: 1.0,
             })
             .collect();
         Observation {

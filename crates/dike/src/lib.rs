@@ -52,7 +52,9 @@ pub mod predictor;
 pub mod scheduler;
 pub mod selector;
 
-pub use config::{AdaptationGoal, CoreBwEstimate, CoreRanking, DikeConfig, SchedConfig};
+pub use config::{
+    AdaptationGoal, CoreBwEstimate, CoreRanking, DikeConfig, HardeningConfig, SchedConfig,
+};
 pub use observer::{Observation, ObservedThread, Observer, ThreadClass};
 pub use optimizer::WorkloadType;
 pub use predictor::{ErrorSample, Predictor, SwapPrediction};

@@ -13,9 +13,18 @@
 //! * maintains `CoreBW`, the moving mean of each core's served bandwidth,
 //!   which the Predictor uses as the expected access rate of a thread
 //!   migrated to that core.
+//!
+//! Observations are *sanitized* before anything downstream sees them: a
+//! non-finite or negative rate (a corrupted counter read) is scrubbed to
+//! its physical bounds, so a poisoned view can never push NaN into the
+//! fairness gate or the Predictor. With hardening enabled
+//! ([`crate::config::HardeningConfig`]) the Observer additionally holds
+//! over each thread's last good sample (with an age cap) when the current
+//! one is missing or implausible, and attaches a per-thread confidence
+//! score the Predictor and Decider use to widen or reject decisions.
 
-use crate::config::{CoreBwEstimate, CoreRanking, DikeConfig};
-use dike_counters::{Estimator, MovingMean};
+use crate::config::{CoreBwEstimate, CoreRanking, DikeConfig, HardeningConfig};
+use dike_counters::{Estimator, MovingMean, RateSample};
 use dike_machine::{AppId, DomainId, ThreadId, VCoreId};
 use dike_sched_core::SystemView;
 
@@ -45,6 +54,10 @@ pub struct ObservedThread {
     pub class: ThreadClass,
     /// True if the thread migrated during the last quantum.
     pub migrated_last_quantum: bool,
+    /// Sample confidence in [0,1]: 1 for a fresh plausible sample,
+    /// decaying per quantum of last-good holdover, 0 for an unknown
+    /// thread. Always exactly 1 without hardening.
+    pub confidence: f64,
 }
 
 /// The Observer's per-quantum output.
@@ -98,6 +111,22 @@ pub struct Observer {
     /// class's frequency bits (f64 frequencies are finite machine config).
     /// Used only by the demand-gated estimator's fallback.
     class_bw: Vec<(u64, MovingMean)>,
+    /// Degradation ladder knobs; `None` = the paper-faithful pipeline.
+    hardening: Option<HardeningConfig>,
+    /// Per-thread last-good sample (hardened only), in insertion order.
+    last_good: Vec<(ThreadId, LastGood)>,
+}
+
+/// The last plausible sample seen for a thread, used for holdover.
+#[derive(Debug, Clone, Copy)]
+struct LastGood {
+    app: AppId,
+    vcore: VCoreId,
+    access_rate: f64,
+    llc_miss_rate: f64,
+    /// Consecutive quanta this entry has been substituting for missing or
+    /// implausible samples (0 = fresh).
+    age: u32,
 }
 
 impl Observer {
@@ -109,6 +138,8 @@ impl Observer {
             estimate: cfg.core_bw_estimate,
             core_bw: vec![MovingMean::new(); num_cores],
             class_bw: Vec::new(),
+            hardening: cfg.hardening,
+            last_good: Vec::new(),
         }
     }
 
@@ -207,24 +238,40 @@ impl Observer {
             high_bw[c] = true;
         }
 
-        // Classify threads.
-        let threads: Vec<ObservedThread> = view
+        // Classify threads. Samples are sanitized unconditionally: a
+        // corrupted counter read (NaN/∞/negative) is scrubbed to its
+        // physical bounds instead of flowing into the fairness gate and
+        // the Predictor. Plausible samples pass through bit-identical, so
+        // fault-free runs are unchanged.
+        let boundary = self.boundary;
+        let classify = |llc_miss_rate: f64| {
+            if llc_miss_rate > boundary {
+                ThreadClass::Memory
+            } else {
+                ThreadClass::Compute
+            }
+        };
+        let mut threads: Vec<ObservedThread> = view
             .threads
             .iter()
-            .map(|t| ObservedThread {
-                id: t.id,
-                app: t.app,
-                vcore: t.vcore,
-                access_rate: t.rates.access_rate,
-                llc_miss_rate: t.rates.llc_miss_rate,
-                class: if t.rates.llc_miss_rate > self.boundary {
-                    ThreadClass::Memory
-                } else {
-                    ThreadClass::Compute
-                },
-                migrated_last_quantum: t.migrated_last_quantum,
+            .map(|t| {
+                let rates = t.rates.sanitized();
+                ObservedThread {
+                    id: t.id,
+                    app: t.app,
+                    vcore: t.vcore,
+                    access_rate: rates.access_rate,
+                    llc_miss_rate: rates.llc_miss_rate,
+                    class: classify(rates.llc_miss_rate),
+                    migrated_last_quantum: t.migrated_last_quantum,
+                    confidence: 1.0,
+                }
             })
             .collect();
+
+        if self.hardening.is_some() {
+            threads = self.harden(view, threads);
+        }
 
         // Fairness gate: the paper's getSystemFairness() mirrors its Eqn 4
         // metric — dispersion *within each application* ("fairness in an
@@ -278,6 +325,100 @@ impl Observer {
     /// Current `CoreBW` moving mean of one core.
     pub fn core_bw_of(&self, core: VCoreId) -> f64 {
         self.core_bw[core.index()].value()
+    }
+
+    /// The degradation ladder's observation stages (hardened only):
+    /// implausible samples are replaced by the thread's last good sample
+    /// up to an age cap (then zeroed), missing threads (counter dropout)
+    /// are synthesized from their last good sample, and every substitute
+    /// carries a decayed confidence score.
+    fn harden(&mut self, view: &SystemView, threads: Vec<ObservedThread>) -> Vec<ObservedThread> {
+        let h = self.hardening.expect("harden is only called when hardened");
+        let boundary = self.boundary;
+        let classify = |llc_miss_rate: f64| {
+            if llc_miss_rate > boundary {
+                ThreadClass::Memory
+            } else {
+                ThreadClass::Compute
+            }
+        };
+        // Plausibility is judged on the *raw* view sample: the sanitizer
+        // has already scrubbed `threads`, but a scrubbed corrupted sample
+        // is still the wrong number — the holdover path is better.
+        let raw_suspect =
+            |r: &RateSample| !r.is_plausible() || r.access_rate > h.max_plausible_rate;
+
+        self.last_good.retain(|(id, _)| !view.departed.contains(id));
+
+        let mut out = Vec::with_capacity(threads.len());
+        for (raw, mut t) in view.threads.iter().zip(threads) {
+            if raw_suspect(&raw.rates) {
+                let held = self
+                    .last_good
+                    .iter_mut()
+                    .find(|(id, _)| *id == t.id)
+                    .and_then(|(_, lg)| {
+                        if lg.age >= h.holdover_age_cap {
+                            return None;
+                        }
+                        lg.age += 1;
+                        Some((lg.access_rate, lg.llc_miss_rate, lg.age))
+                    });
+                match held {
+                    Some((rate, miss, age)) => {
+                        t.access_rate = rate;
+                        t.llc_miss_rate = miss;
+                        t.class = classify(miss);
+                        t.confidence = h.confidence_decay.powi(age as i32);
+                    }
+                    None => {
+                        // Past the age cap (or never seen healthy): the
+                        // thread is unknown. Zero rates keep it out of the
+                        // memory class; zero confidence keeps it out of
+                        // swap decisions.
+                        t.access_rate = 0.0;
+                        t.llc_miss_rate = 0.0;
+                        t.class = ThreadClass::Compute;
+                        t.confidence = 0.0;
+                    }
+                }
+            } else {
+                let fresh = LastGood {
+                    app: t.app,
+                    vcore: t.vcore,
+                    access_rate: t.access_rate,
+                    llc_miss_rate: t.llc_miss_rate,
+                    age: 0,
+                };
+                match self.last_good.iter_mut().find(|(id, _)| *id == t.id) {
+                    Some((_, lg)) => *lg = fresh,
+                    None => self.last_good.push((t.id, fresh)),
+                }
+            }
+            out.push(t);
+        }
+
+        // Counter dropout: a thread we have healthy history for is absent
+        // from the view without having departed. Synthesize it from the
+        // last good sample so the Selector still sees (and can fix) it.
+        for (id, lg) in &mut self.last_good {
+            if out.iter().any(|t| t.id == *id) || lg.age >= h.holdover_age_cap {
+                continue;
+            }
+            lg.age += 1;
+            out.push(ObservedThread {
+                id: *id,
+                app: lg.app,
+                vcore: lg.vcore,
+                access_rate: lg.access_rate,
+                llc_miss_rate: lg.llc_miss_rate,
+                class: classify(lg.llc_miss_rate),
+                migrated_last_quantum: false,
+                confidence: h.confidence_decay.powi(lg.age as i32),
+            });
+        }
+        out.sort_by_key(|t| t.id);
+        out
     }
 }
 
@@ -453,6 +594,104 @@ mod tests {
         let o = obs.observe(&between);
         assert!(o.fairness_cv < 1e-12, "cv {}", o.fairness_cv);
         assert!(o.is_fair(0.1));
+    }
+
+    #[test]
+    fn poisoned_view_is_sanitized_not_propagated() {
+        // A corrupted counter read (NaN/∞/out-of-range) must never leak
+        // into the observation: every downstream quantity stays finite.
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let mut view = mk_view(&[(5e7, 0.15), (4e7, 0.12), (1e6, 0.05), (2e6, 0.02)], 2);
+        view.threads[0].rates.access_rate = f64::NAN;
+        view.threads[0].rates.llc_miss_rate = f64::NAN;
+        view.threads[1].rates.access_rate = f64::INFINITY;
+        view.threads[2].rates.llc_miss_rate = 7.0;
+        let o = obs.observe(&view);
+        for t in &o.threads {
+            assert!(t.access_rate.is_finite(), "{t:?}");
+            assert!((0.0..=1.0).contains(&t.llc_miss_rate), "{t:?}");
+            assert_eq!(t.confidence, 1.0);
+        }
+        assert!(o.fairness_cv.is_finite());
+        assert!(o.memory_fraction.is_finite());
+        // The gate still produces a decidable verdict (no NaN poisoning:
+        // a NaN cv would make is_fair silently false forever).
+        let _ = o.is_fair(0.1);
+    }
+
+    fn hardened_cfg() -> DikeConfig {
+        crate::config::DikeConfig::hardened(crate::config::SchedConfig::DEFAULT)
+    }
+
+    #[test]
+    fn hardened_holdover_replaces_implausible_samples_with_last_good() {
+        let mut obs = Observer::new(&hardened_cfg(), 4);
+        let healthy = mk_view(&[(5e7, 0.15), (4e7, 0.12), (1e6, 0.05), (2e6, 0.02)], 2);
+        let o = obs.observe(&healthy);
+        assert!(o.threads.iter().all(|t| t.confidence == 1.0));
+
+        // Thread 0's sample goes bad: the last good value substitutes, at
+        // reduced confidence, and the class sticks.
+        let mut poisoned = healthy.clone();
+        poisoned.threads[0].rates.access_rate = f64::NAN;
+        let o = obs.observe(&poisoned);
+        let t0 = &o.threads[0];
+        assert_eq!(t0.access_rate, 5e7);
+        assert_eq!(t0.class, ThreadClass::Memory);
+        assert!(t0.confidence < 1.0 && t0.confidence > 0.0);
+        assert_eq!(o.threads[1].confidence, 1.0);
+
+        // Past the age cap the thread becomes unknown: zero rates, zero
+        // confidence — never a stale value held forever.
+        let cap = hardened_cfg().hardening.unwrap().holdover_age_cap;
+        for _ in 0..cap {
+            let o = obs.observe(&poisoned);
+            assert!(o.threads[0].access_rate.is_finite());
+        }
+        let o = obs.observe(&poisoned);
+        assert_eq!(o.threads[0].access_rate, 0.0);
+        assert_eq!(o.threads[0].confidence, 0.0);
+        assert_eq!(o.threads[0].class, ThreadClass::Compute);
+    }
+
+    #[test]
+    fn hardened_dropout_synthesizes_missing_threads_from_history() {
+        let mut obs = Observer::new(&hardened_cfg(), 4);
+        let healthy = mk_view(&[(5e7, 0.15), (4e7, 0.12), (1e6, 0.05), (2e6, 0.02)], 2);
+        obs.observe(&healthy);
+
+        // Thread 1's sample is dropped outright (absent, not departed).
+        let mut dropped = healthy.clone();
+        dropped.threads.remove(1);
+        let o = obs.observe(&dropped);
+        assert_eq!(o.threads.len(), 4, "dropout must be synthesized back");
+        let t1 = o.threads.iter().find(|t| t.id == ThreadId(1)).unwrap();
+        assert_eq!(t1.access_rate, 4e7);
+        assert!(t1.confidence < 1.0 && t1.confidence > 0.0);
+        // Thread-id order is preserved after the merge.
+        let ids: Vec<u32> = o.threads.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+
+        // A *departed* thread is not synthesized.
+        let mut finished = healthy.clone();
+        finished.threads.remove(1);
+        finished.departed = vec![ThreadId(1)];
+        let o = obs.observe(&finished);
+        assert_eq!(o.threads.len(), 3);
+        assert!(o.threads.iter().all(|t| t.id != ThreadId(1)));
+    }
+
+    #[test]
+    fn unhardened_observer_keeps_no_holdover_state() {
+        // The paper-faithful pipeline scrubs but never substitutes: a
+        // dropped thread simply vanishes from the observation.
+        let mut obs = Observer::new(&DikeConfig::default(), 4);
+        let healthy = mk_view(&[(5e7, 0.15), (4e7, 0.12), (1e6, 0.05), (2e6, 0.02)], 2);
+        obs.observe(&healthy);
+        let mut dropped = healthy.clone();
+        dropped.threads.remove(1);
+        let o = obs.observe(&dropped);
+        assert_eq!(o.threads.len(), 3);
     }
 
     #[test]

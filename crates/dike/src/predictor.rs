@@ -124,9 +124,16 @@ impl Predictor {
         let overhead_low = oh_frac * low.access_rate;
         let overhead_high = oh_frac * high.access_rate;
 
-        // Destination CoreBW: the *other* member's current core.
-        let corebw_for_low = obs.core_bw[pair.high_vcore.index()];
-        let corebw_for_high = obs.core_bw[pair.low_vcore.index()];
+        // Destination CoreBW: the *other* member's current core. At
+        // reduced sample confidence (hardened pipeline, degraded
+        // telemetry) the gain term is scaled down toward zero — a widened,
+        // pessimistic prediction that holds back marginal swaps while the
+        // cost terms stay at full weight. At confidence 1 (always, for
+        // the unhardened pipeline) the factor is exactly 1.0 and the
+        // prediction is Eqn 1 verbatim.
+        let conf = low.confidence.min(high.confidence).clamp(0.0, 1.0);
+        let corebw_for_low = obs.core_bw[pair.high_vcore.index()] * conf;
+        let corebw_for_high = obs.core_bw[pair.low_vcore.index()] * conf;
 
         let profit_low = corebw_for_low - low.access_rate - overhead_low;
         let profit_high = corebw_for_high - high.access_rate - overhead_high;
@@ -248,6 +255,7 @@ mod tests {
                 llc_miss_rate: 0.1,
                 class: ThreadClass::Memory,
                 migrated_last_quantum: false,
+                confidence: 1.0,
             })
             .collect();
         Observation {
@@ -283,6 +291,27 @@ mod tests {
         assert!((sp.profit_high - (50.0 - 80.0 - oh * 80.0)).abs() < 1e-9);
         assert!((sp.total_profit() - (sp.profit_low + sp.profit_high)).abs() < 1e-12);
         assert!(sp.predicted_low > 99.0 && sp.predicted_low < 100.0);
+    }
+
+    #[test]
+    fn low_confidence_widens_the_prediction_toward_no_swap() {
+        // A clearly profitable swap at full confidence…
+        let full = obs(&[10.0, 80.0], &[50.0, 100.0]);
+        let p = Predictor::new(3.0);
+        let quantum = SimTime::from_ms(500);
+        let sp_full = p.evaluate(&full, &pair01(), quantum);
+        assert!(sp_full.total_profit() > 0.0);
+        // …loses its predicted gain as the pair's confidence drops: the
+        // CoreBW term is scaled by min(confidence), the cost terms are
+        // not, so the Decider's non-positive-profit rejection kicks in.
+        let mut degraded = full.clone();
+        degraded.threads[0].confidence = 0.2;
+        let sp_low = p.evaluate(&degraded, &pair01(), quantum);
+        assert!(sp_low.total_profit() < sp_full.total_profit());
+        assert!(sp_low.total_profit() < 0.0);
+        // Confidence 1 on both members reproduces Eqn 1 exactly.
+        let sp_again = p.evaluate(&full, &pair01(), quantum);
+        assert_eq!(sp_again, sp_full);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::optimizer;
 use crate::predictor::Predictor;
 use crate::selector::select_pairs;
 use dike_machine::SimTime;
-use dike_sched_core::{Actions, Scheduler, SystemView};
+use dike_sched_core::{Actions, Scheduler, SwapPlanner, SystemView};
 use std::collections::HashMap;
 
 /// Counters describing what Dike did during a run (for tests, the swap
@@ -29,6 +29,19 @@ pub struct DikeStats {
     pub swaps: u64,
     /// Optimizer steps taken (adaptive modes only).
     pub optimizer_steps: u64,
+    /// Thread-quanta excluded from pairing because sample confidence was
+    /// below the floor or the thread was in post-abandonment fallback
+    /// (hardened pipeline only).
+    pub rejected_low_confidence: u64,
+    /// Unconfirmed-swap retries issued by the actuation planner
+    /// (hardened pipeline only).
+    pub swap_retries: u64,
+    /// Swaps abandoned after exhausting the retry budget (hardened
+    /// pipeline only).
+    pub swaps_abandoned: u64,
+    /// True once the watchdog demoted the policy to the Null/CFS floor
+    /// (non-finite fairness estimates; hardened pipeline only).
+    pub demoted: bool,
 }
 
 /// The Dike scheduler.
@@ -44,6 +57,11 @@ pub struct Dike {
     predictor: Predictor,
     stats: DikeStats,
     name: String,
+    /// Actuation verification (hardened pipeline only).
+    planner: Option<SwapPlanner>,
+    /// Set by the watchdog: the policy has demoted itself to the
+    /// Null/CFS floor and issues no further actions.
+    demoted: bool,
 }
 
 impl Dike {
@@ -68,23 +86,36 @@ impl Dike {
         Dike::with_config(DikeConfig::fixed(sched))
     }
 
+    /// Dike-H: the fault-hardened pipeline (sanitize → holdover →
+    /// retry/backoff → watchdog demotion) with default knobs.
+    pub fn hardened() -> Self {
+        Dike::with_config(DikeConfig::hardened(SchedConfig::DEFAULT))
+    }
+
     /// Build from a full configuration.
     ///
     /// # Panics
     /// Panics if the configuration fails validation.
     pub fn with_config(cfg: DikeConfig) -> Self {
         cfg.validate().expect("invalid Dike configuration");
-        let name = match cfg.adaptation {
+        let mut name = match cfg.adaptation {
             None => "Dike".to_string(),
             Some(AdaptationGoal::Fairness) => "Dike-AF".to_string(),
             Some(AdaptationGoal::Performance) => "Dike-AP".to_string(),
         };
+        if cfg.hardening.is_some() {
+            name.push_str("-H");
+        }
         Dike {
             sched: cfg.sched,
             predictor: Predictor::new(cfg.swap_oh_ms),
             observer: None,
             stats: DikeStats::default(),
             name,
+            planner: cfg
+                .hardening
+                .map(|h| SwapPlanner::new(h.retry_budget, h.fallback_cooldown_quanta as u64)),
+            demoted: false,
             cfg,
         }
     }
@@ -127,10 +158,40 @@ impl Scheduler for Dike {
 
     fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
         self.stats.quanta += 1;
+
+        // Watchdog floor: once demoted, behave exactly like the Null/CFS
+        // policy — observe nothing, request nothing, let the substrate's
+        // load balancing place threads.
+        if self.demoted {
+            return;
+        }
+
+        // Actuation verification (hardened pipeline): confirm that last
+        // quantum's swaps landed; retry with exponential backoff, or pull
+        // the pair out of Dike's hands (fallback) once the budget is spent.
+        if let Some(planner) = &mut self.planner {
+            let report = planner.verify(view, actions, view.quantum_index);
+            self.stats.swap_retries += u64::from(report.retried);
+            self.stats.swaps_abandoned += u64::from(report.abandoned);
+        }
+
         let observer = self
             .observer
             .get_or_insert_with(|| Observer::new(&self.cfg, view.cores.len()));
         let obs = observer.observe(view);
+
+        // Watchdog (hardened pipeline): if the fairness estimates go
+        // non-finite despite sanitization, the policy cannot be trusted —
+        // demote permanently to the Null/CFS floor.
+        if self.planner.is_some()
+            && (!obs.fairness_cv.is_finite()
+                || !obs.memory_fraction.is_finite()
+                || obs.core_bw.iter().any(|b| !b.is_finite()))
+        {
+            self.demoted = true;
+            self.stats.demoted = true;
+            return;
+        }
 
         // Close the prediction loop: score last quantum's predictions.
         self.predictor.score(&obs, view.now);
@@ -152,7 +213,26 @@ impl Scheduler for Dike {
         }
 
         // Selector → Predictor → Decider → Migrator.
-        let pairs = select_pairs(&obs, self.sched.swap_size, self.cfg.fairness_threshold);
+        // Hardened pipeline: select pairs among actuation-eligible threads
+        // only. Held-over threads (confidence below the floor) and members
+        // of abandoned swaps (fallback) still inform the fairness and
+        // bandwidth estimates above, but pairing them would either waste a
+        // healthy partner's swap or move a thread on stale placement data.
+        let pairs = if let Some(h) = self.cfg.hardening {
+            let planner = self.planner.as_ref().expect("hardening implies planner");
+            let q = view.quantum_index;
+            let mut eligible = obs.clone();
+            eligible.threads.retain(|t| {
+                let keep = t.confidence >= h.min_confidence && !planner.in_fallback(t.id, q);
+                if !keep {
+                    self.stats.rejected_low_confidence += 1;
+                }
+                keep
+            });
+            select_pairs(&eligible, self.sched.swap_size, self.cfg.fairness_threshold)
+        } else {
+            select_pairs(&obs, self.sched.swap_size, self.cfg.fairness_threshold)
+        };
         self.stats.pairs_proposed += pairs.len() as u64;
         let mut swapped_predictions: HashMap<dike_machine::ThreadId, f64> = HashMap::new();
         for pair in &pairs {
@@ -179,6 +259,13 @@ impl Scheduler for Dike {
             ) {
                 Ok(()) => {
                     actions.swap((pair.low, pair.low_vcore), (pair.high, pair.high_vcore));
+                    if let Some(planner) = &mut self.planner {
+                        planner.track(
+                            (pair.low, pair.low_vcore),
+                            (pair.high, pair.high_vcore),
+                            view.quantum_index,
+                        );
+                    }
                     swapped_predictions.insert(pair.low, prediction.predicted_low);
                     swapped_predictions.insert(pair.high, prediction.predicted_high);
                     self.stats.swaps += 1;
@@ -304,6 +391,110 @@ mod tests {
                 last_move.insert(thread.0, at.as_ms_f64() as u64);
             }
         }
+    }
+
+    #[test]
+    fn hardened_dike_matches_plain_dike_without_faults() {
+        // With all fault rates zero the hardened pipeline must be
+        // behaviourally identical to the paper-faithful one: sanitize is a
+        // bit-identical passthrough, confidence is exactly 1.0, and every
+        // swap lands and is confirmed on the next quantum. This holds on
+        // `small_machine` because its substrate balancer is off; on
+        // machines with the balancer enabled the two *legitimately*
+        // diverge — the balancer races policy placement, plain Dike
+        // silently loses those swaps, and Dike-H's planner re-issues them
+        // (the actuation loop working as designed, not injection leakage).
+        let (plain, pd) = run_dike(Dike::new());
+        let (hard, hd) = run_dike(Dike::hardened());
+        assert_eq!(hd.name(), "Dike-H");
+        assert!(plain.completed && hard.completed);
+        assert_eq!(plain.swaps, hard.swaps);
+        assert_eq!(pd.stats().swaps, hd.stats().swaps);
+        let hs = hd.stats();
+        assert_eq!(hs.swap_retries, 0, "{hs:?}");
+        assert_eq!(hs.swaps_abandoned, 0, "{hs:?}");
+        assert_eq!(hs.rejected_low_confidence, 0, "{hs:?}");
+        assert!(!hs.demoted);
+    }
+
+    fn hand_view(bandwidth: f64) -> dike_sched_core::SystemView {
+        use dike_counters::RateSample;
+        use dike_machine::topology::CoreKind;
+        use dike_machine::{AppId, DomainId, ThreadCounters, ThreadId, VCoreId};
+        use dike_sched_core::{CoreObservation, SystemView, ThreadObservation};
+        let thread = |id: u32, vcore: u32, rate: f64, llc: f64| ThreadObservation {
+            id: ThreadId(id),
+            app: AppId(id),
+            vcore: VCoreId(vcore),
+            rates: RateSample {
+                access_rate: rate,
+                llc_miss_rate: llc,
+                ..RateSample::default()
+            },
+            cumulative: ThreadCounters::default(),
+            migrated_last_quantum: false,
+        };
+        let core = |id: u32, kind: CoreKind, occ: u32| CoreObservation {
+            id: VCoreId(id),
+            kind,
+            domain: DomainId(0),
+            bandwidth,
+            occupants: vec![ThreadId(occ)],
+        };
+        SystemView {
+            now: SimTime::from_ms(500),
+            quantum: SimTime::from_ms(500),
+            quantum_index: 0,
+            threads: vec![thread(0, 0, 5e8, 0.5), thread(1, 1, 1e6, 0.0)],
+            cores: vec![core(0, CoreKind::SLOW, 0), core(1, CoreKind::FAST, 1)],
+            arrived: vec![],
+            departed: vec![],
+        }
+    }
+
+    #[test]
+    fn watchdog_demotes_on_non_finite_fairness_estimates() {
+        use dike_sched_core::Actions;
+        let mut dike = Dike::hardened();
+        let mut actions = Actions::default();
+        dike.on_quantum(&hand_view(f64::NAN), &mut actions);
+        assert!(dike.stats().demoted, "{:?}", dike.stats());
+        assert!(actions.is_empty(), "demoted policy issued actions");
+
+        // Demotion is permanent: healthy views no longer produce actions.
+        let mut actions = Actions::default();
+        dike.on_quantum(&hand_view(5e8), &mut actions);
+        assert!(actions.is_empty());
+        assert!(dike.stats().demoted);
+    }
+
+    #[test]
+    fn unhardened_dike_has_no_watchdog_or_planner() {
+        use dike_sched_core::Actions;
+        let mut dike = Dike::new();
+        let mut actions = Actions::default();
+        dike.on_quantum(&hand_view(f64::NAN), &mut actions);
+        assert!(!dike.stats().demoted);
+    }
+
+    #[test]
+    fn nan_corruption_faults_do_not_poison_swap_decisions() {
+        // Heavy telemetry corruption (dropout + NaN/zero/saturate + noise)
+        // against the *unhardened* paper pipeline: the observer's
+        // unconditional sanitization must keep every prediction finite and
+        // the run panic-free.
+        let mut cfg = presets::small_machine(3);
+        cfg.faults = dike_machine::FaultConfig::telemetry_axis(0.30, 7);
+        let mut machine = Machine::new(cfg);
+        small_workload().spawn(&mut machine, Placement::Interleaved, 0.2);
+        let mut dike = Dike::new();
+        let result = run(&mut machine, &mut dike, SimTime::from_secs_f64(300.0));
+        assert!(result.completed);
+        let errs = dike.predictor().error_values();
+        assert!(
+            errs.iter().all(|e| e.is_finite()),
+            "NaN leaked into swap predictions"
+        );
     }
 
     #[test]

@@ -177,6 +177,7 @@ mod tests {
                     ThreadClass::Compute
                 },
                 migrated_last_quantum: false,
+                confidence: 1.0,
             })
             .collect();
         let high_bw: Vec<bool> = threads.iter().map(|&(_, h)| h).collect();

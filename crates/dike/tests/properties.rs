@@ -24,6 +24,7 @@ fn obs_from(threads: &[(f64, bool, bool)]) -> Observation {
                 ThreadClass::Compute
             },
             migrated_last_quantum: false,
+            confidence: 1.0,
         })
         .collect();
     let high_bw = threads.iter().map(|&(_, h, _)| h).collect();

@@ -18,6 +18,8 @@
 //! | [`table3`] | Table III — swap counts |
 //! | [`ablations`] | DESIGN.md §5 design-choice ablations |
 //! | [`scale`] | beyond-paper: 40/160/320-vcore NUMA scale sweep |
+//! | [`open`] | beyond-paper: open-system arrivals/departures |
+//! | [`robustness`] | beyond-paper: fault-injection degradation curves |
 
 pub mod ablations;
 pub mod cli;
@@ -29,6 +31,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod open;
+pub mod robustness;
 pub mod runner;
 pub mod scale;
 pub mod sweep;

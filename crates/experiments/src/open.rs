@@ -113,8 +113,9 @@ pub fn wl1_trace(mean_ms: f64, seed: u64) -> ArrivalTrace {
     )
 }
 
-/// Drive one policy over an arrival plan on a fresh machine.
-fn drive_open(
+/// Drive one policy over an arrival plan on a fresh machine. Also reused
+/// by the robustness experiment (closed run = empty plan, byte-identical).
+pub(crate) fn drive_open(
     machine: &mut Machine,
     kind: &SchedKind,
     deadline: SimTime,
@@ -136,6 +137,7 @@ fn drive_open(
         SchedKind::Dike(sc) => run_open(machine, &mut Dike::fixed(*sc), deadline, plan),
         SchedKind::DikeAf => run_open(machine, &mut Dike::adaptive_fairness(), deadline, plan),
         SchedKind::DikeAp => run_open(machine, &mut Dike::adaptive_performance(), deadline, plan),
+        SchedKind::DikeHardened => run_open(machine, &mut Dike::hardened(), deadline, plan),
         SchedKind::DikeCustom(cfg) => {
             run_open(machine, &mut Dike::with_config(cfg.clone()), deadline, plan)
         }
@@ -284,6 +286,48 @@ mod tests {
         // Traces serialize (they are archived with results).
         let s = json::to_string(&b);
         assert!(s.contains("WL1-open-1000ms"));
+    }
+
+    /// Churn with unreliable actuation: mid-run arrivals/departures at a
+    /// 10% migration-failure rate (plus delayed migrations that land
+    /// several quanta late, possibly after their thread finished). No
+    /// panics, no dropped threads, and the run drains completely.
+    #[test]
+    fn churn_survives_a_10pct_migration_failure_rate() {
+        let opts = RunOptions {
+            scale: 0.01,
+            deadline_s: 240.0,
+            ..RunOptions::default()
+        };
+        let cfg = ArrivalConfig {
+            mean_interarrival_ms: 400.0,
+            horizon_ms: 20_000,
+            threads_min: 1,
+            threads_max: 2,
+        };
+        let apps = paper::workload(1).apps;
+        let trace = ArrivalTrace::poisson("churn-faulty", &apps, &cfg, 11);
+        let mut machine_cfg = presets::paper_machine(opts.seed);
+        machine_cfg.faults = dike_machine::FaultConfig::actuation_axis(0.10, opts.seed);
+        for kind in [
+            SchedKind::Dio,
+            SchedKind::Dike(SchedConfig::DEFAULT),
+            SchedKind::DikeHardened,
+        ] {
+            let p = run_open_cell(&machine_cfg, &trace, &kind, &opts);
+            assert_eq!(
+                p.arrivals,
+                trace.num_threads() as u64,
+                "{}: dropped arrivals",
+                p.scheduler
+            );
+            assert!(
+                p.completed,
+                "{}: churn under faulty actuation hit the deadline",
+                p.scheduler
+            );
+            assert_eq!(p.departures, p.arrivals, "{}", p.scheduler);
+        }
     }
 
     /// The ISSUE's churn stress: every policy survives hundreds of

@@ -29,11 +29,14 @@ pub enum SchedKind {
     DikeAf,
     /// Dike-AP (adaptive, performance goal).
     DikeAp,
+    /// Dike-H: the fault-hardened pipeline (sanitize → holdover →
+    /// retry/backoff → watchdog demotion), non-adaptive default config.
+    DikeHardened,
     /// Dike with a fully custom configuration (ablations).
     DikeCustom(DikeConfig),
 }
 
-json_enum!(SchedKind { Null, Cfs, Dio, SortOnce, DikeAf, DikeAp } {
+json_enum!(SchedKind { Null, Cfs, Dio, SortOnce, DikeAf, DikeAp, DikeHardened } {
     Random(u64),
     Dike(SchedConfig),
     DikeCustom(DikeConfig)
@@ -52,6 +55,7 @@ impl SchedKind {
             SchedKind::Dike(c) => format!("Dike<{},{}>", c.swap_size, c.quantum_ms),
             SchedKind::DikeAf => "Dike-AF".into(),
             SchedKind::DikeAp => "Dike-AP".into(),
+            SchedKind::DikeHardened => "Dike-H".into(),
             SchedKind::DikeCustom(_) => "Dike*".into(),
         }
     }
@@ -209,6 +213,12 @@ pub fn run_cell_with(
         }
         SchedKind::DikeAp => {
             let mut dike = Dike::adaptive_performance();
+            let r = run_with(&mut machine, &mut dike, deadline, observer);
+            dike_handle = Some(dike);
+            r
+        }
+        SchedKind::DikeHardened => {
+            let mut dike = Dike::hardened();
             let r = run_with(&mut machine, &mut dike, deadline, observer);
             dike_handle = Some(dike);
             r

@@ -15,9 +15,10 @@
 //! DIKE_REGEN_GOLDENS=1 cargo test -p dike-experiments --test golden_stability
 //! ```
 
+use dike_experiments::runner::run_cells;
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, table3, RunOptions};
-use dike_machine::presets;
+use dike_experiments::{fig6, robustness, table3, RunOptions, SchedKind};
+use dike_machine::{presets, FaultConfig};
 use dike_util::{json, Pool};
 use dike_workloads::paper;
 use std::path::PathBuf;
@@ -85,4 +86,38 @@ fn fig6_comparison_is_byte_identical_to_pre_refactor_golden() {
     let opts = small_opts();
     let fig = fig6::run_subset_pool(&opts, &[1], &Pool::new(1));
     check_golden("golden_fig6_wl1.json", &json::to_string(&fig));
+}
+
+/// The fault-injection layer at rate zero must be *absent*, not merely
+/// quiet: a machine config carrying an explicit all-zero [`FaultConfig`]
+/// (even with a non-zero fault seed) reproduces the committed Figure 6
+/// golden byte for byte.
+#[test]
+fn explicit_zero_fault_config_reproduces_the_fig6_golden() {
+    let opts = small_opts();
+    let mut cfg = presets::paper_machine(opts.seed);
+    cfg.faults = FaultConfig {
+        seed: 0xDEAD_BEEF,
+        ..FaultConfig::default()
+    };
+    let kinds = SchedKind::comparison_set();
+    let workload = paper::workload(1);
+    let tasks: Vec<_> = kinds.iter().map(|k| (&workload, k.clone())).collect();
+    let rows = vec![run_cells(&cfg, &tasks, &opts, &Pool::new(1))];
+    let fig = dike_experiments::fig6::Fig6 {
+        schedulers: kinds.iter().map(|k| k.label()).collect(),
+        rows,
+    };
+    check_golden("golden_fig6_wl1.json", &json::to_string(&fig));
+}
+
+/// The robustness experiment's own degradation curves, pinned: the fault
+/// injector is part of the deterministic surface, so any change to its
+/// hashing, channel salts, or the hardened pipeline's degradation ladder
+/// shows up here as a byte diff.
+#[test]
+fn robustness_sweep_is_byte_identical_to_golden() {
+    let opts = small_opts();
+    let points = robustness::run_robustness_pool(&[0.0, 0.30], &[0.10], true, &opts, &Pool::new(1));
+    check_golden("golden_robustness.json", &json::to_string(&points));
 }

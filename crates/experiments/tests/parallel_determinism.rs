@@ -4,7 +4,7 @@
 //! wall-clock knob with no effect on any recorded figure or fixture.
 
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, open, scale, table3, RunOptions};
+use dike_experiments::{fig6, open, robustness, scale, table3, RunOptions};
 use dike_machine::presets;
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -74,6 +74,34 @@ fn open_experiment_is_thread_count_invariant() {
             serial_json,
             json::to_string(&parallel),
             "{threads}-thread open experiment JSON must be byte-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn robustness_sweep_is_thread_count_invariant() {
+    // Fault draws are stateless hashes of (seed, salt, thread, quantum),
+    // so the injected fault pattern — and with it every degradation-curve
+    // byte — must be identical no matter how cells land on workers.
+    let opts = small_opts();
+    let serial = robustness::run_robustness_pool(&[0.0, 0.20], &[0.10], true, &opts, &Pool::new(1));
+    let serial_json = json::to_string(&serial);
+    assert!(
+        serial_json.contains("\"axis\""),
+        "robustness points serialize"
+    );
+    for threads in [2usize, 8] {
+        let parallel = robustness::run_robustness_pool(
+            &[0.0, 0.20],
+            &[0.10],
+            true,
+            &opts,
+            &Pool::new(threads),
+        );
+        assert_eq!(
+            serial_json,
+            json::to_string(&parallel),
+            "{threads}-thread robustness sweep JSON must be byte-identical to serial"
         );
     }
 }

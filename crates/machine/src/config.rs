@@ -1,5 +1,6 @@
 //! Machine configuration: every knob of the simulated hardware in one place.
 
+use crate::faults::FaultConfig;
 use crate::topology::Topology;
 use dike_util::json_struct;
 
@@ -182,6 +183,10 @@ pub struct MachineConfig {
     pub tick_us: u64,
     /// Seed for deterministic burstiness noise.
     pub seed: u64,
+    /// Fault injection at the observe/act boundary. All-zero (the
+    /// default) disables the layer entirely; the driver then takes the
+    /// exact pre-fault code path, keeping golden outputs byte-identical.
+    pub faults: FaultConfig,
 }
 
 json_struct!(MemoryConfig {
@@ -220,6 +225,7 @@ json_struct!(MachineConfig {
     balance,
     tick_us,
     seed,
+    faults,
 });
 
 impl MachineConfig {
@@ -264,6 +270,7 @@ impl MachineConfig {
         if self.balance.enabled && self.balance.interval_us == 0 {
             return Err("balance interval must be > 0 when enabled".into());
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -286,6 +293,7 @@ pub mod presets {
             balance: BalanceConfig::default(),
             tick_us: 1_000,
             seed,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -329,6 +337,7 @@ pub mod presets {
             balance: BalanceConfig::default(),
             tick_us: 1_000,
             seed,
+            faults: FaultConfig::default(),
         }
     }
 }

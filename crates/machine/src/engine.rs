@@ -51,6 +51,13 @@ pub enum MachineEvent {
         to: VCoreId,
         at: SimTime,
     },
+    /// A transient stall was injected: the thread makes no progress until
+    /// `until` (fault injection, see [`crate::faults`]).
+    Stalled {
+        thread: ThreadId,
+        at: SimTime,
+        until: SimTime,
+    },
 }
 
 /// Coarseness of the burstiness noise: the pseudo-random miss-ratio
@@ -196,6 +203,27 @@ impl Machine {
             from,
             to,
             at: self.now,
+        });
+    }
+
+    /// Inject a transient stall: the thread makes no progress for `dur`
+    /// from now (fault injection; extends, never shortens, any dead time
+    /// already pending from a migration). No-op on finished threads.
+    pub fn stall(&mut self, thread: ThreadId, dur: SimTime) {
+        let now = self.now;
+        let t = &mut self.threads[thread.index()];
+        if t.finished() || dur == SimTime::ZERO {
+            return;
+        }
+        let until = now + dur;
+        if until <= t.dead_until {
+            return;
+        }
+        t.dead_until = until;
+        self.events.push(MachineEvent::Stalled {
+            thread,
+            at: now,
+            until,
         });
     }
 
@@ -975,10 +1003,35 @@ mod tests {
                 MachineEvent::Migrated { .. } => "migrate",
                 MachineEvent::Finished { .. } => "finish",
                 MachineEvent::Balanced { .. } => "balance",
+                MachineEvent::Stalled { .. } => "stall",
             })
             .collect();
         assert_eq!(kinds, vec!["spawn", "migrate", "finish"]);
         assert_eq!(m.total_migrations(), 1);
+    }
+
+    #[test]
+    fn stall_freezes_progress_without_counting_as_migration() {
+        let mut m = Machine::new(presets::small_machine(1));
+        let t = m.spawn(compute_spec(0, 1e9), VCoreId(0));
+        m.run_for(SimTime::from_ms(10));
+        let before = m.counters(t).instructions;
+        // Stalled for the whole window: no instructions retire.
+        m.stall(t, SimTime::from_ms(20));
+        m.run_for(SimTime::from_ms(20));
+        assert_eq!(m.counters(t).instructions, before);
+        assert_eq!(m.counters(t).migrations, 0);
+        // Progress resumes after the stall window.
+        m.run_for(SimTime::from_ms(10));
+        assert!(m.counters(t).instructions > before);
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, MachineEvent::Stalled { thread, .. } if *thread == t)));
+        // A zero-length stall is a no-op and records nothing.
+        let n_events = m.events().len();
+        m.stall(t, SimTime::ZERO);
+        assert_eq!(m.events().len(), n_events);
     }
 
     #[test]

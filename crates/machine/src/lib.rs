@@ -44,6 +44,7 @@
 pub mod config;
 pub mod contention;
 pub mod engine;
+pub mod faults;
 pub mod ids;
 pub mod phase;
 pub mod thread;
@@ -55,6 +56,7 @@ pub use contention::{
     solve_memory_reference, DomainSolution, MemDemand, MemSolution, NumaDemand, NumaSolution,
 };
 pub use engine::{Machine, MachineEvent};
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use ids::{AppId, BarrierId, DomainId, PCoreId, SimTime, ThreadId, VCoreId};
 pub use phase::{Phase, PhaseProgram, PhaseRepeat};
 pub use thread::{BarrierSpec, CoreCounters, ThreadCounters, ThreadSpec};

@@ -26,7 +26,9 @@
 use crate::scheduler::Scheduler;
 use crate::view::{Actions, CoreObservation, SystemView, ThreadObservation};
 use dike_counters::RateSample;
-use dike_machine::{CoreCounters, Machine, SimTime, ThreadCounters, ThreadId, ThreadSpec, VCoreId};
+use dike_machine::{
+    CoreCounters, FaultKind, Machine, SimTime, ThreadCounters, ThreadId, ThreadSpec, VCoreId,
+};
 use std::collections::VecDeque;
 
 /// A thread arrival scheduled for a future machine time.
@@ -186,6 +188,18 @@ pub fn run_open_with(
     let mut quanta = 0u64;
     let migrations_before = machine.total_migrations();
 
+    // Fault injection at the observe/act boundary (see `dike_machine::faults`).
+    // With an all-zero config (`!faults_active`, the default) every guard
+    // below is skipped and the loop is the exact pre-fault code path, so
+    // fault-free runs stay byte-identical to the committed goldens.
+    let faults = machine.config().faults;
+    let faults_active = faults.is_active();
+    // Previous quantum's *true* per-thread rates, for stale-sample replay.
+    let mut last_rates: Vec<RateSample> = Vec::new();
+    // Migrations deferred by the delay channel: (land at quantum counter,
+    // thread, target). FIFO-ordered because the delay is constant.
+    let mut delayed: VecDeque<(u64, ThreadId, VCoreId)> = VecDeque::new();
+
     // Admit everything due by `now`: move due plan entries to the wait
     // queue, then place queued specs (FIFO) on idle vcores, lowest id
     // first. Specs that find no slot stay queued until a departure frees
@@ -283,13 +297,49 @@ pub fn run_open_with(
             }
             let cur = machine.counters(id);
             let d = cur.delta(&prev_thread[i]);
-            let rates = RateSample::from_deltas(
+            let mut rates = RateSample::from_deltas(
                 d.instructions,
                 d.llc_misses,
                 d.llc_accesses,
                 d.cycles,
                 dt_s,
             );
+            prev_thread[i] = cur;
+            if faults_active {
+                if last_rates.len() < n_threads {
+                    last_rates.resize(n_threads, RateSample::default());
+                }
+                let true_rates = rates;
+                let fault = faults.telemetry_fault(i as u32, quanta - 1);
+                if fault == Some(FaultKind::Dropout) {
+                    // The sample is simply missing: the scheduler's view
+                    // has no entry for this thread this quantum.
+                    last_rates[i] = true_rates;
+                    continue;
+                }
+                match fault {
+                    Some(FaultKind::CorruptNan) => {
+                        rates.access_rate = f64::NAN;
+                        rates.llc_miss_rate = f64::NAN;
+                    }
+                    Some(FaultKind::CorruptZero) => rates = RateSample::default(),
+                    Some(FaultKind::CorruptSaturate) => {
+                        rates.access_rate = 1e15;
+                        rates.instr_rate = 1e15;
+                        rates.miss_ratio = 1.0;
+                        rates.llc_miss_rate = 1.0;
+                        rates.ipc = 0.0;
+                    }
+                    Some(FaultKind::Stale) => rates = last_rates[i],
+                    _ => {}
+                }
+                let nf = faults.noise_factor(i as u32, quanta - 1);
+                if nf != 1.0 {
+                    rates.access_rate *= nf;
+                    rates.instr_rate *= nf;
+                }
+                last_rates[i] = true_rates;
+            }
             threads.push(ThreadObservation {
                 id,
                 app: machine.app_of(id),
@@ -298,7 +348,6 @@ pub fn run_open_with(
                 cumulative: cur,
                 migrated_last_quantum: d.migrations > 0,
             });
-            prev_thread[i] = cur;
         }
         let mut cores = Vec::with_capacity(n_vcores);
         #[allow(clippy::needless_range_loop)] // v indexes a parallel array
@@ -334,8 +383,35 @@ pub fn run_open_with(
 
         let mut actions = Actions::default();
         scheduler.on_quantum(&view, &mut actions);
-        for (t, v) in actions.migrations {
-            machine.migrate(t, v);
+        if faults_active {
+            // Land migrations whose delay has elapsed. `Machine::migrate`
+            // is a no-op when the thread has finished or already sits on
+            // the target, so a late landing is never double-applied over a
+            // placement the policy has since re-established.
+            while delayed.front().is_some_and(|&(due, _, _)| due <= quanta) {
+                let (_, t, v) = delayed.pop_front().expect("checked front");
+                machine.migrate(t, v);
+            }
+            for (t, v) in actions.migrations {
+                match faults.migration_fault(t.0, quanta - 1) {
+                    Some(FaultKind::MigrationFail) => {} // silently lost
+                    Some(FaultKind::MigrationDelay) => {
+                        delayed.push_back((quanta + faults.migration_delay_quanta as u64, t, v));
+                    }
+                    _ => machine.migrate(t, v),
+                }
+            }
+            if faults.stall_rate > 0.0 {
+                for t in machine.alive_threads() {
+                    if faults.stall(t.0, quanta - 1) {
+                        machine.stall(t, SimTime::from_us(faults.stall_us));
+                    }
+                }
+            }
+        } else {
+            for (t, v) in actions.migrations {
+                machine.migrate(t, v);
+            }
         }
         if let Some(q) = actions.set_quantum {
             quantum = clamp_quantum(q);

@@ -16,10 +16,16 @@
 //!   [`TimedSpawn`] plan, for open systems where threads arrive and
 //!   depart mid-run.
 
+//! * [`SwapPlanner`] — actuation verification: confirm that requested
+//!   swaps actually landed, retry with backoff, fall back to substrate
+//!   placement when the budget is exhausted.
+
+pub mod actuation;
 pub mod driver;
 pub mod scheduler;
 pub mod view;
 
+pub use actuation::{ActuationReport, SwapPlanner};
 pub use driver::{run, run_open, run_open_with, run_with, RunResult, ThreadResult, TimedSpawn};
 pub use scheduler::{NullScheduler, Scheduler};
 pub use view::{Actions, CoreObservation, SystemView, ThreadObservation};

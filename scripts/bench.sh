@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trajectory bench: times the solve_memory hot path, the 33-cell
-# configuration sweep (serial vs parallel), the NUMA scale sweep and the
-# open-system cell, recording the numbers into results/BENCH_sweep.json,
-# results/BENCH_scale.json and results/BENCH_open.json so regressions are
-# visible release over release.
+# configuration sweep (serial vs parallel), the NUMA scale sweep, the
+# open-system cell and the fault-injected robustness cell, recording the
+# numbers into results/BENCH_sweep.json, results/BENCH_scale.json,
+# results/BENCH_open.json and results/BENCH_robustness.json so regressions
+# are visible release over release.
 #
 # Usage:
 #   scripts/bench.sh            # full run, records results/BENCH_*.json
@@ -22,6 +23,7 @@ if [[ "${DIKE_BENCH_FAST:-0}" == "1" ]]; then
     out_sweep="$PWD/target/BENCH_sweep_smoke.json"
     out_scale="$PWD/target/BENCH_scale_smoke.json"
     out_open="$PWD/target/BENCH_open_smoke.json"
+    out_robustness="$PWD/target/BENCH_robustness_smoke.json"
     export DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}"
     export DIKE_BENCH_WARMUP_MS="${DIKE_BENCH_WARMUP_MS:-20}"
     export DIKE_BENCH_SAMPLE_MS="${DIKE_BENCH_SAMPLE_MS:-20}"
@@ -29,10 +31,12 @@ else
     out_sweep="$PWD/results/BENCH_sweep.json"
     out_scale="$PWD/results/BENCH_scale.json"
     out_open="$PWD/results/BENCH_open.json"
+    out_robustness="$PWD/results/BENCH_robustness.json"
 fi
 
 DIKE_BENCH_JSON="$out_sweep" cargo bench -q --offline -p dike-bench --bench sweep_parallel
 DIKE_BENCH_JSON="$out_scale" cargo bench -q --offline -p dike-bench --bench scale
 DIKE_BENCH_JSON="$out_open" cargo bench -q --offline -p dike-bench --bench open
+DIKE_BENCH_JSON="$out_robustness" cargo bench -q --offline -p dike-bench --bench robustness
 
-echo "bench: OK ($out_sweep, $out_scale, $out_open)"
+echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness)"

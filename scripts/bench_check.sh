@@ -21,6 +21,7 @@ fail=0
 "$check" target/BENCH_sweep_smoke.json results/BENCH_sweep.json || fail=1
 "$check" target/BENCH_scale_smoke.json results/BENCH_scale.json || fail=1
 "$check" target/BENCH_open_smoke.json results/BENCH_open.json || fail=1
+"$check" target/BENCH_robustness_smoke.json results/BENCH_robustness.json || fail=1
 
 if [[ "$fail" != 0 ]]; then
     echo "bench_check: FAIL"

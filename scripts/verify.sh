@@ -19,6 +19,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # running on multiple workers.
 DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
 
+# Robustness smoke: the fault-injection degradation sweep end to end at a
+# tiny scale — every policy must survive every swept fault level (no
+# panics, no NaN) with the hardened pipeline in the comparison set.
+cargo run -q --release --offline -p dike-experiments --bin robustness -- --scale 0.02 > /dev/null
+
 # Bench smoke: the bench targets must run end to end (tiny samples, writes
 # to target/, never touches the recorded results/BENCH_*.json).
 DIKE_BENCH_FAST=1 scripts/bench.sh
