@@ -25,6 +25,8 @@ pub struct Dio {
     quantum: SimTime,
     pairs_per_quantum: usize,
     swaps: u64,
+    /// Reusable miss-rate ordering buffer (no per-quantum allocation).
+    order: Vec<usize>,
 }
 
 impl Dio {
@@ -34,6 +36,7 @@ impl Dio {
             quantum: SimTime::from_ms(500),
             pairs_per_quantum: 4,
             swaps: 0,
+            order: Vec::new(),
         }
     }
 
@@ -74,12 +77,16 @@ impl Scheduler for Dio {
     }
 
     fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
-        let mut order: Vec<usize> = (0..view.threads.len()).collect();
+        let order = &mut self.order;
+        order.clear();
+        order.extend(0..view.threads.len());
         // Sort by LLC miss rate, highest first (ties by id for determinism).
         // Total order so corrupted (NaN) samples under fault injection
         // sort deterministically instead of panicking; identical to the
-        // old partial order on healthy (finite, non-negative) rates.
-        order.sort_by(|&a, &b| {
+        // old partial order on healthy (finite, non-negative) rates — and
+        // the id tiebreak makes the unstable sort result-identical to a
+        // stable one.
+        order.sort_unstable_by(|&a, &b| {
             view.threads[b]
                 .rates
                 .llc_miss_rate
@@ -153,17 +160,14 @@ mod tests {
                 kind: CoreKind::FAST,
                 domain: DomainId(0),
                 bandwidth: 0.0,
-                occupants: vec![ThreadId(c)],
             })
             .collect();
         let view = SystemView {
             now: SimTime::from_ms(500),
             quantum: SimTime::from_ms(500),
-            quantum_index: 0,
             threads,
             cores,
-            arrived: vec![],
-            departed: vec![],
+            ..SystemView::default()
         };
         let mut dio = Dio::new();
         let mut actions = Actions::default();

@@ -54,18 +54,18 @@ fn paper_scale_view(quantum_index: u64) -> SystemView {
             },
             domain: dike_machine::DomainId(0),
             bandwidth: threads[c as usize].rates.access_rate,
-            occupants: vec![ThreadId(c)],
         })
         .collect();
-    SystemView {
+    let mut view = SystemView {
         now: SimTime::from_ms(500 * (quantum_index + 1)),
         quantum: SimTime::from_ms(500),
         quantum_index,
         threads,
         cores,
-        arrived: vec![],
-        departed: vec![],
-    }
+        ..SystemView::default()
+    };
+    view.assign_occupants();
+    view
 }
 
 fn bench_policy(b: &mut Bench, name: &str, mut sched: impl Scheduler) {

@@ -61,7 +61,7 @@ pub struct ObservedThread {
 }
 
 /// The Observer's per-quantum output.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Observation {
     /// Alive threads with classes and rates, in thread-id order.
     pub threads: Vec<ObservedThread>,
@@ -89,6 +89,21 @@ impl Observation {
     pub fn is_fair(&self, threshold: f64) -> bool {
         self.fairness_cv < threshold
     }
+
+    /// Copy `self` into `out`, reusing `out`'s buffers (a `clone_from`
+    /// that is guaranteed allocation-free once capacities are warm).
+    pub fn clone_into(&self, out: &mut Observation) {
+        out.threads.clear();
+        out.threads.extend_from_slice(&self.threads);
+        out.high_bw.clear();
+        out.high_bw.extend_from_slice(&self.high_bw);
+        out.core_bw.clear();
+        out.core_bw.extend_from_slice(&self.core_bw);
+        out.core_domain.clear();
+        out.core_domain.extend_from_slice(&self.core_domain);
+        out.fairness_cv = self.fairness_cv;
+        out.memory_fraction = self.memory_fraction;
+    }
 }
 
 /// Persistent Observer state.
@@ -115,6 +130,13 @@ pub struct Observer {
     hardening: Option<HardeningConfig>,
     /// Per-thread last-good sample (hardened only), in insertion order.
     last_good: Vec<(ThreadId, LastGood)>,
+    /// Reusable core-ranking index buffer.
+    scratch_order: Vec<usize>,
+    /// Reusable per-quantum app list for the fairness gate.
+    scratch_apps: Vec<AppId>,
+    /// Reusable memory-class flags (indexed by thread id) for the
+    /// demand-gated estimator.
+    scratch_mem: Vec<bool>,
 }
 
 /// The last plausible sample seen for a thread, used for holdover.
@@ -140,6 +162,9 @@ impl Observer {
             class_bw: Vec::new(),
             hardening: cfg.hardening,
             last_good: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_apps: Vec::new(),
+            scratch_mem: Vec::new(),
         }
     }
 
@@ -162,60 +187,82 @@ impl Observer {
 
     /// Ingest one quantum's view and produce the observation.
     pub fn observe(&mut self, view: &SystemView) -> Observation {
+        let mut out = Observation::default();
+        self.observe_into(view, &mut out);
+        out
+    }
+
+    /// [`Observer::observe`] into a caller-owned observation, reusing its
+    /// buffers (and the Observer's internal scratch) so the steady-state
+    /// observation path performs no heap allocation.
+    pub fn observe_into(&mut self, view: &SystemView, out: &mut Observation) {
         assert_eq!(
             view.cores.len(),
             self.core_bw.len(),
             "view core count changed mid-run"
         );
         // Update the CoreBW estimate.
-        let core_bw: Vec<f64> = match self.estimate {
+        out.core_bw.clear();
+        match self.estimate {
             CoreBwEstimate::PerCoreMean => {
                 // Paper-literal: every quantum contributes to every core's
                 // moving mean.
                 for core in &view.cores {
                     self.core_bw[core.id.index()].update(core.bandwidth);
                 }
-                self.core_bw.iter().map(|e| e.value()).collect()
+                out.core_bw.extend(self.core_bw.iter().map(|e| e.value()));
             }
             CoreBwEstimate::DemandGated => {
                 // Capability variant: classify occupants first, sample only
-                // consumed cores, fall back to class means.
-                let memory_thread: std::collections::HashSet<_> = view
+                // consumed cores, fall back to class means. An occupant
+                // without an observation this quantum (telemetry dropout)
+                // cannot be classified and does not mark its core consumed.
+                let max_id = view
                     .threads
                     .iter()
-                    .filter(|t| t.rates.llc_miss_rate > self.boundary)
-                    .map(|t| t.id)
-                    .collect();
+                    .map(|t| t.id.index() + 1)
+                    .max()
+                    .unwrap_or(0);
+                self.scratch_mem.clear();
+                self.scratch_mem.resize(max_id, false);
+                for t in &view.threads {
+                    if t.rates.llc_miss_rate > self.boundary {
+                        self.scratch_mem[t.id.index()] = true;
+                    }
+                }
                 for core in &view.cores {
-                    let consumed = core.occupants.iter().any(|t| memory_thread.contains(t));
+                    let consumed = view
+                        .occupants(core.id)
+                        .iter()
+                        .any(|t| self.scratch_mem.get(t.index()).copied().unwrap_or(false));
                     if consumed {
                         self.core_bw[core.id.index()].update(core.bandwidth);
                         self.class_mean_mut(core.kind.freq_hz)
                             .update(core.bandwidth);
                     }
                 }
-                view.cores
-                    .iter()
-                    .map(|core| {
-                        let own = &self.core_bw[core.id.index()];
-                        if !own.is_empty() {
-                            own.value()
-                        } else if let Some(class) = self.class_mean(core.kind.freq_hz) {
-                            class
-                        } else {
-                            core.bandwidth
-                        }
-                    })
-                    .collect()
+                for core in &view.cores {
+                    let own = &self.core_bw[core.id.index()];
+                    out.core_bw.push(if !own.is_empty() {
+                        own.value()
+                    } else if let Some(class) = self.class_mean(core.kind.freq_hz) {
+                        class
+                    } else {
+                        core.bandwidth
+                    });
+                }
             }
-        };
+        }
 
-        // Rank cores into high/low-bandwidth halves.
+        // Rank cores into high/low-bandwidth halves. The comparators are
+        // total orders (index tiebreak), so the unstable sort is
+        // deterministic and result-identical to a stable one.
         let n = view.cores.len();
-        let mut order: Vec<usize> = (0..n).collect();
+        self.scratch_order.clear();
+        self.scratch_order.extend(0..n);
         match self.ranking {
             CoreRanking::Frequency => {
-                order.sort_by(|&a, &b| {
+                self.scratch_order.sort_unstable_by(|&a, &b| {
                     view.cores[b]
                         .kind
                         .freq_hz
@@ -225,7 +272,8 @@ impl Observer {
                 });
             }
             CoreRanking::ObservedBandwidth => {
-                order.sort_by(|&a, &b| {
+                let core_bw = &out.core_bw;
+                self.scratch_order.sort_unstable_by(|&a, &b| {
                     core_bw[b]
                         .partial_cmp(&core_bw[a])
                         .expect("bandwidths are finite")
@@ -233,9 +281,10 @@ impl Observer {
                 });
             }
         }
-        let mut high_bw = vec![false; n];
-        for &c in order.iter().take(n / 2) {
-            high_bw[c] = true;
+        out.high_bw.clear();
+        out.high_bw.resize(n, false);
+        for &c in self.scratch_order.iter().take(n / 2) {
+            out.high_bw[c] = true;
         }
 
         // Classify threads. Samples are sanitized unconditionally: a
@@ -251,26 +300,23 @@ impl Observer {
                 ThreadClass::Compute
             }
         };
-        let mut threads: Vec<ObservedThread> = view
-            .threads
-            .iter()
-            .map(|t| {
-                let rates = t.rates.sanitized();
-                ObservedThread {
-                    id: t.id,
-                    app: t.app,
-                    vcore: t.vcore,
-                    access_rate: rates.access_rate,
-                    llc_miss_rate: rates.llc_miss_rate,
-                    class: classify(rates.llc_miss_rate),
-                    migrated_last_quantum: t.migrated_last_quantum,
-                    confidence: 1.0,
-                }
-            })
-            .collect();
+        out.threads.clear();
+        out.threads.extend(view.threads.iter().map(|t| {
+            let rates = t.rates.sanitized();
+            ObservedThread {
+                id: t.id,
+                app: t.app,
+                vcore: t.vcore,
+                access_rate: rates.access_rate,
+                llc_miss_rate: rates.llc_miss_rate,
+                class: classify(rates.llc_miss_rate),
+                migrated_last_quantum: t.migrated_last_quantum,
+                confidence: 1.0,
+            }
+        }));
 
         if self.hardening.is_some() {
-            threads = self.harden(view, threads);
+            self.harden(view, &mut out.threads);
         }
 
         // Fairness gate: the paper's getSystemFairness() mirrors its Eqn 4
@@ -283,43 +329,45 @@ impl Observer {
         // threshold (the M/C rate gap alone is a CV above 1), and a mean
         // per-app CV lets one badly-split application hide behind several
         // fair ones, closing the gate prematurely.
-        let mut apps: Vec<_> = threads.iter().map(|t| t.app).collect();
-        apps.sort_unstable();
-        apps.dedup();
-        let fairness_cv = if apps.is_empty() {
+        self.scratch_apps.clear();
+        self.scratch_apps.extend(out.threads.iter().map(|t| t.app));
+        self.scratch_apps.sort_unstable();
+        self.scratch_apps.dedup();
+        // Per-app CV inlined from `coefficient_of_variation` with the same
+        // summation order (filter order == thread order), so the result is
+        // bit-identical to collecting the rates first.
+        out.fairness_cv = 0.0;
+        for &a in &self.scratch_apps {
+            let mut sum = 0.0;
+            let mut len = 0usize;
+            for t in out.threads.iter().filter(|t| t.app == a) {
+                sum += t.access_rate;
+                len += 1;
+            }
+            let mean = sum / len as f64;
+            let cv = if mean == 0.0 {
+                0.0
+            } else {
+                let mut var = 0.0;
+                for t in out.threads.iter().filter(|t| t.app == a) {
+                    var += (t.access_rate - mean).powi(2);
+                }
+                (var / len as f64).sqrt() / mean
+            };
+            out.fairness_cv = f64::max(out.fairness_cv, cv);
+        }
+        out.memory_fraction = if out.threads.is_empty() {
             0.0
         } else {
-            apps.iter()
-                .map(|&a| {
-                    let rates: Vec<f64> = threads
-                        .iter()
-                        .filter(|t| t.app == a)
-                        .map(|t| t.access_rate)
-                        .collect();
-                    coefficient_of_variation(&rates)
-                })
-                .fold(0.0, f64::max)
-        };
-        let memory_fraction = if threads.is_empty() {
-            0.0
-        } else {
-            threads
+            out.threads
                 .iter()
                 .filter(|t| t.class == ThreadClass::Memory)
                 .count() as f64
-                / threads.len() as f64
+                / out.threads.len() as f64
         };
 
-        let core_domain: Vec<DomainId> = view.cores.iter().map(|c| c.domain).collect();
-
-        Observation {
-            threads,
-            high_bw,
-            core_bw,
-            core_domain,
-            fairness_cv,
-            memory_fraction,
-        }
+        out.core_domain.clear();
+        out.core_domain.extend(view.cores.iter().map(|c| c.domain));
     }
 
     /// Current `CoreBW` moving mean of one core.
@@ -331,8 +379,9 @@ impl Observer {
     /// implausible samples are replaced by the thread's last good sample
     /// up to an age cap (then zeroed), missing threads (counter dropout)
     /// are synthesized from their last good sample, and every substitute
-    /// carries a decayed confidence score.
-    fn harden(&mut self, view: &SystemView, threads: Vec<ObservedThread>) -> Vec<ObservedThread> {
+    /// carries a decayed confidence score. Works in place on `threads`,
+    /// which must have been built 1:1 from `view.threads`.
+    fn harden(&mut self, view: &SystemView, threads: &mut Vec<ObservedThread>) {
         let h = self.hardening.expect("harden is only called when hardened");
         let boundary = self.boundary;
         let classify = |llc_miss_rate: f64| {
@@ -350,8 +399,7 @@ impl Observer {
 
         self.last_good.retain(|(id, _)| !view.departed.contains(id));
 
-        let mut out = Vec::with_capacity(threads.len());
-        for (raw, mut t) in view.threads.iter().zip(threads) {
+        for (raw, t) in view.threads.iter().zip(threads.iter_mut()) {
             if raw_suspect(&raw.rates) {
                 let held = self
                     .last_good
@@ -395,18 +443,18 @@ impl Observer {
                     None => self.last_good.push((t.id, fresh)),
                 }
             }
-            out.push(t);
         }
 
         // Counter dropout: a thread we have healthy history for is absent
         // from the view without having departed. Synthesize it from the
         // last good sample so the Selector still sees (and can fix) it.
+        let observed = threads.len();
         for (id, lg) in &mut self.last_good {
-            if out.iter().any(|t| t.id == *id) || lg.age >= h.holdover_age_cap {
+            if threads[..observed].iter().any(|t| t.id == *id) || lg.age >= h.holdover_age_cap {
                 continue;
             }
             lg.age += 1;
-            out.push(ObservedThread {
+            threads.push(ObservedThread {
                 id: *id,
                 app: lg.app,
                 vcore: lg.vcore,
@@ -417,14 +465,18 @@ impl Observer {
                 confidence: h.confidence_decay.powi(lg.age as i32),
             });
         }
-        out.sort_by_key(|t| t.id);
-        out
+        // Ids are unique, so the unstable sort is result-identical to a
+        // stable one.
+        threads.sort_unstable_by_key(|t| t.id);
     }
 }
 
 /// Standard-deviation-over-mean (duplicated from `dike-metrics` to keep the
 /// scheduler crate free of the evaluation crate; the metrics tests
-/// cross-check the two implementations agree).
+/// cross-check the two implementations agree). The hot path inlines this
+/// per-app to avoid collecting rates into a temporary; this copy remains as
+/// the reference the tests check against.
+#[cfg(test)]
 fn coefficient_of_variation(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -473,18 +525,17 @@ mod tests {
                 },
                 domain: DomainId(0),
                 bandwidth: rates_and_miss[c].0,
-                occupants: vec![ThreadId(c as u32)],
             })
             .collect();
-        SystemView {
+        let mut view = SystemView {
             now: SimTime::from_ms(500),
             quantum: SimTime::from_ms(500),
-            quantum_index: 0,
             threads,
             cores,
-            arrived: vec![],
-            departed: vec![],
-        }
+            ..SystemView::default()
+        };
+        view.assign_occupants();
+        view
     }
 
     #[test]

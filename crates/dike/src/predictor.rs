@@ -94,8 +94,13 @@ impl Predictor {
             swap_oh_ms,
             pending: HashMap::new(),
             migration_correction: 1.0,
-            errors: Vec::new(),
-            quantum_errors: Vec::new(),
+            // The error histories accumulate for the whole run (they are
+            // the Figure 7/8 populations). Pre-size them for a paper-scale
+            // run so steady-state quanta never pay an amortised doubling;
+            // runs past these watermarks merely fall back to O(log n)
+            // growth (tolerated by `tests/zero_alloc.rs`).
+            errors: Vec::with_capacity(8192),
+            quantum_errors: Vec::with_capacity(1024),
         }
     }
 

@@ -3,10 +3,10 @@
 
 use crate::config::{AdaptationGoal, DikeConfig, SchedConfig};
 use crate::decider::{decide, Rejection};
-use crate::observer::Observer;
+use crate::observer::{Observation, Observer};
 use crate::optimizer;
 use crate::predictor::Predictor;
-use crate::selector::select_pairs;
+use crate::selector::{select_pairs_into, Pair, SelectScratch};
 use dike_machine::SimTime;
 use dike_sched_core::{Actions, Scheduler, SwapPlanner, SystemView};
 use std::collections::HashMap;
@@ -62,6 +62,20 @@ pub struct Dike {
     /// Set by the watchdog: the policy has demoted itself to the
     /// Null/CFS floor and issues no further actions.
     demoted: bool,
+    /// `DIKE_TRACE` checked once at construction: `std::env::var`
+    /// allocates a CString per call on Unix, which would put an
+    /// allocation in every pair evaluation.
+    trace: bool,
+    /// Reusable per-quantum observation.
+    obs: Observation,
+    /// Reusable actuation-eligible copy (hardened pipeline only).
+    eligible: Observation,
+    /// Reusable Selector output and scratch.
+    pairs: Vec<Pair>,
+    select_scratch: SelectScratch,
+    /// Reusable accepted-swap prediction map (cleared each quantum;
+    /// `HashMap::clear` retains capacity).
+    swapped_predictions: HashMap<dike_machine::ThreadId, f64>,
 }
 
 impl Dike {
@@ -116,6 +130,12 @@ impl Dike {
                 .hardening
                 .map(|h| SwapPlanner::new(h.retry_budget, h.fallback_cooldown_quanta as u64)),
             demoted: false,
+            trace: std::env::var("DIKE_TRACE").is_ok(),
+            obs: Observation::default(),
+            eligible: Observation::default(),
+            pairs: Vec::new(),
+            select_scratch: SelectScratch::default(),
+            swapped_predictions: HashMap::new(),
             cfg,
         }
     }
@@ -178,7 +198,8 @@ impl Scheduler for Dike {
         let observer = self
             .observer
             .get_or_insert_with(|| Observer::new(&self.cfg, view.cores.len()));
-        let obs = observer.observe(view);
+        observer.observe_into(view, &mut self.obs);
+        let obs = &self.obs;
 
         // Watchdog (hardened pipeline): if the fairness estimates go
         // non-finite despite sanitization, the policy cannot be trusted —
@@ -194,21 +215,23 @@ impl Scheduler for Dike {
         }
 
         // Close the prediction loop: score last quantum's predictions.
-        self.predictor.score(&obs, view.now);
+        self.predictor.score(obs, view.now);
 
         // Optimizer (adaptive modes): one unit of configuration movement.
         let before = self.sched;
-        if optimizer::step(&self.cfg, &obs, &mut self.sched).is_some() {
+        if optimizer::step(&self.cfg, obs, &mut self.sched).is_some() {
             self.stats.optimizer_steps += 1;
             if self.sched.quantum_ms != before.quantum_ms {
                 actions.set_quantum = Some(self.sched.quantum());
             }
         }
 
+        self.swapped_predictions.clear();
+
         // Fairness gate.
         if obs.is_fair(self.cfg.fairness_threshold) {
             self.stats.fair_quanta += 1;
-            self.predictor.commit(&obs, &HashMap::new());
+            self.predictor.commit(&self.obs, &self.swapped_predictions);
             return;
         }
 
@@ -218,26 +241,34 @@ impl Scheduler for Dike {
         // of abandoned swaps (fallback) still inform the fairness and
         // bandwidth estimates above, but pairing them would either waste a
         // healthy partner's swap or move a thread on stale placement data.
-        let pairs = if let Some(h) = self.cfg.hardening {
+        let pairs_from = if let Some(h) = self.cfg.hardening {
             let planner = self.planner.as_ref().expect("hardening implies planner");
             let q = view.quantum_index;
-            let mut eligible = obs.clone();
-            eligible.threads.retain(|t| {
+            self.obs.clone_into(&mut self.eligible);
+            let stats = &mut self.stats;
+            self.eligible.threads.retain(|t| {
                 let keep = t.confidence >= h.min_confidence && !planner.in_fallback(t.id, q);
                 if !keep {
-                    self.stats.rejected_low_confidence += 1;
+                    stats.rejected_low_confidence += 1;
                 }
                 keep
             });
-            select_pairs(&eligible, self.sched.swap_size, self.cfg.fairness_threshold)
+            &self.eligible
         } else {
-            select_pairs(&obs, self.sched.swap_size, self.cfg.fairness_threshold)
+            &self.obs
         };
-        self.stats.pairs_proposed += pairs.len() as u64;
-        let mut swapped_predictions: HashMap<dike_machine::ThreadId, f64> = HashMap::new();
-        for pair in &pairs {
-            let prediction = self.predictor.evaluate(&obs, pair, self.sched.quantum());
-            if std::env::var("DIKE_TRACE").is_ok() {
+        select_pairs_into(
+            pairs_from,
+            self.sched.swap_size,
+            self.cfg.fairness_threshold,
+            &mut self.select_scratch,
+            &mut self.pairs,
+        );
+        self.stats.pairs_proposed += self.pairs.len() as u64;
+        let obs = &self.obs;
+        for pair in &self.pairs {
+            let prediction = self.predictor.evaluate(obs, pair, self.sched.quantum());
+            if self.trace {
                 let low = obs.threads.iter().find(|t| t.id == pair.low).unwrap();
                 let high = obs.threads.iter().find(|t| t.id == pair.high).unwrap();
                 eprintln!(
@@ -251,7 +282,7 @@ impl Scheduler for Dike {
                 );
             }
             match decide(
-                &obs,
+                obs,
                 pair,
                 &prediction,
                 self.cfg.cooldown,
@@ -266,8 +297,10 @@ impl Scheduler for Dike {
                             view.quantum_index,
                         );
                     }
-                    swapped_predictions.insert(pair.low, prediction.predicted_low);
-                    swapped_predictions.insert(pair.high, prediction.predicted_high);
+                    self.swapped_predictions
+                        .insert(pair.low, prediction.predicted_low);
+                    self.swapped_predictions
+                        .insert(pair.high, prediction.predicted_high);
                     self.stats.swaps += 1;
                 }
                 Err(Rejection::Cooldown) => self.stats.rejected_cooldown += 1,
@@ -276,7 +309,7 @@ impl Scheduler for Dike {
         }
 
         // Commit next-quantum predictions for every thread.
-        self.predictor.commit(&obs, &swapped_predictions);
+        self.predictor.commit(&self.obs, &self.swapped_predictions);
     }
 }
 
@@ -434,22 +467,21 @@ mod tests {
             cumulative: ThreadCounters::default(),
             migrated_last_quantum: false,
         };
-        let core = |id: u32, kind: CoreKind, occ: u32| CoreObservation {
+        let core = |id: u32, kind: CoreKind| CoreObservation {
             id: VCoreId(id),
             kind,
             domain: DomainId(0),
             bandwidth,
-            occupants: vec![ThreadId(occ)],
         };
-        SystemView {
+        let mut view = SystemView {
             now: SimTime::from_ms(500),
             quantum: SimTime::from_ms(500),
-            quantum_index: 0,
             threads: vec![thread(0, 0, 5e8, 0.5), thread(1, 1, 1e6, 0.0)],
-            cores: vec![core(0, CoreKind::SLOW, 0), core(1, CoreKind::FAST, 1)],
-            arrived: vec![],
-            departed: vec![],
-        }
+            cores: vec![core(0, CoreKind::SLOW), core(1, CoreKind::FAST)],
+            ..SystemView::default()
+        };
+        view.assign_occupants();
+        view
     }
 
     #[test]

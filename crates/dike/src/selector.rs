@@ -52,17 +52,44 @@ pub struct Pair {
 /// Returns an empty vector when the system is already fair (the Algorithm 1
 /// early-out: `fairness < θ_f`).
 pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) -> Vec<Pair> {
+    let mut scratch = SelectScratch::default();
+    let mut pairs = Vec::new();
+    select_pairs_into(obs, swap_size, fairness_threshold, &mut scratch, &mut pairs);
+    pairs
+}
+
+/// Reusable buffers for [`select_pairs_into`].
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    by_rate: Vec<usize>,
+    used: Vec<bool>,
+}
+
+/// [`select_pairs`] into a caller-owned pair buffer, reusing `scratch` so
+/// the steady-state selection path performs no heap allocation. `pairs`
+/// is cleared first.
+pub fn select_pairs_into(
+    obs: &Observation,
+    swap_size: u32,
+    fairness_threshold: f64,
+    scratch: &mut SelectScratch,
+    pairs: &mut Vec<Pair>,
+) {
+    pairs.clear();
     if obs.is_fair(fairness_threshold) {
-        return Vec::new();
+        return;
     }
     let want = (swap_size / 2) as usize;
     if want == 0 || obs.threads.len() < 2 {
-        return Vec::new();
+        return;
     }
 
-    // Sort thread indices by access rate, ascending (shared by all domains).
-    let mut by_rate: Vec<usize> = (0..obs.threads.len()).collect();
-    by_rate.sort_by(|&a, &b| {
+    // Sort thread indices by access rate, ascending (shared by all
+    // domains). The id tiebreak makes the comparator a total order, so the
+    // unstable sort is result-identical to a stable one.
+    scratch.by_rate.clear();
+    scratch.by_rate.extend(0..obs.threads.len());
+    scratch.by_rate.sort_unstable_by(|&a, &b| {
         obs.threads[a]
             .access_rate
             .partial_cmp(&obs.threads[b].access_rate)
@@ -77,15 +104,21 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
         .max()
         .unwrap_or(1);
 
-    let mut used = vec![false; obs.threads.len()];
-    let mut pairs = Vec::with_capacity(want);
+    scratch.used.clear();
+    scratch.used.resize(obs.threads.len(), false);
     for dom in 0..num_domains {
         let eligible = |i: usize| {
             num_domains == 1 || obs.core_domain[obs.threads[i].vcore.index()].index() == dom
         };
-        pair_within(obs, &by_rate, &mut used, &mut pairs, want, &eligible);
+        pair_within(
+            obs,
+            &scratch.by_rate,
+            &mut scratch.used,
+            pairs,
+            want,
+            &eligible,
+        );
     }
-    pairs
 }
 
 /// Algorithm 1's head/tail pairing restricted to the threads `eligible`

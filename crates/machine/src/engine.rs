@@ -27,7 +27,8 @@ use crate::contention::{
     NumaSolution,
 };
 use crate::ids::{AppId, BarrierId, DomainId, SimTime, ThreadId, VCoreId};
-use crate::thread::{CoreCounters, ThreadCounters, ThreadSpec, ThreadState};
+use crate::phase::Phase;
+use crate::thread::{CoreCounters, ThreadCounters, ThreadSlab, ThreadSpec};
 use std::collections::BTreeMap;
 
 /// Notable events, for logs and tests.
@@ -71,7 +72,8 @@ pub struct Machine {
     cfg: MachineConfig,
     now: SimTime,
     tick_index: u64,
-    threads: Vec<ThreadState>,
+    /// Per-thread state, as structure-of-arrays slabs indexed by dense id.
+    threads: ThreadSlab,
     vcore_counters: Vec<CoreCounters>,
     events: Vec<MachineEvent>,
     /// Barrier bookkeeping: group -> member thread ids.
@@ -79,16 +81,66 @@ pub struct Machine {
     /// Moves performed by the substrate balancer (not counted as policy
     /// migrations).
     balancer_moves: u64,
+    /// Which vcores sit in the balancer's "fast half" (frequency at or
+    /// above the median). The topology is immutable after construction, so
+    /// this is computed once instead of re-sorting frequencies every
+    /// balance interval.
+    balance_fast: Vec<bool>,
+    /// True when every vcore lands on the same side of the median split
+    /// (homogeneous machine): the balancer then only spreads doubled-up
+    /// contexts.
+    balance_homogeneous: bool,
+    /// Per-thread burstiness-noise cache: the hashed unit draw is constant
+    /// within a noise window (`tick_index / NOISE_WINDOW_TICKS`), so it is
+    /// recomputed only when the window changes.
+    noise_window: Vec<u64>,
+    noise_unit: Vec<f64>,
+    /// Dense ids of unfinished threads, ascending. Spawns append (ids are
+    /// monotone), completions remove — so every per-tick sweep walks only
+    /// the live population instead of everything ever spawned.
+    alive: Vec<u32>,
+    /// Physical core of each vcore, flattened from the (immutable)
+    /// topology so the SMT-interference test is two array loads instead of
+    /// a sibling-list walk.
+    vcore_pcore: Vec<u32>,
+    /// Frequency of each vcore, likewise flattened.
+    vcore_freq: Vec<f64>,
     // Per-tick scratch buffers, reused so steady-state ticks allocate
     // nothing at all.
     scratch_runnable: Vec<usize>,
+    scratch_phases: Vec<Phase>,
+    scratch_boundary: Vec<f64>,
     scratch_demands: Vec<MemDemand>,
     scratch_eff_mr: Vec<f64>,
     scratch_solution: MemSolution,
+    /// Demand vector of the last tick that actually ran the memory solver.
+    /// The solver is a pure function of the demands, so when a tick builds
+    /// a bitwise-identical vector (the common steady state: same phases,
+    /// same placement, same noise window) the previous solution is reused
+    /// verbatim instead of re-running the fixed point.
+    memo_demands: Vec<MemDemand>,
+    memo_numa_demands: Vec<NumaDemand>,
+    /// Set by every state mutation (spawn, migration, stall, balancer
+    /// move, completion, barrier traffic, phase-boundary crossing). While
+    /// clear, the per-tick scratch state built by the last full tick still
+    /// describes the machine exactly, so [`Machine::tick`] may take its
+    /// quiescent fast path.
+    state_dirty: bool,
+    /// Noise window (`tick_index / NOISE_WINDOW_TICKS`) in which the
+    /// scratch state was last rebuilt: a window change redraws burstiness
+    /// noise, so quiescent ticks require the window to match.
+    memo_window: u64,
+    /// Simulated time at which the scratch state was last rebuilt. A
+    /// thread whose dead time or cache warm-up expires *after* this
+    /// instant changes runnability or effective miss ratio without any
+    /// event firing, so such pending expiries also force the full path.
+    cache_now: SimTime,
     scratch_vcore_load: Vec<u32>,
-    scratch_smt_factor: Vec<f64>,
+    scratch_pcore_load: Vec<u32>,
     scratch_vcore_busy: Vec<bool>,
     scratch_finished: Vec<ThreadId>,
+    scratch_occupancy: Vec<u32>,
+    scratch_moves: Vec<(ThreadId, VCoreId)>,
     // Multi-domain scratch (unused on single-controller machines, whose
     // tick path is unchanged from the original single-solver code).
     scratch_domain_llc: Vec<f64>,
@@ -104,23 +156,66 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate().expect("invalid machine configuration");
         let n_vcores = cfg.topology.num_vcores();
+        // Split vcores into the faster and slower halves by median
+        // frequency, once: the topology never changes after construction.
+        let balance_fast: Vec<bool> = if n_vcores == 0 {
+            Vec::new()
+        } else {
+            let mut freqs: Vec<f64> = (0..n_vcores)
+                .map(|v| cfg.topology.freq_of(VCoreId(v as u32)))
+                .collect();
+            freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = freqs[n_vcores / 2];
+            (0..n_vcores)
+                .map(|v| cfg.topology.freq_of(VCoreId(v as u32)) >= median)
+                .collect()
+        };
+        let balance_homogeneous =
+            balance_fast.iter().all(|&f| f) || !balance_fast.iter().any(|&f| f);
+        let vcore_pcore: Vec<u32> = (0..n_vcores)
+            .map(|v| cfg.topology.physical_of(VCoreId(v as u32)).0)
+            .collect();
+        let vcore_freq: Vec<f64> = (0..n_vcores)
+            .map(|v| cfg.topology.freq_of(VCoreId(v as u32)))
+            .collect();
         Machine {
             cfg,
             now: SimTime::ZERO,
             tick_index: 0,
-            threads: Vec::new(),
+            threads: ThreadSlab::default(),
             vcore_counters: vec![CoreCounters::default(); n_vcores],
-            events: Vec::new(),
+            // The event log accumulates for the whole run. Pre-size it so
+            // a Finished/Migrated push in steady state never pays an
+            // amortised doubling (`tests/zero_alloc.rs`); unusually
+            // migration-heavy runs fall back to O(log n) growth.
+            events: Vec::with_capacity(1024),
             barrier_groups: BTreeMap::new(),
             balancer_moves: 0,
+            balance_fast,
+            balance_homogeneous,
+            noise_window: Vec::new(),
+            noise_unit: Vec::new(),
+            alive: Vec::new(),
+            vcore_pcore,
+            vcore_freq,
             scratch_runnable: Vec::new(),
+            scratch_phases: Vec::new(),
+            scratch_boundary: Vec::new(),
             scratch_demands: Vec::new(),
             scratch_eff_mr: Vec::new(),
             scratch_solution: MemSolution::empty(),
+            memo_demands: Vec::new(),
+            memo_numa_demands: Vec::new(),
+            // Dirty until the first full tick builds the scratch state.
+            state_dirty: true,
+            memo_window: u64::MAX,
+            cache_now: SimTime::ZERO,
             scratch_vcore_load: Vec::new(),
-            scratch_smt_factor: Vec::new(),
+            scratch_pcore_load: Vec::new(),
             scratch_vcore_busy: Vec::new(),
             scratch_finished: Vec::new(),
+            scratch_occupancy: Vec::new(),
+            scratch_moves: Vec::new(),
             scratch_domain_llc: Vec::new(),
             scratch_numa_demands: Vec::new(),
             scratch_numa_solution: NumaSolution::empty(),
@@ -158,8 +253,18 @@ impl Machine {
             self.barrier_groups.entry(b.group).or_default().push(id);
         }
         let home = self.cfg.topology.domain_of(vcore);
-        self.threads
-            .push(ThreadState::new(spec, vcore, home, self.now));
+        self.threads.push(spec, vcore, home, self.now);
+        self.noise_window.push(u64::MAX);
+        self.noise_unit.push(0.0);
+        // Ids are monotone, so appending keeps the alive list ascending.
+        self.alive.push(id.0);
+        self.state_dirty = true;
+        // Every live thread can finish in the same tick, and the balancer
+        // can move every live thread at once: keep those scratches sized
+        // for the worst case now, so the first completion (which is also
+        // what first wakes the balancer) never allocates mid-run.
+        self.scratch_finished.reserve(self.threads.len());
+        self.scratch_moves.reserve(self.threads.len());
         self.events
             .push(MachineEvent::Spawned { thread: id, vcore });
         id
@@ -176,19 +281,18 @@ impl Machine {
             to.index() < self.cfg.topology.num_vcores(),
             "vcore {to} out of range"
         );
-        let t = &mut self.threads[thread.index()];
-        if t.finished() || t.vcore == to {
+        let i = thread.index();
+        if self.threads.finished(i) || self.threads.vcore[i] == to {
             return;
         }
-        let from = t.vcore;
-        t.vcore = to;
-        t.dead_until = self.now + SimTime::from_us(self.cfg.migration.dead_time_us);
+        let from = self.threads.vcore[i];
+        self.threads.vcore[i] = to;
+        self.threads.dead_until[i] = self.now + SimTime::from_us(self.cfg.migration.dead_time_us);
         // Warm-up scales with the thread's current working set: a large
         // footprint takes proportionally longer to refill on the new core.
-        let ws_mib = t
-            .spec
+        let ws_mib = self.threads.specs[i]
             .program
-            .phase_at(t.retired)
+            .phase_at(self.threads.retired[i])
             .map(|p| p.working_set_mib)
             .unwrap_or(0.0);
         let mut warmup = self.cfg.migration.warmup_us
@@ -196,8 +300,10 @@ impl Machine {
         if self.cfg.topology.domain_of(from) != self.cfg.topology.domain_of(to) {
             warmup = (warmup as f64 * self.cfg.migration.cross_domain_warmup_factor) as u64;
         }
-        t.warmup_until = self.now + SimTime::from_us(self.cfg.migration.dead_time_us + warmup);
-        t.counters.migrations += 1;
+        self.threads.warmup_until[i] =
+            self.now + SimTime::from_us(self.cfg.migration.dead_time_us + warmup);
+        self.threads.counters[i].migrations += 1;
+        self.state_dirty = true;
         self.events.push(MachineEvent::Migrated {
             thread,
             from,
@@ -211,15 +317,16 @@ impl Machine {
     /// already pending from a migration). No-op on finished threads.
     pub fn stall(&mut self, thread: ThreadId, dur: SimTime) {
         let now = self.now;
-        let t = &mut self.threads[thread.index()];
-        if t.finished() || dur == SimTime::ZERO {
+        let i = thread.index();
+        if self.threads.finished(i) || dur == SimTime::ZERO {
             return;
         }
         let until = now + dur;
-        if until <= t.dead_until {
+        if until <= self.threads.dead_until[i] {
             return;
         }
-        t.dead_until = until;
+        self.threads.dead_until[i] = until;
+        self.state_dirty = true;
         self.events.push(MachineEvent::Stalled {
             thread,
             at: now,
@@ -234,14 +341,24 @@ impl Machine {
 
     /// Thread ids that have not yet finished.
     pub fn alive_threads(&self) -> Vec<ThreadId> {
-        self.thread_ids()
-            .filter(|t| !self.threads[t.index()].finished())
-            .collect()
+        self.alive.iter().map(|&i| ThreadId(i)).collect()
+    }
+
+    /// Thread ids that have not yet finished, ascending, without
+    /// allocating (the iterator form of [`Machine::alive_threads`]).
+    pub fn alive_ids(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.alive.iter().map(|&i| ThreadId(i))
+    }
+
+    /// True if the thread has not yet finished (allocation-free — the
+    /// per-thread form of [`Machine::alive_threads`]).
+    pub fn is_alive(&self, thread: ThreadId) -> bool {
+        !self.threads.finished(thread.index())
     }
 
     /// True once every thread has finished.
     pub fn all_done(&self) -> bool {
-        !self.threads.is_empty() && self.threads.iter().all(|t| t.finished())
+        !self.threads.is_empty() && self.alive.is_empty()
     }
 
     /// Number of spawned threads.
@@ -251,27 +368,27 @@ impl Machine {
 
     /// The virtual core a thread is currently pinned to.
     pub fn vcore_of(&self, thread: ThreadId) -> VCoreId {
-        self.threads[thread.index()].vcore
+        self.threads.vcore[thread.index()]
     }
 
     /// The application a thread belongs to.
     pub fn app_of(&self, thread: ThreadId) -> AppId {
-        self.threads[thread.index()].spec.app
+        self.threads.specs[thread.index()].app
     }
 
     /// The NUMA domain a thread's memory is homed to (fixed at spawn).
     pub fn home_domain_of(&self, thread: ThreadId) -> DomainId {
-        self.threads[thread.index()].home_domain
+        self.threads.home_domain[thread.index()]
     }
 
     /// The application name a thread belongs to.
     pub fn app_name_of(&self, thread: ThreadId) -> &str {
-        &self.threads[thread.index()].spec.app_name
+        &self.threads.specs[thread.index()].app_name
     }
 
     /// Cumulative hardware counters of a thread.
     pub fn counters(&self, thread: ThreadId) -> ThreadCounters {
-        self.threads[thread.index()].counters
+        self.threads.counters[thread.index()]
     }
 
     /// Cumulative counters of a virtual core.
@@ -281,37 +398,45 @@ impl Machine {
 
     /// Completion time of a thread, if finished.
     pub fn finish_time(&self, thread: ThreadId) -> Option<SimTime> {
-        self.threads[thread.index()].finished_at
+        self.threads.finished_at[thread.index()]
     }
 
     /// Machine time at which a thread was spawned (zero for threads spawned
     /// before the run started).
     pub fn spawn_time(&self, thread: ThreadId) -> SimTime {
-        self.threads[thread.index()].spawned_at
+        self.threads.spawned_at[thread.index()]
     }
 
     /// Virtual cores with no unfinished occupant, in id order — the free
     /// slots a mid-run arrival can be placed on (a retired thread frees its
     /// vcore the moment it finishes).
     pub fn idle_vcores(&self) -> Vec<VCoreId> {
-        let mut occupied = vec![false; self.cfg.topology.num_vcores()];
-        for t in &self.threads {
-            if !t.finished() {
-                occupied[t.vcore.index()] = true;
+        let mut idle = Vec::new();
+        self.idle_vcores_into(&mut vec![false; 0], &mut idle);
+        idle
+    }
+
+    /// Allocation-free form of [`Machine::idle_vcores`]: fills `idle` (in
+    /// id order) using `occupied` as reusable scratch. Both buffers are
+    /// cleared first; steady-state callers reuse their capacity.
+    pub fn idle_vcores_into(&self, occupied: &mut Vec<bool>, idle: &mut Vec<VCoreId>) {
+        occupied.clear();
+        occupied.resize(self.cfg.topology.num_vcores(), false);
+        for &i in &self.alive {
+            occupied[self.threads.vcore[i as usize].index()] = true;
+        }
+        idle.clear();
+        for (v, &o) in occupied.iter().enumerate() {
+            if !o {
+                idle.push(VCoreId(v as u32));
             }
         }
-        occupied
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| !o)
-            .map(|(v, _)| VCoreId(v as u32))
-            .collect()
     }
 
     /// Fraction of a thread's instructions retired so far, in `[0, 1]`.
     pub fn progress_of(&self, thread: ThreadId) -> f64 {
-        let t = &self.threads[thread.index()];
-        (t.retired / t.spec.program.total_instructions).min(1.0)
+        let i = thread.index();
+        (self.threads.retired[i] / self.threads.specs[i].program.total_instructions).min(1.0)
     }
 
     /// Event log (spawns, migrations, completions).
@@ -322,7 +447,7 @@ impl Machine {
     /// Total policy migrations across all threads (balancer moves are
     /// tracked separately in [`Machine::balancer_moves`]).
     pub fn total_migrations(&self) -> u64 {
-        self.threads.iter().map(|t| t.counters.migrations).sum()
+        self.threads.counters.iter().map(|c| c.migrations).sum()
     }
 
     /// Moves performed by the substrate load balancer.
@@ -336,57 +461,52 @@ impl Machine {
     /// empty context, move threads over. A balanced move costs cache
     /// warm-up (cold caches are physics) but no affinity dead time.
     fn balance(&mut self) {
-        let topo = &self.cfg.topology;
-        let n = topo.num_vcores();
-        // Split vcores into the faster and slower halves by frequency.
-        let median = {
-            let mut freqs: Vec<f64> = (0..n).map(|v| topo.freq_of(VCoreId(v as u32))).collect();
-            freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            freqs[n / 2]
-        };
-        let is_fast = |v: usize| topo.freq_of(VCoreId(v as u32)) >= median;
-        if (0..n).all(is_fast) || !(0..n).any(is_fast) {
+        if self.balance_homogeneous {
             // Homogeneous: balance is about emptiness only; handled by the
             // shared-vcore spreading below.
             self.spread_shared_vcores();
             return;
         }
-        let mut occupancy = vec![0u32; n];
-        for t in &self.threads {
-            if !t.finished() {
-                occupancy[t.vcore.index()] += 1;
-            }
+        let n = self.cfg.topology.num_vcores();
+        self.scratch_occupancy.clear();
+        self.scratch_occupancy.resize(n, 0);
+        for &i in &self.alive {
+            self.scratch_occupancy[self.threads.vcore[i as usize].index()] += 1;
         }
-        let count_half = |fast: bool| -> u32 {
-            (0..n)
-                .filter(|&v| is_fast(v) == fast)
-                .map(|v| occupancy[v])
-                .sum()
-        };
-        let mut fast_load = count_half(true);
-        let mut slow_load = count_half(false);
+        let mut fast_load: u32 = (0..n)
+            .filter(|&v| self.balance_fast[v])
+            .map(|v| self.scratch_occupancy[v])
+            .sum();
+        let mut slow_load: u32 = (0..n)
+            .filter(|&v| !self.balance_fast[v])
+            .map(|v| self.scratch_occupancy[v])
+            .sum();
         let min_imb = self.cfg.balance.min_imbalance;
-        let mut moves: Vec<(ThreadId, VCoreId)> = Vec::new();
+        self.scratch_moves.clear();
         while fast_load.abs_diff(slow_load) >= min_imb.max(1) {
             let move_to_fast = slow_load > fast_load;
             // An empty target context on the lighter half.
             let target = (0..n)
-                .find(|&v| is_fast(v) == move_to_fast && occupancy[v] == 0)
+                .find(|&v| self.balance_fast[v] == move_to_fast && self.scratch_occupancy[v] == 0)
                 .map(|v| VCoreId(v as u32));
             let Some(target) = target else { break };
             // Candidate: a thread on the heavier half, preferring doubled-up
             // contexts, then the highest-occupancy context (deterministic
             // lowest thread id).
-            let source = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| !t.finished() && is_fast(t.vcore.index()) != move_to_fast)
-                .max_by_key(|(i, t)| (occupancy[t.vcore.index()], u32::MAX - *i as u32))
-                .map(|(i, _)| ThreadId(i as u32));
-            let Some(thread) = source else { break };
-            occupancy[self.threads[thread.index()].vcore.index()] -= 1;
-            occupancy[target.index()] += 1;
+            let mut source: Option<(u32, u32, ThreadId)> = None;
+            for &i in &self.alive {
+                let v = self.threads.vcore[i as usize].index();
+                if self.balance_fast[v] == move_to_fast {
+                    continue;
+                }
+                let key = (self.scratch_occupancy[v], u32::MAX - i);
+                if source.is_none_or(|(o, r, _)| key > (o, r)) {
+                    source = Some((key.0, key.1, ThreadId(i)));
+                }
+            }
+            let Some((_, _, thread)) = source else { break };
+            self.scratch_occupancy[self.threads.vcore[thread.index()].index()] -= 1;
+            self.scratch_occupancy[target.index()] += 1;
             if move_to_fast {
                 fast_load += 1;
                 slow_load -= 1;
@@ -394,9 +514,10 @@ impl Machine {
                 fast_load -= 1;
                 slow_load += 1;
             }
-            moves.push((thread, target));
+            self.scratch_moves.push((thread, target));
         }
-        for (thread, target) in moves {
+        for k in 0..self.scratch_moves.len() {
+            let (thread, target) = self.scratch_moves[k];
             self.balancer_move(thread, target);
         }
         self.spread_shared_vcores();
@@ -406,28 +527,25 @@ impl Machine {
     /// ones (plain per-CPU balancing).
     fn spread_shared_vcores(&mut self) {
         let n = self.cfg.topology.num_vcores();
-        let mut occupancy = vec![0u32; n];
-        for t in &self.threads {
-            if !t.finished() {
-                occupancy[t.vcore.index()] += 1;
-            }
+        self.scratch_occupancy.clear();
+        self.scratch_occupancy.resize(n, 0);
+        for &i in &self.alive {
+            self.scratch_occupancy[self.threads.vcore[i as usize].index()] += 1;
         }
-        let mut moves: Vec<(ThreadId, VCoreId)> = Vec::new();
-        for i in 0..self.threads.len() {
-            let t = &self.threads[i];
-            if t.finished() {
-                continue;
-            }
-            let v = t.vcore.index();
-            if occupancy[v] >= 2 {
-                if let Some(empty) = (0..n).find(|&c| occupancy[c] == 0) {
-                    occupancy[v] -= 1;
-                    occupancy[empty] += 1;
-                    moves.push((ThreadId(i as u32), VCoreId(empty as u32)));
+        self.scratch_moves.clear();
+        for &i in &self.alive {
+            let v = self.threads.vcore[i as usize].index();
+            if self.scratch_occupancy[v] >= 2 {
+                if let Some(empty) = (0..n).find(|&c| self.scratch_occupancy[c] == 0) {
+                    self.scratch_occupancy[v] -= 1;
+                    self.scratch_occupancy[empty] += 1;
+                    self.scratch_moves
+                        .push((ThreadId(i), VCoreId(empty as u32)));
                 }
             }
         }
-        for (thread, target) in moves {
+        for k in 0..self.scratch_moves.len() {
+            let (thread, target) = self.scratch_moves[k];
             self.balancer_move(thread, target);
         }
     }
@@ -436,16 +554,15 @@ impl Machine {
     /// no affinity dead time, and without touching the policy migration
     /// counter.
     fn balancer_move(&mut self, thread: ThreadId, to: VCoreId) {
-        let t = &mut self.threads[thread.index()];
-        if t.finished() || t.vcore == to {
+        let i = thread.index();
+        if self.threads.finished(i) || self.threads.vcore[i] == to {
             return;
         }
-        let from = t.vcore;
-        t.vcore = to;
-        let ws_mib = t
-            .spec
+        let from = self.threads.vcore[i];
+        self.threads.vcore[i] = to;
+        let ws_mib = self.threads.specs[i]
             .program
-            .phase_at(t.retired)
+            .phase_at(self.threads.retired[i])
             .map(|p| p.working_set_mib)
             .unwrap_or(0.0);
         let mut warmup = self.cfg.migration.warmup_us
@@ -453,7 +570,8 @@ impl Machine {
         if self.cfg.topology.domain_of(from) != self.cfg.topology.domain_of(to) {
             warmup = (warmup as f64 * self.cfg.migration.cross_domain_warmup_factor) as u64;
         }
-        t.warmup_until = self.now + SimTime::from_us(warmup);
+        self.threads.warmup_until[i] = self.now + SimTime::from_us(warmup);
+        self.state_dirty = true;
         self.balancer_moves += 1;
         self.events.push(MachineEvent::Balanced {
             thread,
@@ -463,93 +581,57 @@ impl Machine {
         });
     }
 
-    /// Deterministic burstiness multiplier for `(thread, tick)`.
-    fn noise_multiplier(&self, thread_idx: usize, burstiness: f64) -> f64 {
-        if burstiness == 0.0 {
-            return 1.0;
-        }
-        let window = self.tick_index / NOISE_WINDOW_TICKS;
-        let mut x = self
-            .cfg
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((thread_idx as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add(window.wrapping_mul(0x94D0_49BB_1331_11EB));
-        // splitmix64 finaliser
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
-        1.0 + burstiness * (2.0 * unit - 1.0)
-    }
-
-    /// Advance the machine by one tick.
-    pub fn tick(&mut self) {
-        // The OS balancer runs on its own coarse period.
-        if self.cfg.balance.enabled
-            && self
-                .now
-                .as_us()
-                .is_multiple_of(self.cfg.balance.interval_us)
-            && !self.threads.is_empty()
-        {
-            self.balance();
-        }
-        let dt_s = self.cfg.tick_us as f64 / 1e6;
-        let n_vcores = self.cfg.topology.num_vcores();
-
-        // 1. Runnable threads and per-vcore occupancy.
+    /// Rebuild the full per-tick scratch state — stages 1–3 of the tick:
+    /// the runnable walk, shared-LLC pressure, contention demands and the
+    /// memory solution. Afterwards the scratch mirrors the machine
+    /// exactly, so the dirty flag clears and quiescent ticks may reuse
+    /// it; events from the advance stage or from between-tick actuation
+    /// re-dirty it.
+    fn rebuild_tick_state(&mut self, n_vcores: usize, window: u64) {
+        // 1. Runnable threads, per-vcore and per-pcore occupancy, and each
+        //    runnable thread's active phase: one combined walk per thread
+        //    per tick, reused by every later stage (LLC pressure, demand
+        //    build, the first boundary step, and the apki read). Only the
+        //    alive list is swept, so a machine draining towards empty (or
+        //    idling between open-system arrivals) pays per live thread,
+        //    not per thread ever spawned.
         self.scratch_runnable.clear();
+        self.scratch_phases.clear();
+        self.scratch_boundary.clear();
         self.scratch_vcore_load.clear();
         self.scratch_vcore_load.resize(n_vcores, 0);
-        for (i, t) in self.threads.iter().enumerate() {
-            if t.runnable(self.now) {
+        self.scratch_pcore_load.clear();
+        self.scratch_pcore_load
+            .resize(self.cfg.topology.num_pcores(), 0);
+        for idx in 0..self.alive.len() {
+            let i = self.alive[idx] as usize;
+            if self.threads.runnable(i, self.now) {
+                let (phase, boundary) = self.threads.specs[i]
+                    .program
+                    .phase_and_boundary(self.threads.retired[i])
+                    .expect("runnable thread must have an active phase");
                 self.scratch_runnable.push(i);
-                self.scratch_vcore_load[t.vcore.index()] += 1;
+                self.scratch_phases.push(phase);
+                self.scratch_boundary.push(boundary);
+                let v = self.threads.vcore[i].index();
+                self.scratch_vcore_load[v] += 1;
+                self.scratch_pcore_load[self.vcore_pcore[v] as usize] += 1;
             }
         }
 
         if !self.scratch_runnable.is_empty() {
-            // 2. SMT factors per vcore: does any sibling context have load?
-            self.scratch_smt_factor.clear();
-            self.scratch_smt_factor.resize(n_vcores, 1.0);
-            for v in 0..n_vcores {
-                if self.scratch_vcore_load[v] == 0 {
-                    continue;
-                }
-                let vid = VCoreId(v as u32);
-                let sibling_busy = self
-                    .cfg
-                    .topology
-                    .siblings_of(vid)
-                    .iter()
-                    .any(|s| self.scratch_vcore_load[s.index()] > 0);
-                if sibling_busy {
-                    self.scratch_smt_factor[v] = self.cfg.smt.busy_share;
-                }
-            }
-
-            // 3. Shared-LLC pressure. On a single-controller machine one
+            // 2. + 3. SMT interference and shared-LLC pressure. The SMT
+            // factor needs no pass of its own: a sibling context is busy
+            // exactly when the physical core carries more load than the
+            // vcore itself, so it is read off the load counts inside the
+            // demand loop below. Shared-LLC: on a single-controller machine one
             // LLC spans the whole chip (the paper's testbed); on a NUMA
             // machine each domain has its own LLC slice fed by the threads
             // *running* in that domain. The single-domain arithmetic below
             // is kept verbatim so paper-machine results stay bit-identical.
             let multi = self.cfg.topology.num_domains() > 1;
             if !multi {
-                let total_ws: f64 = self
-                    .scratch_runnable
-                    .iter()
-                    .map(|&i| {
-                        let t = &self.threads[i];
-                        t.spec
-                            .program
-                            .phase_at(t.retired)
-                            .map(|p| p.working_set_mib)
-                            .unwrap_or(0.0)
-                    })
-                    .sum();
+                let total_ws: f64 = self.scratch_phases.iter().map(|p| p.working_set_mib).sum();
                 let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
                 self.scratch_domain_llc.clear();
                 self.scratch_domain_llc.push(llc_factor);
@@ -557,15 +639,9 @@ impl Machine {
                 self.scratch_domain_llc.clear();
                 self.scratch_domain_llc
                     .resize(self.cfg.topology.num_domains(), 0.0);
-                for &i in &self.scratch_runnable {
-                    let t = &self.threads[i];
-                    let ws = t
-                        .spec
-                        .program
-                        .phase_at(t.retired)
-                        .map(|p| p.working_set_mib)
-                        .unwrap_or(0.0);
-                    let d = self.cfg.topology.domain_of(t.vcore).index();
+                for (k, &i) in self.scratch_runnable.iter().enumerate() {
+                    let ws = self.scratch_phases[k].working_set_mib;
+                    let d = self.cfg.topology.domain_of(self.threads.vcore[i]).index();
                     self.scratch_domain_llc[d] += ws;
                 }
                 for f in &mut self.scratch_domain_llc {
@@ -577,14 +653,10 @@ impl Machine {
             self.scratch_demands.clear();
             self.scratch_numa_demands.clear();
             self.scratch_eff_mr.clear();
-            for &i in &self.scratch_runnable {
-                let t = &self.threads[i];
-                let phase = t
-                    .spec
-                    .program
-                    .phase_at(t.retired)
-                    .expect("runnable thread must have an active phase");
-                let run_domain = self.cfg.topology.domain_of(t.vcore);
+            for (k, &i) in self.scratch_runnable.iter().enumerate() {
+                let phase = &self.scratch_phases[k];
+                let vcore = self.threads.vcore[i];
+                let run_domain = self.cfg.topology.domain_of(vcore);
                 let llc_factor = if multi {
                     self.scratch_domain_llc[run_domain.index()]
                 } else {
@@ -592,16 +664,33 @@ impl Machine {
                 };
                 let mut mr = phase.miss_ratio() * llc_factor;
                 let mut cpi = phase.cpi_exec;
-                if self.now < t.warmup_until {
+                if self.now < self.threads.warmup_until[i] {
                     mr *= self.cfg.migration.warmup_miss_multiplier;
                     cpi *= self.cfg.migration.warmup_cpi_multiplier;
                 }
-                mr *= self.noise_multiplier(i, phase.burstiness);
+                if phase.burstiness != 0.0 {
+                    // The unit draw is a pure hash of (seed, thread,
+                    // window); within a noise window the cached value is
+                    // exact, so the splitmix64 finaliser runs once per
+                    // window instead of every tick.
+                    if self.noise_window[i] != window {
+                        self.noise_window[i] = window;
+                        self.noise_unit[i] = noise_unit(self.cfg.seed, i, window);
+                    }
+                    mr *= 1.0 + phase.burstiness * (2.0 * self.noise_unit[i] - 1.0);
+                }
                 mr = mr.clamp(0.0, 1.0);
-                let v = t.vcore.index();
+                let v = vcore.index();
                 let share = 1.0 / self.scratch_vcore_load[v] as f64;
-                let freq = self.cfg.topology.freq_of(t.vcore);
-                let base_time = cpi / (freq * share * self.scratch_smt_factor[v]);
+                let freq = self.vcore_freq[v];
+                let smt_factor = if self.scratch_pcore_load[self.vcore_pcore[v] as usize]
+                    > self.scratch_vcore_load[v]
+                {
+                    self.cfg.smt.busy_share
+                } else {
+                    1.0
+                };
+                let base_time = cpi / (freq * share * smt_factor);
                 let demand = MemDemand {
                     base_time_per_instr: base_time,
                     miss_ratio: mr,
@@ -609,8 +698,8 @@ impl Machine {
                 if multi {
                     self.scratch_numa_demands.push(NumaDemand {
                         demand,
-                        home: t.home_domain,
-                        remote: run_domain != t.home_domain,
+                        home: self.threads.home_domain[i],
+                        remote: run_domain != self.threads.home_domain[i],
                     });
                 } else {
                     self.scratch_demands.push(demand);
@@ -621,21 +710,89 @@ impl Machine {
             // 4. Memory system (into the reusable solution buffers): one
             // global fixed point on the paper machine, one per controller
             // on a NUMA machine.
+            // A bitwise-unchanged demand vector reuses the previous
+            // solution outright (`memo_demands` tracks the inputs of the
+            // last real solve, whose outputs still sit in the solution
+            // buffer) — identical inputs give identical outputs, so this
+            // is a pure speedup.
             if multi {
-                solve_memory_numa_into(
-                    &self.scratch_numa_demands,
-                    self.cfg.topology.num_domains(),
-                    &self.cfg.memory,
-                    &mut self.scratch_numa_solution,
-                );
-            } else {
+                if self.scratch_numa_demands != self.memo_numa_demands {
+                    solve_memory_numa_into(
+                        &self.scratch_numa_demands,
+                        self.cfg.topology.num_domains(),
+                        &self.cfg.memory,
+                        &mut self.scratch_numa_solution,
+                    );
+                    self.memo_numa_demands
+                        .clone_from(&self.scratch_numa_demands);
+                }
+            } else if self.scratch_demands != self.memo_demands {
                 solve_memory_into(
                     &self.scratch_demands,
                     &self.cfg.memory,
                     &mut self.scratch_solution,
                 );
+                self.memo_demands.clone_from(&self.scratch_demands);
             }
+        }
 
+        self.state_dirty = false;
+        self.memo_window = window;
+        self.cache_now = self.now;
+    }
+
+    /// Advance the machine by one tick.
+    ///
+    /// A tick runs in one of two modes, both producing **bit-identical**
+    /// trajectories. A *full* tick rebuilds the runnable set, phase
+    /// lookups, contention demands and the memory solution from scratch.
+    /// A *quiescent* tick reuses all of that from the last full tick:
+    /// between events a thread's phase, placement, warm-up status and
+    /// burstiness draw are constant, so the only per-tick input that ages
+    /// is each thread's distance to its next phase boundary — tracked as
+    /// a decayed lower bound and re-walked exactly only when a tick could
+    /// actually reach it (see the advance stage). Eligibility
+    /// is conservative — every mutation (spawn, migration, stall,
+    /// balancer move, completion, barrier traffic, phase-boundary
+    /// crossing) marks the cached state dirty, and a pending dead-time or
+    /// warm-up expiry, or a noise-window change, forces the full path.
+    pub fn tick(&mut self) {
+        // The OS balancer runs on its own coarse period. Its moves dirty
+        // the cached state, so quiescence is judged after it runs.
+        if self.cfg.balance.enabled
+            && self
+                .now
+                .as_us()
+                .is_multiple_of(self.cfg.balance.interval_us)
+            && !self.threads.is_empty()
+        {
+            self.balance();
+        }
+        let dt_s = self.cfg.tick_us as f64 / 1e6;
+        let n_vcores = self.cfg.topology.num_vcores();
+        let window = self.tick_index / NOISE_WINDOW_TICKS;
+
+        // Quiescent-tick eligibility. The expiry checks compare against
+        // `cache_now`, the instant the scratch state was built: a dead
+        // time or warm-up that ends anywhere *after* that instant changes
+        // the runnable set or an effective miss ratio without any event
+        // firing, so the first tick at or past the expiry still takes the
+        // full path and rebuilds (after which the check passes again).
+        let quiescent = !self.state_dirty
+            && window == self.memo_window
+            && !self.scratch_runnable.is_empty()
+            && self.alive.iter().all(|&i| {
+                let i = i as usize;
+                self.threads.dead_until[i] <= self.cache_now
+                    && self.threads.warmup_until[i] <= self.cache_now
+            });
+
+        if !quiescent {
+            self.rebuild_tick_state(n_vcores, window);
+        }
+
+        if !self.scratch_runnable.is_empty() {
+            let multi = self.cfg.topology.num_domains() > 1;
             // 5. Advance threads.
             self.scratch_vcore_busy.clear();
             self.scratch_vcore_busy.resize(n_vcores, false);
@@ -646,66 +803,108 @@ impl Machine {
                     self.scratch_solution.rates[k]
                 };
                 let mr = self.scratch_eff_mr[k];
-                let t = &mut self.threads[i];
-                let freq = self.cfg.topology.freq_of(t.vcore);
+                let vcore = self.threads.vcore[i];
+                let freq = self.vcore_freq[vcore.index()];
+                let retired = self.threads.retired[i];
+                let next_barrier_at = self.threads.next_barrier_at[i];
 
-                // Advance through as many phase boundaries as the tick
-                // allows (the achieved rate is held constant within the
-                // tick; phase boundaries only clamp barrier/completion
-                // crossings exactly).
-                let mut time_left = dt_s;
+                // `scratch_boundary[k]` is a lower bound on the distance
+                // to the thread's next phase boundary: exact right after a
+                // full rebuild, then decayed by each tick's progress (the
+                // decay's f64 rounding is absorbed by a one-instruction
+                // cushion in the test below). When the whole tick's
+                // progress fits strictly inside that bound and short of
+                // the barrier, the exact walk below would take its
+                // single-slice branch with the very same `advance`, so the
+                // walk is skipped outright.
+                let to_barrier0 = (next_barrier_at - retired).max(0.0);
+                let possible0 = rate * dt_s;
                 let mut advance = 0.0;
                 let mut hit_barrier = false;
-                for _ in 0..64 {
-                    if time_left <= 0.0 || rate <= 0.0 {
-                        break;
+                if rate > 0.0
+                    && possible0 < self.scratch_boundary[k] - 1.0
+                    && possible0 < to_barrier0
+                {
+                    advance = possible0;
+                } else {
+                    // Near a boundary, a barrier, or stalled: run the exact
+                    // multi-slice advance. On a quiescent tick the cached
+                    // bound has decayed, so the true distance is re-walked
+                    // first (a full rebuild computed it exactly).
+                    if quiescent {
+                        self.scratch_boundary[k] = self.threads.specs[i]
+                            .program
+                            .instructions_to_boundary(retired);
                     }
-                    let pos = t.retired + advance;
-                    let to_boundary = t.spec.program.instructions_to_boundary(pos);
-                    let to_barrier = (t.next_barrier_at - pos).max(0.0);
-                    let limit = to_boundary.min(to_barrier);
-                    if limit <= 0.0 {
-                        hit_barrier = to_barrier <= 0.0 && to_barrier <= to_boundary;
-                        break;
-                    }
-                    let possible = rate * time_left;
-                    if possible < limit {
-                        advance += possible;
-                        time_left = 0.0;
-                    } else {
-                        advance += limit;
-                        time_left -= limit / rate;
-                        if to_barrier <= to_boundary {
-                            hit_barrier = true;
+                    // Advance through as many phase boundaries as the tick
+                    // allows (the achieved rate is held constant within the
+                    // tick; phase boundaries only clamp barrier/completion
+                    // crossings exactly). The first iteration's boundary came
+                    // free with the phase lookup above.
+                    let mut time_left = dt_s;
+                    let mut first_boundary = Some(self.scratch_boundary[k]);
+                    for _ in 0..64 {
+                        if time_left <= 0.0 || rate <= 0.0 {
                             break;
+                        }
+                        let pos = retired + advance;
+                        let to_boundary = match first_boundary.take() {
+                            Some(b) => b,
+                            None => self.threads.specs[i].program.instructions_to_boundary(pos),
+                        };
+                        let to_barrier = (next_barrier_at - pos).max(0.0);
+                        let limit = to_boundary.min(to_barrier);
+                        if limit <= 0.0 {
+                            hit_barrier = to_barrier <= 0.0 && to_barrier <= to_boundary;
+                            break;
+                        }
+                        let possible = rate * time_left;
+                        if possible < limit {
+                            advance += possible;
+                            time_left = 0.0;
+                        } else {
+                            advance += limit;
+                            time_left -= limit / rate;
+                            if to_barrier <= to_boundary {
+                                hit_barrier = true;
+                                break;
+                            }
                         }
                     }
                 }
 
-                let apki = t
-                    .spec
-                    .program
-                    .phase_at(t.retired)
-                    .map(|p| p.apki)
-                    .unwrap_or(300.0);
-                t.retired += advance;
-                t.counters.instructions += advance;
-                t.counters.llc_misses += advance * mr;
-                t.counters.llc_accesses += advance * (apki / 1000.0).max(mr);
-                t.counters.cycles += freq * dt_s;
-                t.counters.busy_us += self.cfg.tick_us;
-                if multi && self.cfg.topology.domain_of(t.vcore) != t.home_domain {
-                    t.counters.remote_us += self.cfg.tick_us;
+                let apki = self.scratch_phases[k].apki;
+                self.threads.retired[i] = retired + advance;
+                let c = &mut self.threads.counters[i];
+                c.instructions += advance;
+                c.llc_misses += advance * mr;
+                c.llc_accesses += advance * (apki / 1000.0).max(mr);
+                c.cycles += freq * dt_s;
+                c.busy_us += self.cfg.tick_us;
+                if multi && self.cfg.topology.domain_of(vcore) != self.threads.home_domain[i] {
+                    self.threads.counters[i].remote_us += self.cfg.tick_us;
                 }
-                self.scratch_vcore_busy[t.vcore.index()] = true;
-                self.vcore_counters[t.vcore.index()].accesses +=
+                self.scratch_vcore_busy[vcore.index()] = true;
+                self.vcore_counters[vcore.index()].accesses +=
                     advance * mr * self.cfg.memory.prefetch_factor;
 
-                if t.retired >= t.spec.program.total_instructions {
-                    t.finished_at = Some(self.now + SimTime::from_us(self.cfg.tick_us));
-                    t.at_barrier = false;
+                // Reaching (or crossing) a phase boundary changes the next
+                // tick's phase lookup, so the cached phases cannot be
+                // reused past it.
+                if advance >= self.scratch_boundary[k] {
+                    self.state_dirty = true;
+                }
+                // Decay the boundary bound by this tick's progress (see
+                // above; a full rebuild restores exactness).
+                self.scratch_boundary[k] -= advance;
+                if self.threads.retired[i] >= self.threads.specs[i].program.total_instructions {
+                    self.threads.finished_at[i] =
+                        Some(self.now + SimTime::from_us(self.cfg.tick_us));
+                    self.threads.at_barrier[i] = false;
+                    self.state_dirty = true;
                 } else if hit_barrier {
-                    t.at_barrier = true;
+                    self.threads.at_barrier[i] = true;
+                    self.state_dirty = true;
                 }
             }
             for (v, busy) in self.scratch_vcore_busy.iter().enumerate() {
@@ -716,37 +915,50 @@ impl Machine {
         }
 
         // Barrier release: a group proceeds when every alive member waits.
-        for members in self.barrier_groups.values() {
-            let all_arrived = members.iter().all(|t| {
-                let s = &self.threads[t.index()];
-                s.finished() || s.at_barrier
-            });
-            if all_arrived {
-                for t in members {
-                    let s = &mut self.threads[t.index()];
-                    if !s.finished() && s.at_barrier {
-                        s.at_barrier = false;
-                        let interval = s
-                            .spec
-                            .barrier
-                            .expect("barrier member must have barrier spec")
-                            .interval_instructions;
-                        s.next_barrier_at += interval;
+        // Membership state only moves on completions and barrier arrivals,
+        // both of which dirty the cache — on a still-clean quiescent tick
+        // the previous scan already released every complete group and
+        // nothing has arrived since, so the scan is skipped.
+        if !quiescent || self.state_dirty {
+            for members in self.barrier_groups.values() {
+                let all_arrived = members.iter().all(|t| {
+                    let i = t.index();
+                    self.threads.finished(i) || self.threads.at_barrier[i]
+                });
+                if all_arrived {
+                    for t in members {
+                        let i = t.index();
+                        if !self.threads.finished(i) && self.threads.at_barrier[i] {
+                            self.threads.at_barrier[i] = false;
+                            let interval = self.threads.specs[i]
+                                .barrier
+                                .expect("barrier member must have barrier spec")
+                                .interval_instructions;
+                            self.threads.next_barrier_at[i] += interval;
+                            self.state_dirty = true;
+                        }
                     }
                 }
             }
         }
 
         // Record completions after the fact (events carry the finish tick).
+        // Only a thread that ran this tick can have finished in it, so the
+        // runnable list is the full candidate set (it is ascending, so
+        // events keep their id order).
         self.scratch_finished.clear();
         let tick_end = self.now + SimTime::from_us(self.cfg.tick_us);
-        for (i, t) in self.threads.iter().enumerate() {
-            if t.finished_at == Some(tick_end) {
+        for k in 0..self.scratch_runnable.len() {
+            let i = self.scratch_runnable[k];
+            if self.threads.finished_at[i] == Some(tick_end) {
                 self.scratch_finished.push(ThreadId(i as u32));
             }
         }
         self.now = tick_end;
         self.tick_index += 1;
+        if !self.scratch_finished.is_empty() {
+            self.alive.retain(|&i| !self.threads.finished(i as usize));
+        }
         for k in 0..self.scratch_finished.len() {
             self.events.push(MachineEvent::Finished {
                 thread: self.scratch_finished[k],
@@ -776,6 +988,23 @@ impl Machine {
         }
         self.all_done()
     }
+}
+
+/// Deterministic burstiness unit draw for `(seed, thread, window)` — a
+/// pure hash mapped onto `[0, 1)`. The multiplier applied to the miss
+/// ratio is `1 + burstiness · (2·unit − 1)`.
+fn noise_unit(seed: u64, thread_idx: usize, window: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((thread_idx as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(window.wrapping_mul(0x94D0_49BB_1331_11EB));
+    // splitmix64 finaliser
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64 // [0,1)
 }
 
 #[cfg(test)]

@@ -290,6 +290,131 @@ impl FaultConfig {
     }
 }
 
+/// Second-and-third rounds of the SplitMix64 mix, from a pre-mixed
+/// per-channel base (`splitmix64(seed ^ salt)`).
+fn mix2(base: u64, thread: u32, quantum: u64) -> u64 {
+    let mut s2 = base ^ (thread as u64);
+    let h2 = splitmix64(&mut s2);
+    let mut s3 = h2 ^ quantum;
+    splitmix64(&mut s3)
+}
+
+/// Pre-mixed fault-draw state for one run.
+///
+/// The first round of [`mix`] depends only on `(seed, salt)`, both fixed
+/// for a run, so the hasher caches it per channel once and every draw
+/// costs two SplitMix64 rounds instead of three. The draws are
+/// bit-identical to the corresponding [`FaultConfig`] methods (asserted by
+/// a regression test); the driver additionally batches a whole quantum's
+/// telemetry draws into reusable buffers via
+/// [`FaultHasher::fill_telemetry_quantum`] instead of interleaving hash
+/// work with view construction.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultHasher {
+    cfg: FaultConfig,
+    base_telemetry: u64,
+    base_corrupt: u64,
+    base_noise: u64,
+    base_migration: u64,
+    base_stall: u64,
+}
+
+impl FaultHasher {
+    /// Pre-mix the per-channel bases for `cfg`.
+    pub fn new(cfg: &FaultConfig) -> Self {
+        let base = |salt: u64| {
+            let mut s = cfg.seed ^ salt;
+            splitmix64(&mut s)
+        };
+        FaultHasher {
+            cfg: *cfg,
+            base_telemetry: base(SALT_TELEMETRY),
+            base_corrupt: base(SALT_CORRUPT_KIND),
+            base_noise: base(SALT_NOISE),
+            base_migration: base(SALT_MIGRATION),
+            base_stall: base(SALT_STALL),
+        }
+    }
+
+    /// Same draw as [`FaultConfig::telemetry_fault`].
+    pub fn telemetry_fault(&self, thread: u32, quantum: u64) -> Option<FaultKind> {
+        let c = &self.cfg;
+        let budget = c.dropout_rate + c.corruption_rate + c.stale_rate;
+        if budget <= 0.0 {
+            return None;
+        }
+        let u = unit(mix2(self.base_telemetry, thread, quantum));
+        if u < c.dropout_rate {
+            return Some(FaultKind::Dropout);
+        }
+        if u < c.dropout_rate + c.corruption_rate {
+            let k = mix2(self.base_corrupt, thread, quantum) % 3;
+            return Some(match k {
+                0 => FaultKind::CorruptNan,
+                1 => FaultKind::CorruptZero,
+                _ => FaultKind::CorruptSaturate,
+            });
+        }
+        if u < budget {
+            return Some(FaultKind::Stale);
+        }
+        None
+    }
+
+    /// Same draw as [`FaultConfig::noise_factor`].
+    pub fn noise_factor(&self, thread: u32, quantum: u64) -> f64 {
+        if self.cfg.noise_amplitude <= 0.0 {
+            return 1.0;
+        }
+        let u = unit(mix2(self.base_noise, thread, quantum));
+        1.0 + self.cfg.noise_amplitude * (2.0 * u - 1.0)
+    }
+
+    /// Same draw as [`FaultConfig::migration_fault`].
+    pub fn migration_fault(&self, thread: u32, quantum: u64) -> Option<FaultKind> {
+        let c = &self.cfg;
+        let budget = c.migration_fail_rate + c.migration_delay_rate;
+        if budget <= 0.0 {
+            return None;
+        }
+        let u = unit(mix2(self.base_migration, thread, quantum));
+        if u < c.migration_fail_rate {
+            return Some(FaultKind::MigrationFail);
+        }
+        if u < budget {
+            return Some(FaultKind::MigrationDelay);
+        }
+        None
+    }
+
+    /// Same draw as [`FaultConfig::stall`].
+    pub fn stall(&self, thread: u32, quantum: u64) -> bool {
+        self.cfg.stall_rate > 0.0
+            && unit(mix2(self.base_stall, thread, quantum)) < self.cfg.stall_rate
+    }
+
+    /// Batch every per-thread telemetry draw for one quantum (fault kind
+    /// and measurement-noise factor, threads `0..n`) into reusable
+    /// buffers, so the driver's view construction indexes precomputed
+    /// draws instead of interleaving hash work per thread.
+    pub fn fill_telemetry_quantum(
+        &self,
+        n: usize,
+        quantum: u64,
+        faults: &mut Vec<Option<FaultKind>>,
+        noise: &mut Vec<f64>,
+    ) {
+        faults.clear();
+        noise.clear();
+        faults.reserve(n);
+        noise.reserve(n);
+        for t in 0..n as u32 {
+            faults.push(self.telemetry_fault(t, quantum));
+            noise.push(self.noise_factor(t, quantum));
+        }
+    }
+}
+
 /// One materialized fault event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -530,6 +655,33 @@ mod tests {
                 assert_ne!(a.events, c.events, "seed change must move the stream");
             }
         });
+    }
+
+    #[test]
+    fn hasher_reproduces_config_draws_bit_for_bit() {
+        // The pre-mixed FaultHasher must agree with the three-round mix on
+        // every channel, including the batched per-quantum form.
+        let cfg = FaultConfig::combined_worst(17);
+        let h = FaultHasher::new(&cfg);
+        let mut faults = Vec::new();
+        let mut noise = Vec::new();
+        for q in 0..64 {
+            h.fill_telemetry_quantum(12, q, &mut faults, &mut noise);
+            for t in 0..12u32 {
+                assert_eq!(h.telemetry_fault(t, q), cfg.telemetry_fault(t, q));
+                assert_eq!(faults[t as usize], cfg.telemetry_fault(t, q));
+                assert_eq!(h.noise_factor(t, q), cfg.noise_factor(t, q));
+                assert_eq!(noise[t as usize], cfg.noise_factor(t, q));
+                assert_eq!(h.migration_fault(t, q), cfg.migration_fault(t, q));
+                assert_eq!(h.stall(t, q), cfg.stall(t, q));
+            }
+        }
+        // Inert configs stay inert through the hasher too.
+        let inert = FaultHasher::new(&FaultConfig::default());
+        assert_eq!(inert.telemetry_fault(0, 0), None);
+        assert_eq!(inert.noise_factor(0, 0), 1.0);
+        assert_eq!(inert.migration_fault(0, 0), None);
+        assert!(!inert.stall(0, 0));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use contention::{
     solve_memory_reference, DomainSolution, MemDemand, MemSolution, NumaDemand, NumaSolution,
 };
 pub use engine::{Machine, MachineEvent};
-pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
+pub use faults::{FaultConfig, FaultEvent, FaultHasher, FaultKind, FaultPlan};
 pub use ids::{AppId, BarrierId, DomainId, PCoreId, SimTime, ThreadId, VCoreId};
 pub use phase::{Phase, PhaseProgram, PhaseRepeat};
 pub use thread::{BarrierSpec, CoreCounters, ThreadCounters, ThreadSpec};

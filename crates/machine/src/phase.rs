@@ -262,6 +262,44 @@ impl PhaseProgram {
         }
     }
 
+    /// The active phase together with the distance to the next boundary:
+    /// exactly `(phase_at(retired), instructions_to_boundary(retired))`,
+    /// computed in a single walk. The engine calls this once per runnable
+    /// thread per tick and reuses the result everywhere the tick used to
+    /// repeat the walk; both components reproduce the two separate lookups
+    /// bit-for-bit (same walk, same floating-point expressions).
+    pub fn phase_and_boundary(&self, retired: f64) -> Option<(Phase, f64)> {
+        if retired >= self.total_instructions {
+            return None;
+        }
+        let to_completion = (self.total_instructions - retired).max(0.0);
+        let mut pos = retired;
+        for p in &self.phases {
+            if pos < p.instructions {
+                return Some((*p, (p.instructions - pos).min(to_completion)));
+            }
+            pos -= p.instructions;
+        }
+        match self.repeat {
+            PhaseRepeat::Once => None,
+            PhaseRepeat::LoopFrom(from) => {
+                let loop_len: f64 = self.phases[from..].iter().map(|p| p.instructions).sum();
+                if loop_len <= 0.0 {
+                    return None;
+                }
+                let mut pos = pos % loop_len;
+                for p in &self.phases[from..] {
+                    if pos < p.instructions {
+                        return Some((*p, (p.instructions - pos).min(to_completion)));
+                    }
+                    pos -= p.instructions;
+                }
+                // Floating point edge: land exactly on the loop boundary.
+                self.phases.get(from).map(|p| (*p, to_completion))
+            }
+        }
+    }
+
     /// Mean intrinsic miss ratio weighted by phase length over one pass of
     /// the program (startup phases plus one loop iteration). A coarse
     /// summary used by workload classification in tests and docs — the
@@ -327,6 +365,33 @@ mod tests {
         // Near completion the boundary is the completion point.
         assert_eq!(p.instructions_to_boundary(2900.0), 100.0);
         assert_eq!(p.instructions_to_boundary(3000.0), 0.0);
+    }
+
+    #[test]
+    fn combined_lookup_matches_separate_walks_exactly() {
+        // phase_and_boundary must reproduce (phase_at, instructions_to_
+        // boundary) bit-for-bit — including awkward fractional positions and
+        // the loop-boundary floating-point edge.
+        let programs = [
+            two_phase_program(),
+            PhaseProgram {
+                phases: vec![Phase::steady(1.0, 10.0, 4.0, 100.0)],
+                repeat: PhaseRepeat::Once,
+                total_instructions: 100.0,
+            },
+            PhaseProgram::single(Phase::steady(0.8, 5.0, 2.0, 333.3), 1e4),
+        ];
+        for p in &programs {
+            let mut retired = 0.0;
+            while retired < p.total_instructions + 10.0 {
+                let combined = p.phase_and_boundary(retired);
+                let separate = p
+                    .phase_at(retired)
+                    .map(|ph| (*ph, p.instructions_to_boundary(retired)));
+                assert_eq!(combined, separate, "retired={retired}");
+                retired += 61.7;
+            }
+        }
     }
 
     #[test]

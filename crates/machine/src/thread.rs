@@ -152,71 +152,93 @@ impl CoreCounters {
     }
 }
 
-/// Internal runtime state of a thread (crate-private).
-#[derive(Debug, Clone)]
-pub(crate) struct ThreadState {
-    pub spec: ThreadSpec,
-    pub vcore: VCoreId,
+/// Internal runtime state of all spawned threads, laid out as
+/// structure-of-arrays slabs indexed by dense thread id (crate-private).
+///
+/// The engine's tick loop touches a handful of fields for every runnable
+/// thread every millisecond of simulated time; keeping each field in its
+/// own contiguous slab means those sweeps walk dense cache lines instead
+/// of striding over one large per-thread struct (most of which — the spec,
+/// the counters — a given pass never reads). Ids are dense and never
+/// reused, so `ThreadId(i)` is always row `i` across every slab.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ThreadSlab {
+    /// Immutable per-thread specification (app, phase program, barrier).
+    pub specs: Vec<ThreadSpec>,
+    /// Core each thread is currently pinned to.
+    pub vcore: Vec<VCoreId>,
     /// NUMA domain the thread's memory is homed to (first touch: the domain
     /// of the core it was spawned on). Misses always queue there.
-    pub home_domain: DomainId,
+    pub home_domain: Vec<DomainId>,
     /// Machine time at which the thread was spawned. Zero for a closed
     /// workload; mid-run arrivals record their actual arrival instant so
     /// fairness can normalise by sojourn time.
-    pub spawned_at: SimTime,
+    pub spawned_at: Vec<SimTime>,
     /// Instructions retired so far.
-    pub retired: f64,
+    pub retired: Vec<f64>,
     /// Completion time, once finished.
-    pub finished_at: Option<SimTime>,
+    pub finished_at: Vec<Option<SimTime>>,
     /// The thread makes no progress before this time (migration dead time).
-    pub dead_until: SimTime,
+    pub dead_until: Vec<SimTime>,
     /// Elevated miss ratio until this time (cache warm-up after migration).
-    pub warmup_until: SimTime,
+    pub warmup_until: Vec<SimTime>,
     /// Instruction count of the next barrier, if barrier-synchronised.
-    pub next_barrier_at: f64,
+    pub next_barrier_at: Vec<f64>,
     /// True while parked at a barrier waiting for the group.
-    pub at_barrier: bool,
+    pub at_barrier: Vec<bool>,
     /// Cumulative counters.
-    pub counters: ThreadCounters,
+    pub counters: Vec<ThreadCounters>,
 }
 
-impl ThreadState {
-    pub fn new(
+impl ThreadSlab {
+    /// Number of threads ever spawned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when no thread has been spawned yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Append a freshly spawned thread; its row index is the new dense id.
+    pub fn push(
+        &mut self,
         spec: ThreadSpec,
         vcore: VCoreId,
         home_domain: DomainId,
         spawned_at: SimTime,
-    ) -> Self {
+    ) {
         let next_barrier_at = spec
             .barrier
             .map(|b| b.interval_instructions)
             .unwrap_or(f64::INFINITY);
-        ThreadState {
-            spec,
-            vcore,
-            home_domain,
-            spawned_at,
-            retired: 0.0,
-            finished_at: None,
-            dead_until: SimTime::ZERO,
-            warmup_until: SimTime::ZERO,
-            next_barrier_at,
-            at_barrier: false,
-            counters: ThreadCounters::default(),
-        }
+        self.specs.push(spec);
+        self.vcore.push(vcore);
+        self.home_domain.push(home_domain);
+        self.spawned_at.push(spawned_at);
+        self.retired.push(0.0);
+        self.finished_at.push(None);
+        self.dead_until.push(SimTime::ZERO);
+        self.warmup_until.push(SimTime::ZERO);
+        self.next_barrier_at.push(next_barrier_at);
+        self.at_barrier.push(false);
+        self.counters.push(ThreadCounters::default());
     }
 
-    /// True once the thread has retired all its instructions.
+    /// True once thread `i` has retired all its instructions.
     #[inline]
-    pub fn finished(&self) -> bool {
-        self.finished_at.is_some()
+    pub fn finished(&self, i: usize) -> bool {
+        self.finished_at[i].is_some()
     }
 
-    /// True if the thread can execute at time `now`: alive, not parked at a
-    /// barrier, and not inside migration dead time.
+    /// True if thread `i` can execute at time `now`: alive, not parked at
+    /// a barrier, and not inside migration dead time.
     #[inline]
-    pub fn runnable(&self, now: SimTime) -> bool {
-        !self.finished() && !self.at_barrier && now >= self.dead_until
+    pub fn runnable(&self, i: usize, now: SimTime) -> bool {
+        !self.finished(i) && !self.at_barrier[i] && now >= self.dead_until[i]
     }
 }
 
@@ -285,18 +307,24 @@ mod tests {
 
     #[test]
     fn new_thread_state_is_runnable() {
-        let s = ThreadState::new(spec(), VCoreId(0), DomainId(0), SimTime::ZERO);
-        assert!(s.runnable(SimTime::ZERO));
-        assert!(!s.finished());
-        assert_eq!(s.next_barrier_at, f64::INFINITY);
+        let mut s = ThreadSlab::default();
+        assert!(s.is_empty());
+        s.push(spec(), VCoreId(0), DomainId(0), SimTime::ZERO);
+        assert_eq!(s.len(), 1);
+        assert!(s.runnable(0, SimTime::ZERO));
+        assert!(!s.finished(0));
+        assert_eq!(s.next_barrier_at[0], f64::INFINITY);
+        assert_eq!(s.spawned_at[0], SimTime::ZERO);
+        assert_eq!(s.retired[0], 0.0);
     }
 
     #[test]
     fn dead_time_blocks_execution() {
-        let mut s = ThreadState::new(spec(), VCoreId(0), DomainId(0), SimTime::ZERO);
-        s.dead_until = SimTime::from_ms(5);
-        assert!(!s.runnable(SimTime::from_ms(4)));
-        assert!(s.runnable(SimTime::from_ms(5)));
+        let mut s = ThreadSlab::default();
+        s.push(spec(), VCoreId(0), DomainId(0), SimTime::ZERO);
+        s.dead_until[0] = SimTime::from_ms(5);
+        assert!(!s.runnable(0, SimTime::from_ms(4)));
+        assert!(s.runnable(0, SimTime::from_ms(5)));
     }
 
     #[test]
@@ -307,8 +335,9 @@ mod tests {
             interval_instructions: 5000.0,
         });
         assert!(sp.validate().is_ok());
-        let s = ThreadState::new(sp, VCoreId(1), DomainId(0), SimTime::ZERO);
-        assert_eq!(s.next_barrier_at, 5000.0);
+        let mut s = ThreadSlab::default();
+        s.push(sp, VCoreId(1), DomainId(0), SimTime::ZERO);
+        assert_eq!(s.next_barrier_at[0], 5000.0);
     }
 
     #[test]

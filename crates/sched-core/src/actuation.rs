@@ -193,9 +193,8 @@ mod tests {
                     migrated_last_quantum: false,
                 })
                 .collect(),
-            cores: Vec::new(),
-            arrived: Vec::new(),
             departed: departed.iter().map(|&t| ThreadId(t)).collect(),
+            ..SystemView::default()
         }
     }
 

@@ -27,7 +27,8 @@ use crate::scheduler::Scheduler;
 use crate::view::{Actions, CoreObservation, SystemView, ThreadObservation};
 use dike_counters::RateSample;
 use dike_machine::{
-    CoreCounters, FaultKind, Machine, SimTime, ThreadCounters, ThreadId, ThreadSpec, VCoreId,
+    CoreCounters, FaultHasher, FaultKind, Machine, SimTime, ThreadCounters, ThreadId, ThreadSpec,
+    VCoreId,
 };
 use std::collections::VecDeque;
 
@@ -56,8 +57,16 @@ pub struct RunResult {
     pub quanta: u64,
     /// Total migrations applied by the policy.
     pub migrations: u64,
-    /// Swap operations (a swap = a pair of migrations, as in Table III).
+    /// Completed swap operations, as in Table III: planner/selector pairs
+    /// where *both* members actually moved. Under actuation faults a pair
+    /// can lose one member (fail, or a delay that never lands); such a
+    /// half-swap is not a swap — the old `migrations / 2` accounting
+    /// miscounted exactly those runs.
     pub swaps: u64,
+    /// Applied migrations that were not part of a swap pair: planner
+    /// re-issues of lost members, explicit single-thread placements.
+    /// Fault-free, `migrations == 2 * swaps + unilateral_migrations`.
+    pub unilateral_migrations: u64,
 }
 
 /// One thread's result.
@@ -114,6 +123,97 @@ impl RunResult {
     }
 }
 
+/// A pair the policy requested this (or an earlier, delay-extended)
+/// quantum, still waiting for both members' actuation outcomes.
+#[derive(Debug, Clone, Copy)]
+struct PendingPair {
+    /// Globally unique pair token (monotone across quanta).
+    token: u64,
+    /// Members that actually changed placement.
+    hits: u8,
+    /// Members whose outcome is still unknown (delayed in flight).
+    outstanding: u8,
+}
+
+/// Delayed-pair sentinel: the migration carries no pair (unilateral).
+const NO_PAIR_TOKEN: u64 = u64::MAX;
+
+/// Reusable buffers for the driver's per-quantum work.
+///
+/// Everything the quantum loop needs — the [`SystemView`] (threads,
+/// cores, CSR occupancy), the [`Actions`] passed to the policy, counter
+/// snapshots, fault-draw buffers, admission scratch — lives here and is
+/// reused across quanta and across runs, so the steady-state loop
+/// performs no heap allocation. [`run_with`]/[`run_open_with`] create
+/// one internally; harnesses that drive many runs back to back can hold
+/// one [`DriverScratch`] and pass it to the `_scratch` variants.
+#[derive(Debug, Default)]
+pub struct DriverScratch {
+    view: SystemView,
+    actions: Actions,
+    prev_thread: Vec<ThreadCounters>,
+    prev_finished: Vec<bool>,
+    prev_core: Vec<CoreCounters>,
+    arrived: Vec<ThreadId>,
+    /// Previous quantum's *true* per-thread rates, for stale-sample replay.
+    last_rates: Vec<RateSample>,
+    /// Whether a true sample exists for each thread (a stale draw before
+    /// the first sample has nothing to replay — see the dropout fallback).
+    rate_seen: Vec<bool>,
+    telemetry: Vec<Option<FaultKind>>,
+    noise: Vec<f64>,
+    occupied: Vec<bool>,
+    idle: Vec<VCoreId>,
+    occ_cursor: Vec<u32>,
+    /// Migrations deferred by the delay channel: (land at quantum counter,
+    /// thread, target, pair token or [`NO_PAIR_TOKEN`]). FIFO-ordered
+    /// because the delay is constant.
+    delayed: VecDeque<(u64, ThreadId, VCoreId, u64)>,
+    pending_pairs: Vec<PendingPair>,
+}
+
+impl DriverScratch {
+    /// Fresh scratch (no capacity reserved yet; it grows to steady state
+    /// over the first quantum and stays there).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all per-run state, retaining buffer capacity.
+    fn reset(&mut self) {
+        self.view.threads.clear();
+        self.view.cores.clear();
+        self.view.arrived.clear();
+        self.view.departed.clear();
+        self.view.occ_offsets.clear();
+        self.view.occ_ids.clear();
+        self.actions.clear();
+        self.prev_thread.clear();
+        self.prev_finished.clear();
+        self.prev_core.clear();
+        self.arrived.clear();
+        self.last_rates.clear();
+        self.rate_seen.clear();
+        self.telemetry.clear();
+        self.noise.clear();
+        self.occupied.clear();
+        self.idle.clear();
+        self.occ_cursor.clear();
+        self.delayed.clear();
+        self.pending_pairs.clear();
+    }
+}
+
+/// Record one member's actuation outcome on its pending pair.
+fn credit_pair(pairs: &mut [PendingPair], token: u64, applied: bool) {
+    if let Some(p) = pairs.iter_mut().find(|p| p.token == token) {
+        p.outstanding -= 1;
+        if applied {
+            p.hits += 1;
+        }
+    }
+}
+
 /// Run `scheduler` over `machine` until all threads finish or `deadline`.
 pub fn run(machine: &mut Machine, scheduler: &mut dyn Scheduler, deadline: SimTime) -> RunResult {
     run_with(machine, scheduler, deadline, |_| {})
@@ -129,6 +229,18 @@ pub fn run_with(
     observer: impl FnMut(&SystemView),
 ) -> RunResult {
     run_open_with(machine, scheduler, deadline, Vec::new(), observer)
+}
+
+/// [`run_with`] against caller-owned scratch buffers, for harnesses that
+/// drive many runs and want later runs allocation-free too.
+pub fn run_with_scratch(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    observer: impl FnMut(&SystemView),
+    scratch: &mut DriverScratch,
+) -> RunResult {
+    run_open_with_scratch(machine, scheduler, deadline, Vec::new(), observer, scratch)
 }
 
 /// Run an open system: `arrivals` are injected mid-run, and the run ends
@@ -152,8 +264,31 @@ pub fn run_open_with(
     scheduler: &mut dyn Scheduler,
     deadline: SimTime,
     arrivals: Vec<TimedSpawn>,
-    mut observer: impl FnMut(&SystemView),
+    observer: impl FnMut(&SystemView),
 ) -> RunResult {
+    let mut scratch = DriverScratch::new();
+    run_open_with_scratch(
+        machine,
+        scheduler,
+        deadline,
+        arrivals,
+        observer,
+        &mut scratch,
+    )
+}
+
+/// [`run_open_with`] against caller-owned scratch buffers. After the
+/// first quantum warms the buffers, the loop performs no steady-state
+/// heap allocation (enforced by the workspace `zero_alloc` test).
+pub fn run_open_with_scratch(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    arrivals: Vec<TimedSpawn>,
+    mut observer: impl FnMut(&SystemView),
+    scratch: &mut DriverScratch,
+) -> RunResult {
+    scratch.reset();
     let tick = machine.config().tick_us;
     let clamp_quantum = |q: SimTime| -> SimTime {
         let us = q.as_us().max(tick);
@@ -174,19 +309,44 @@ pub fn run_open_with(
 
     let mut quantum = clamp_quantum(scheduler.initial_quantum());
     let n_vcores = machine.config().topology.num_vcores();
-    let mut prev_thread: Vec<ThreadCounters> = (0..machine.num_threads())
-        .map(|i| machine.counters(ThreadId(i as u32)))
-        .collect();
-    let mut prev_finished: Vec<bool> = (0..machine.num_threads())
-        .map(|i| machine.finish_time(ThreadId(i as u32)).is_some())
-        .collect();
-    let mut prev_core: Vec<CoreCounters> = (0..n_vcores)
-        .map(|v| machine.core_counters(VCoreId(v as u32)))
-        .collect();
-    let mut arrived: Vec<ThreadId> = Vec::new();
+    scratch
+        .prev_thread
+        .extend((0..machine.num_threads()).map(|i| machine.counters(ThreadId(i as u32))));
+    scratch.prev_finished.extend(
+        (0..machine.num_threads()).map(|i| machine.finish_time(ThreadId(i as u32)).is_some()),
+    );
+    scratch
+        .prev_core
+        .extend((0..n_vcores).map(|v| machine.core_counters(VCoreId(v as u32))));
+    // Reserve for the run's full population up front so mid-run arrivals
+    // and departures never grow a buffer: departures start quanta after
+    // warmup, and a doubling there would break the steady-state
+    // zero-allocation guarantee (see `tests/zero_alloc.rs`).
+    let max_threads = machine.num_threads() + pending.len();
+    scratch.view.departed.reserve(max_threads);
+    scratch.arrived.reserve(max_threads);
+    scratch.view.arrived.reserve(max_threads);
+    scratch.prev_thread.reserve(pending.len());
+    scratch.prev_finished.reserve(pending.len());
+
+    // Core identity (id, kind, domain) is fixed at machine construction:
+    // build the observation rows once and only refresh `bandwidth` per
+    // quantum.
+    for v in 0..n_vcores {
+        let vid = VCoreId(v as u32);
+        scratch.view.cores.push(CoreObservation {
+            id: vid,
+            kind: machine.config().topology.kind_of(vid),
+            domain: machine.config().topology.domain_of(vid),
+            bandwidth: 0.0,
+        });
+    }
 
     let mut quanta = 0u64;
     let migrations_before = machine.total_migrations();
+    let mut swaps = 0u64;
+    let mut unilateral = 0u64;
+    let mut next_pair_token = 0u64;
 
     // Fault injection at the observe/act boundary (see `dike_machine::faults`).
     // With an all-zero config (`!faults_active`, the default) every guard
@@ -194,48 +354,38 @@ pub fn run_open_with(
     // fault-free runs stay byte-identical to the committed goldens.
     let faults = machine.config().faults;
     let faults_active = faults.is_active();
-    // Previous quantum's *true* per-thread rates, for stale-sample replay.
-    let mut last_rates: Vec<RateSample> = Vec::new();
-    // Migrations deferred by the delay channel: (land at quantum counter,
-    // thread, target). FIFO-ordered because the delay is constant.
-    let mut delayed: VecDeque<(u64, ThreadId, VCoreId)> = VecDeque::new();
+    let hasher = FaultHasher::new(&faults);
 
     // Admit everything due by `now`: move due plan entries to the wait
     // queue, then place queued specs (FIFO) on idle vcores, lowest id
     // first. Specs that find no slot stay queued until a departure frees
     // one.
-    let admit = |machine: &mut Machine,
-                 pending: &mut VecDeque<TimedSpawn>,
-                 waiting: &mut VecDeque<ThreadSpec>,
-                 prev_thread: &mut Vec<ThreadCounters>,
-                 prev_finished: &mut Vec<bool>,
-                 arrived: &mut Vec<ThreadId>| {
+    fn admit(
+        machine: &mut Machine,
+        pending: &mut VecDeque<TimedSpawn>,
+        waiting: &mut VecDeque<ThreadSpec>,
+        scratch: &mut DriverScratch,
+    ) {
         while pending.front().is_some_and(|ts| ts.at <= machine.now()) {
             waiting.push_back(pending.pop_front().expect("checked front").spec);
         }
         if waiting.is_empty() {
             return;
         }
-        for vcore in machine.idle_vcores() {
+        machine.idle_vcores_into(&mut scratch.occupied, &mut scratch.idle);
+        for i in 0..scratch.idle.len() {
             let Some(spec) = waiting.pop_front() else {
                 break;
             };
-            let id = machine.spawn(spec, vcore);
-            prev_thread.push(machine.counters(id));
-            prev_finished.push(false);
-            arrived.push(id);
+            let id = machine.spawn(spec, scratch.idle[i]);
+            scratch.prev_thread.push(machine.counters(id));
+            scratch.prev_finished.push(false);
+            scratch.arrived.push(id);
         }
-    };
+    }
 
     while machine.now() < deadline {
-        admit(
-            machine,
-            &mut pending,
-            &mut waiting,
-            &mut prev_thread,
-            &mut prev_finished,
-            &mut arrived,
-        );
+        admit(machine, &mut pending, &mut waiting, scratch);
         let open_work_left = !pending.is_empty() || !waiting.is_empty();
         if machine.all_done() && !open_work_left {
             break;
@@ -259,14 +409,7 @@ pub fn run_open_with(
             };
             machine.run_for(seg_end.saturating_sub(machine.now()));
             if machine.now() < q_end {
-                admit(
-                    machine,
-                    &mut pending,
-                    &mut waiting,
-                    &mut prev_thread,
-                    &mut prev_finished,
-                    &mut arrived,
-                );
+                admit(machine, &mut pending, &mut waiting, scratch);
             }
         }
         quanta += 1;
@@ -275,28 +418,42 @@ pub fn run_open_with(
             break;
         }
 
-        // Build the view from counter deltas. A thread that arrived inside
-        // this quantum is observed over the full quantum length (its rates
-        // slightly underestimate its true rates for one quantum).
+        // Build the view from counter deltas, reusing the scratch-owned
+        // buffers. A thread that arrived inside this quantum is observed
+        // over the full quantum length (its rates slightly underestimate
+        // its true rates for one quantum).
         let n_threads = machine.num_threads();
         let dt_s = step.as_secs_f64();
-        let mut threads = Vec::new();
-        let mut departed = Vec::new();
-        #[allow(clippy::needless_range_loop)] // i indexes two parallel arrays
+        scratch.view.threads.clear();
+        scratch.view.departed.clear();
+        if faults_active {
+            if scratch.last_rates.len() < n_threads {
+                scratch.last_rates.resize(n_threads, RateSample::default());
+                scratch.rate_seen.resize(n_threads, false);
+            }
+            // One batched hash pass for the whole quantum's telemetry
+            // draws instead of interleaving hash work per thread.
+            hasher.fill_telemetry_quantum(
+                n_threads,
+                quanta - 1,
+                &mut scratch.telemetry,
+                &mut scratch.noise,
+            );
+        }
         for i in 0..n_threads {
             let id = ThreadId(i as u32);
             if machine.finish_time(id).is_some() {
                 // Still update prev so a thread finishing mid-run does not
                 // distort later deltas (it cannot, but keep it coherent).
-                prev_thread[i] = machine.counters(id);
-                if !prev_finished[i] {
-                    prev_finished[i] = true;
-                    departed.push(id);
+                scratch.prev_thread[i] = machine.counters(id);
+                if !scratch.prev_finished[i] {
+                    scratch.prev_finished[i] = true;
+                    scratch.view.departed.push(id);
                 }
                 continue;
             }
             let cur = machine.counters(id);
-            let d = cur.delta(&prev_thread[i]);
+            let d = cur.delta(&scratch.prev_thread[i]);
             let mut rates = RateSample::from_deltas(
                 d.instructions,
                 d.llc_misses,
@@ -304,17 +461,22 @@ pub fn run_open_with(
                 d.cycles,
                 dt_s,
             );
-            prev_thread[i] = cur;
+            scratch.prev_thread[i] = cur;
             if faults_active {
-                if last_rates.len() < n_threads {
-                    last_rates.resize(n_threads, RateSample::default());
-                }
                 let true_rates = rates;
-                let fault = faults.telemetry_fault(i as u32, quanta - 1);
+                let mut fault = scratch.telemetry[i];
+                if fault == Some(FaultKind::Stale) && !scratch.rate_seen[i] {
+                    // A stale sensor with no prior sample has nothing to
+                    // replay; replaying `RateSample::default()` would hand
+                    // the policy an all-zero thread that looks idle. The
+                    // faithful degradation is a missing sample.
+                    fault = Some(FaultKind::Dropout);
+                }
                 if fault == Some(FaultKind::Dropout) {
                     // The sample is simply missing: the scheduler's view
                     // has no entry for this thread this quantum.
-                    last_rates[i] = true_rates;
+                    scratch.last_rates[i] = true_rates;
+                    scratch.rate_seen[i] = true;
                     continue;
                 }
                 match fault {
@@ -330,17 +492,18 @@ pub fn run_open_with(
                         rates.llc_miss_rate = 1.0;
                         rates.ipc = 0.0;
                     }
-                    Some(FaultKind::Stale) => rates = last_rates[i],
+                    Some(FaultKind::Stale) => rates = scratch.last_rates[i],
                     _ => {}
                 }
-                let nf = faults.noise_factor(i as u32, quanta - 1);
+                let nf = scratch.noise[i];
                 if nf != 1.0 {
                     rates.access_rate *= nf;
                     rates.instr_rate *= nf;
                 }
-                last_rates[i] = true_rates;
+                scratch.last_rates[i] = true_rates;
+                scratch.rate_seen[i] = true;
             }
-            threads.push(ThreadObservation {
+            scratch.view.threads.push(ThreadObservation {
                 id,
                 app: machine.app_of(id),
                 vcore: machine.vcore_of(id),
@@ -349,71 +512,150 @@ pub fn run_open_with(
                 migrated_last_quantum: d.migrations > 0,
             });
         }
-        let mut cores = Vec::with_capacity(n_vcores);
-        #[allow(clippy::needless_range_loop)] // v indexes a parallel array
         for v in 0..n_vcores {
             let vid = VCoreId(v as u32);
             let cur = machine.core_counters(vid);
-            let d = cur.delta(&prev_core[v]);
-            prev_core[v] = cur;
-            let occupants: Vec<ThreadId> = threads
-                .iter()
-                .filter(|t| t.vcore == vid)
-                .map(|t| t.id)
-                .collect();
-            cores.push(CoreObservation {
-                id: vid,
-                kind: machine.config().topology.kind_of(vid),
-                domain: machine.config().topology.domain_of(vid),
-                bandwidth: d.accesses / dt_s,
-                occupants,
+            let d = cur.delta(&scratch.prev_core[v]);
+            scratch.prev_core[v] = cur;
+            scratch.view.cores[v].bandwidth = d.accesses / dt_s;
+        }
+
+        // Per-core occupancy, from the machine's actual placement — not
+        // from the observation list, which telemetry dropout thins out. A
+        // thread whose sample went missing is still running on its core
+        // and still occupies it. Counting sort over the alive list (which
+        // is ascending) keeps occupants in id order per core.
+        {
+            let occ = &mut scratch.view.occ_offsets;
+            occ.clear();
+            occ.resize(n_vcores + 1, 0);
+            for t in machine.alive_ids() {
+                occ[machine.vcore_of(t).index() + 1] += 1;
+            }
+            for v in 0..n_vcores {
+                occ[v + 1] += occ[v];
+            }
+            let total = occ[n_vcores] as usize;
+            scratch.occ_cursor.clear();
+            scratch.occ_cursor.extend_from_slice(&occ[..n_vcores]);
+            scratch.view.occ_ids.clear();
+            scratch.view.occ_ids.resize(total, ThreadId(0));
+            for t in machine.alive_ids() {
+                let slot = &mut scratch.occ_cursor[machine.vcore_of(t).index()];
+                scratch.view.occ_ids[*slot as usize] = t;
+                *slot += 1;
+            }
+        }
+
+        scratch.view.now = machine.now();
+        scratch.view.quantum = step;
+        scratch.view.quantum_index = quanta - 1;
+        std::mem::swap(&mut scratch.view.arrived, &mut scratch.arrived);
+        scratch.arrived.clear();
+
+        observer(&scratch.view);
+
+        scratch.actions.clear();
+        scheduler.on_quantum(&scratch.view, &mut scratch.actions);
+
+        // Swap accounting (Table III): a swap is only complete when both
+        // members of a policy-requested pair actually changed placement.
+        // Each pair opens a pending entry; members credit it as their
+        // actuation outcome becomes known (immediately, or when a delayed
+        // migration lands quanta later).
+        let pair_base = next_pair_token;
+        next_pair_token += scratch.actions.num_pairs() as u64;
+        for p in 0..scratch.actions.num_pairs() {
+            scratch.pending_pairs.push(PendingPair {
+                token: pair_base + p as u64,
+                hits: 0,
+                outstanding: 2,
             });
         }
-        let view = SystemView {
-            now: machine.now(),
-            quantum: step,
-            quantum_index: quanta - 1,
-            threads,
-            cores,
-            arrived: std::mem::take(&mut arrived),
-            departed,
-        };
-
-        observer(&view);
-
-        let mut actions = Actions::default();
-        scheduler.on_quantum(&view, &mut actions);
         if faults_active {
             // Land migrations whose delay has elapsed. `Machine::migrate`
             // is a no-op when the thread has finished or already sits on
             // the target, so a late landing is never double-applied over a
             // placement the policy has since re-established.
-            while delayed.front().is_some_and(|&(due, _, _)| due <= quanta) {
-                let (_, t, v) = delayed.pop_front().expect("checked front");
+            while scratch
+                .delayed
+                .front()
+                .is_some_and(|&(due, ..)| due <= quanta)
+            {
+                let (_, t, v, token) = scratch.delayed.pop_front().expect("checked front");
+                let applied = machine.finish_time(t).is_none() && machine.vcore_of(t) != v;
                 machine.migrate(t, v);
+                if token == NO_PAIR_TOKEN {
+                    unilateral += u64::from(applied);
+                } else {
+                    credit_pair(&mut scratch.pending_pairs, token, applied);
+                }
             }
-            for (t, v) in actions.migrations {
-                match faults.migration_fault(t.0, quanta - 1) {
-                    Some(FaultKind::MigrationFail) => {} // silently lost
-                    Some(FaultKind::MigrationDelay) => {
-                        delayed.push_back((quanta + faults.migration_delay_quanta as u64, t, v));
+            for i in 0..scratch.actions.migrations.len() {
+                let (t, v) = scratch.actions.migrations[i];
+                let tag = scratch.actions.pair_tag(i);
+                match hasher.migration_fault(t.0, quanta - 1) {
+                    Some(FaultKind::MigrationFail) => {
+                        // Silently lost; the pair member's outcome is known.
+                        if let Some(g) = tag {
+                            credit_pair(&mut scratch.pending_pairs, pair_base + g as u64, false);
+                        }
                     }
-                    _ => machine.migrate(t, v),
+                    Some(FaultKind::MigrationDelay) => {
+                        let token = tag.map_or(NO_PAIR_TOKEN, |g| pair_base + g as u64);
+                        scratch.delayed.push_back((
+                            quanta + faults.migration_delay_quanta as u64,
+                            t,
+                            v,
+                            token,
+                        ));
+                    }
+                    _ => {
+                        let applied = machine.finish_time(t).is_none() && machine.vcore_of(t) != v;
+                        machine.migrate(t, v);
+                        match tag {
+                            Some(g) => credit_pair(
+                                &mut scratch.pending_pairs,
+                                pair_base + g as u64,
+                                applied,
+                            ),
+                            None => unilateral += u64::from(applied),
+                        }
+                    }
                 }
             }
             if faults.stall_rate > 0.0 {
-                for t in machine.alive_threads() {
-                    if faults.stall(t.0, quanta - 1) {
+                for i in 0..machine.num_threads() {
+                    let t = ThreadId(i as u32);
+                    if machine.is_alive(t) && hasher.stall(t.0, quanta - 1) {
                         machine.stall(t, SimTime::from_us(faults.stall_us));
                     }
                 }
             }
         } else {
-            for (t, v) in actions.migrations {
+            for i in 0..scratch.actions.migrations.len() {
+                let (t, v) = scratch.actions.migrations[i];
+                let applied = machine.finish_time(t).is_none() && machine.vcore_of(t) != v;
                 machine.migrate(t, v);
+                match scratch.actions.pair_tag(i) {
+                    Some(g) => {
+                        credit_pair(&mut scratch.pending_pairs, pair_base + g as u64, applied)
+                    }
+                    None => unilateral += u64::from(applied),
+                }
             }
         }
-        if let Some(q) = actions.set_quantum {
+        // Resolve pairs whose members have all reported (delay-extended
+        // pairs stay pending until their last member lands).
+        scratch.pending_pairs.retain(|p| {
+            if p.outstanding == 0 {
+                swaps += u64::from(p.hits == 2);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(q) = scratch.actions.set_quantum {
             quantum = clamp_quantum(q);
         }
     }
@@ -438,7 +680,8 @@ pub fn run_open_with(
             .collect(),
         quanta,
         migrations,
-        swaps: migrations / 2,
+        swaps,
+        unilateral_migrations: unilateral,
     }
 }
 
@@ -547,7 +790,179 @@ mod tests {
         let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
         assert_eq!(r.migrations, 2);
         assert_eq!(r.swaps, 1);
+        assert_eq!(r.unilateral_migrations, 0);
         assert!(r.completed);
+    }
+
+    /// BUG regression: occupancy must come from the machine's placement,
+    /// not the observation list. Under full telemetry dropout the view has
+    /// no thread observations at all, yet both threads still occupy their
+    /// cores and the policy must be able to see that.
+    #[test]
+    fn dropped_samples_do_not_vacate_occupancy() {
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            dropout_rate: 1.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg);
+        spawn_pair(&mut m);
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let mut checked = 0;
+        run_with(&mut m, &mut s, SimTime::from_ms(500), |view| {
+            assert!(view.threads.is_empty(), "every sample must drop");
+            if m_alive(view) {
+                assert_eq!(view.occupants(VCoreId(0)), &[ThreadId(0)]);
+                assert_eq!(view.occupants(VCoreId(4)), &[ThreadId(1)]);
+                checked += 1;
+            }
+        });
+        assert!(checked >= 4, "checked {checked} views");
+
+        fn m_alive(view: &SystemView) -> bool {
+            // Both threads outlive 500ms; every view sees them placed.
+            view.departed.is_empty()
+        }
+    }
+
+    /// BUG regression: a migration pair losing one member to an actuation
+    /// fault is not a completed swap. The old `migrations / 2` accounting
+    /// rounded lost and delayed members into phantom swap counts.
+    #[test]
+    fn lost_pair_member_is_not_counted_as_a_swap() {
+        // Fail every migration: the swap is requested but nobody moves.
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            migration_fail_rate: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg);
+        spawn_pair(&mut m);
+        let mut s = SwapOnce { done: false };
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert_eq!(r.migrations, 0);
+        assert_eq!(r.swaps, 0, "a fully lost pair is not a swap");
+        assert_eq!(r.unilateral_migrations, 0);
+
+        // Delay every migration: both members land late but they do land,
+        // so the pair eventually completes as exactly one swap.
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            migration_delay_rate: 1.0,
+            migration_delay_quanta: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg);
+        spawn_pair(&mut m);
+        let mut s = SwapOnce { done: false };
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert_eq!(r.migrations, 2);
+        assert_eq!(r.swaps, 1, "a delayed pair that fully lands is a swap");
+        assert_eq!(r.unilateral_migrations, 0);
+    }
+
+    /// A policy that issues one *single* migration (no pair) once.
+    struct MoveOnce {
+        done: bool,
+    }
+    impl Scheduler for MoveOnce {
+        fn name(&self) -> &str {
+            "move-once"
+        }
+        fn initial_quantum(&self) -> SimTime {
+            SimTime::from_ms(100)
+        }
+        fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
+            if !self.done && !view.threads.is_empty() {
+                let t = &view.threads[0];
+                actions.migrate(t.id, VCoreId(t.vcore.0 + 1));
+                self.done = true;
+            }
+        }
+    }
+
+    #[test]
+    fn single_migrations_count_as_unilateral_not_half_swaps() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = MoveOnce { done: false };
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert_eq!(r.migrations, 1);
+        // The old accounting reported `1 / 2 == 0` swaps by luck here, but
+        // a second unilateral move anywhere would have minted a phantom
+        // swap; they are now reported in their own channel.
+        assert_eq!(r.swaps, 0);
+        assert_eq!(r.unilateral_migrations, 1);
+        assert_eq!(r.migrations, 2 * r.swaps + r.unilateral_migrations);
+    }
+
+    /// BUG regression: a stale-sample fault in a thread's *first* observed
+    /// quantum used to replay `RateSample::default()` — an all-zero
+    /// fabricated reading the machine never produced. It must degrade to
+    /// a dropout (no sample) instead.
+    #[test]
+    fn first_quantum_stale_degrades_to_dropout() {
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            stale_rate: 1.0,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg);
+        spawn_pair(&mut m);
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let mut first = true;
+        let mut later_rates = Vec::new();
+        run_with(&mut m, &mut s, SimTime::from_ms(500), |view| {
+            if first {
+                // No fabricated all-zero observations in the first view.
+                assert!(
+                    view.threads.is_empty(),
+                    "first-quantum stale must present as dropout, got {:?}",
+                    view.threads
+                );
+                first = false;
+            } else {
+                // Later quanta replay the previous *true* sample.
+                for t in &view.threads {
+                    later_rates.push(t.rates.access_rate);
+                }
+            }
+        });
+        assert!(!later_rates.is_empty());
+        assert!(
+            later_rates.iter().all(|&r| r > 0.0),
+            "stale replays must be real past samples, got {later_rates:?}"
+        );
+    }
+
+    /// Back-to-back runs through one scratch give identical results to
+    /// fresh-scratch runs (reset correctness).
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        let fresh = {
+            let mut m = Machine::new(presets::small_machine(1));
+            spawn_pair(&mut m);
+            let mut s = SwapOnce { done: false };
+            run(&mut m, &mut s, SimTime::from_secs_f64(60.0))
+        };
+        let mut scratch = DriverScratch::new();
+        for _ in 0..2 {
+            let mut m = Machine::new(presets::small_machine(1));
+            spawn_pair(&mut m);
+            let mut s = SwapOnce { done: false };
+            let r = run_with_scratch(
+                &mut m,
+                &mut s,
+                SimTime::from_secs_f64(60.0),
+                |_| {},
+                &mut scratch,
+            );
+            assert_eq!(r, fresh);
+        }
     }
 
     #[test]

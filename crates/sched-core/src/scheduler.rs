@@ -61,13 +61,8 @@ mod tests {
         assert_eq!(s.name(), "null");
         assert_eq!(s.initial_quantum(), SimTime::from_ms(100));
         let view = SystemView {
-            now: SimTime::ZERO,
             quantum: SimTime::from_ms(100),
-            quantum_index: 0,
-            threads: vec![],
-            cores: vec![],
-            arrived: vec![],
-            departed: vec![],
+            ..SystemView::default()
         };
         let mut actions = Actions::default();
         s.on_quantum(&view, &mut actions);

@@ -1,0 +1,92 @@
+//! A counting wrapper around the system allocator, for asserting
+//! allocation behaviour in tests.
+//!
+//! The engine's steady-state claim — zero heap allocations per quantum
+//! once the driver's scratch buffers have warmed up — is enforced by a
+//! test, not by convention. Install [`CountingAllocator`] as the
+//! `#[global_allocator]` of a test binary, snapshot
+//! [`CountingAllocator::allocations`] around the region of interest, and
+//! assert on the delta:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! Every `alloc`, `alloc_zeroed`, and growth `realloc` counts as one
+//! allocation event; `dealloc` does not (freeing is not the behaviour the
+//! steady-state claim restricts, and counting it would double-charge
+//! temporaries). Counters use relaxed atomics: the tests that read them
+//! are single-threaded over the region they measure, and the counter is a
+//! diagnostic, not a synchronisation point.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocation events and bytes.
+#[derive(Debug)]
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter (const so it can be a `static`).
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocations: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocation events (alloc + alloc_zeroed + realloc) so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across all allocation events so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        CountingAllocator::new()
+    }
+}
+
+// SAFETY: defers all allocation to `System`, which upholds the
+// `GlobalAlloc` contract; the wrapper only bumps atomic counters.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

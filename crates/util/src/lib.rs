@@ -17,6 +17,9 @@
 //!   `proptest`);
 //! * [`bench`] — a monotonic-clock micro-bench runner with warmup and
 //!   iteration control (replaces `criterion`);
+//! * [`alloc`] — a counting `GlobalAlloc` wrapper for tests that assert
+//!   allocation behaviour (e.g. the zero-allocation steady-state claim of
+//!   the driver's scratch-buffer core);
 //! * [`pool`] — a std-only work-sharing thread pool with deterministic
 //!   result ordering and a `DIKE_THREADS` environment override (replaces
 //!   `rayon` for the experiment drivers' embarrassingly parallel maps).
@@ -25,12 +28,14 @@
 //! `tests/`: any change to either is a breaking change for recorded
 //! experiment fixtures and seeded test expectations.
 
+pub mod alloc;
 pub mod bench;
 pub mod check;
 pub mod json;
 pub mod pool;
 pub mod rng;
 
+pub use alloc::CountingAllocator;
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use pool::Pool;
 pub use rng::{Pcg32, SliceRandom};

@@ -19,6 +19,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # running on multiple workers.
 DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
 
+# Allocation discipline: post-warmup quanta of the closed driver must not
+# allocate (counting global allocator, tests/zero_alloc.rs). The workspace
+# test run above already covers this; the named re-run makes a regression
+# fail loudly as its own step.
+cargo test -q --offline -p dike-repro --test zero_alloc
+
 # Robustness smoke: the fault-injection degradation sweep end to end at a
 # tiny scale — every policy must survive every swept fault level (no
 # panics, no NaN) with the hardened pipeline in the comparison set.

@@ -50,8 +50,16 @@ fn random_workloads_complete_under_dike_and_dio() {
             )
             .fairness();
             assert!((0.0..=1.0).contains(&fairness));
-            // Swap accounting is consistent: two migrations per swap.
-            assert_eq!(result.swaps, result.migrations / 2);
+            // Swap accounting is consistent: fault-free, every applied
+            // migration is either half of a completed swap pair or a
+            // unilateral move.
+            assert_eq!(
+                result.migrations,
+                2 * result.swaps + result.unilateral_migrations
+            );
+            // Dike and DIO only ever issue paired swaps, so fault-free runs
+            // have no unilateral migrations.
+            assert_eq!(result.unilateral_migrations, 0);
         }
     });
 }
