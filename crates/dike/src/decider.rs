@@ -78,6 +78,7 @@ mod tests {
             high_bw: vec![true, false],
             core_bw: vec![0.0, 0.0],
             core_domain: vec![dike_machine::DomainId(0); 2],
+            num_domains: 1,
             fairness_cv: 1.0,
             memory_fraction: 1.0,
         }

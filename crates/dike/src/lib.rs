@@ -59,4 +59,4 @@ pub use observer::{Observation, ObservedThread, Observer, ThreadClass};
 pub use optimizer::WorkloadType;
 pub use predictor::{ErrorSample, Predictor, SwapPrediction};
 pub use scheduler::{Dike, DikeStats};
-pub use selector::{select_pairs, Pair};
+pub use selector::{select_pairs, select_pairs_flat_into, select_pairs_into, Pair, SelectScratch};

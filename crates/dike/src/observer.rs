@@ -73,6 +73,11 @@ pub struct Observation {
     /// view). The Selector pairs swap candidates within a domain so swaps
     /// stay domain-local on multi-controller machines.
     pub core_domain: Vec<DomainId>,
+    /// Number of NUMA domains (hardware knowledge passed through from the
+    /// view's topology). The Selector sizes its per-domain nomination
+    /// lists from this instead of re-deriving the count by max-scanning
+    /// `core_domain` on every call. Always at least 1.
+    pub num_domains: usize,
     /// Worst per-application coefficient of variation of thread access
     /// rates — the fairness-gate quantity of Algorithms 1 and 2 (the
     /// runtime analogue of Eqn 4's per-benchmark runtime CV; max rather
@@ -101,6 +106,7 @@ impl Observation {
         out.core_bw.extend_from_slice(&self.core_bw);
         out.core_domain.clear();
         out.core_domain.extend_from_slice(&self.core_domain);
+        out.num_domains = self.num_domains;
         out.fairness_cv = self.fairness_cv;
         out.memory_fraction = self.memory_fraction;
     }
@@ -368,6 +374,9 @@ impl Observer {
 
         out.core_domain.clear();
         out.core_domain.extend(view.cores.iter().map(|c| c.domain));
+        // Hand-built views (tests) may leave the count unstated (0): treat
+        // as a single domain, matching their all-`DomainId(0)` core tags.
+        out.num_domains = view.num_domains.max(1);
     }
 
     /// Current `CoreBW` moving mean of one core.

@@ -94,6 +94,7 @@ mod tests {
             high_bw: Vec::new(),
             core_bw: Vec::new(),
             core_domain: Vec::new(),
+            num_domains: 1,
             fairness_cv,
             memory_fraction,
         }

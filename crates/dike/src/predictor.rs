@@ -268,6 +268,7 @@ mod tests {
             high_bw: vec![true; rates.len()],
             core_bw: core_bw.to_vec(),
             core_domain: vec![dike_machine::DomainId(0); rates.len()],
+            num_domains: 1,
             fairness_cv: 1.0,
             memory_fraction: 1.0,
         }

@@ -530,6 +530,29 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_telemetry_never_panics_multi_domain_selection() {
+        // Same corruption regime as above but on a 2-controller NUMA box,
+        // exercising the hierarchical per-domain nomination path: the
+        // un-hardened pipeline's NaN-safe ordering (total_cmp) must keep
+        // selection panic-free and every emitted pair domain-local even
+        // when corrupted rates reach the Selector.
+        let mut cfg = presets::numa_machine(2, 5);
+        cfg.faults = dike_machine::FaultConfig::telemetry_axis(0.35, 11);
+        let mut machine = Machine::new(cfg);
+        small_workload().spawn(&mut machine, Placement::Interleaved, 0.2);
+        let mut dike = Dike::new();
+        let result = run(&mut machine, &mut dike, SimTime::from_secs_f64(300.0));
+        assert!(result.completed);
+        assert!(
+            dike.predictor()
+                .error_values()
+                .iter()
+                .all(|e| e.is_finite()),
+            "NaN leaked into swap predictions"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "invalid Dike configuration")]
     fn bad_config_panics_at_construction() {
         let _ = Dike::with_config(DikeConfig {

@@ -1,9 +1,9 @@
 //! The Selector: Algorithm 1 — fairness gate and violator pairing.
 //!
-//! The Selector sorts threads by memory access rate and pairs a low-access
-//! thread `t_l` with a high-access thread `t_h` such that swapping their
-//! cores moves the system toward the *placement rule* (high-access threads
-//! on high-bandwidth cores, low-access threads on low-bandwidth cores).
+//! The Selector pairs a low-access thread `t_l` with a high-access thread
+//! `t_h` such that swapping their cores moves the system toward the
+//! *placement rule* (high-access threads on high-bandwidth cores,
+//! low-access threads on low-bandwidth cores).
 //!
 //! Interpretation notes (the paper's pseudocode is ambiguous about the
 //! violator scan when violators exist on only one side):
@@ -29,9 +29,39 @@
 //! warm-up penalty and change both threads' contention domain, invalidating
 //! the Predictor's per-core bandwidth model. On a single-domain machine the
 //! per-domain scan degenerates to exactly the global Algorithm 1.
+//!
+//! ## Hierarchical selection
+//!
+//! [`select_pairs_into`] is organised as a two-level hierarchy so its cost
+//! stays near-linear as domains multiply:
+//!
+//! 1. **Nomination** — one pass over the threads buckets each by its
+//!    core's domain and feeds it into that domain's bounded candidate
+//!    lists: the `swap_size / 2` lowest-access threads on high-bandwidth
+//!    cores (head nominees) and the `swap_size / 2` highest-access threads
+//!    on low-bandwidth cores (tail nominees). Each list is maintained by
+//!    bounded insertion, so the pass is O(n · swap_size) with no global
+//!    sort and no per-domain rescan of the full thread population.
+//! 2. **Arbitration** — per domain, the k-th head nominee meets the k-th
+//!    tail nominee under exactly the flat algorithm's stop rule (budget,
+//!    side exhaustion, or a non-violator pair whose swap would not help).
+//!
+//! This is pair-for-pair identical to the retained flat reference
+//! ([`select_pairs_flat_into`]): head candidates live on high-bandwidth
+//! cores and tail candidates on low-bandwidth cores, so the two scans of
+//! the flat algorithm never compete for a thread, and its "first unused
+//! eligible from either end of the global sorted order" is precisely the
+//! k-th per-domain extreme. A property test pins the two implementations
+//! to byte-identical pair sequences.
+//!
+//! Ordering uses [`f64::total_cmp`] with a thread-id tiebreak: a corrupted
+//! (NaN) access rate that reaches the Selector orders deterministically
+//! instead of panicking mid-quantum, and distinct threads never compare
+//! equal, so every selection below is a total order and deterministic.
 
 use crate::observer::Observation;
 use dike_machine::{ThreadId, VCoreId};
+use std::cmp::Ordering;
 
 /// A candidate swap pair ⟨t_l, t_h⟩.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,17 +88,154 @@ pub fn select_pairs(obs: &Observation, swap_size: u32, fairness_threshold: f64) 
     pairs
 }
 
-/// Reusable buffers for [`select_pairs_into`].
+/// Reusable buffers for [`select_pairs_into`] and
+/// [`select_pairs_flat_into`].
 #[derive(Debug, Default)]
 pub struct SelectScratch {
+    /// Per-domain head nominees: the `swap_size / 2` lowest-access threads
+    /// on high-bandwidth cores, ascending by (rate, id).
+    heads: Vec<Vec<usize>>,
+    /// Per-domain tail nominees: the `swap_size / 2` highest-access threads
+    /// on low-bandwidth cores, descending by (rate, id).
+    tails: Vec<Vec<usize>>,
+    /// Global sorted order for the flat reference path.
     by_rate: Vec<usize>,
+    /// Pairing consumption flags for the flat reference path.
     used: Vec<bool>,
+}
+
+/// Total order on thread indices: access rate, then thread id. NaN-safe
+/// (`total_cmp`) and antisymmetric for distinct threads (ids are unique).
+fn rate_then_id(obs: &Observation, a: usize, b: usize) -> Ordering {
+    obs.threads[a]
+        .access_rate
+        .total_cmp(&obs.threads[b].access_rate)
+        .then_with(|| obs.threads[a].id.cmp(&obs.threads[b].id))
+}
+
+/// Does swapping `li` (head) with `hi` (tail) break the placement rule for
+/// neither thread while also not increasing high-bandwidth-core access?
+/// This is the flat algorithm's "pointers crossed" stop test, shared by
+/// the arbitration stage.
+fn swap_is_pointless(obs: &Observation, li: usize, hi: usize) -> bool {
+    // A class violator breaks the placement rule: a memory thread on a
+    // low-bandwidth core or a compute thread on a high-bandwidth core.
+    let violator = |i: usize| match obs.threads[i].class {
+        crate::observer::ThreadClass::Memory => !obs.high_bw[obs.threads[i].vcore.index()],
+        crate::observer::ThreadClass::Compute => obs.high_bw[obs.threads[i].vcore.index()],
+    };
+    !violator(li) && !violator(hi) && obs.threads[hi].access_rate <= obs.threads[li].access_rate
 }
 
 /// [`select_pairs`] into a caller-owned pair buffer, reusing `scratch` so
 /// the steady-state selection path performs no heap allocation. `pairs`
 /// is cleared first.
+///
+/// Hierarchical: per-domain bounded nomination followed by per-domain
+/// arbitration (see the module docs), O(n · swap_size) over the thread
+/// count instead of the flat reference's global sort plus per-domain
+/// rescans. The domain count comes from [`Observation::num_domains`]
+/// (topology knowledge), not from re-scanning `core_domain`.
 pub fn select_pairs_into(
+    obs: &Observation,
+    swap_size: u32,
+    fairness_threshold: f64,
+    scratch: &mut SelectScratch,
+    pairs: &mut Vec<Pair>,
+) {
+    pairs.clear();
+    if obs.is_fair(fairness_threshold) {
+        return;
+    }
+    let want = (swap_size / 2) as usize;
+    if want == 0 || obs.threads.len() < 2 {
+        return;
+    }
+    let num_domains = obs.num_domains.max(1);
+
+    // Nomination: bucket threads by domain and keep only each domain's
+    // extremes, by bounded insertion into lists of at most `want` entries.
+    if scratch.heads.len() < num_domains {
+        scratch.heads.resize_with(num_domains, Vec::new);
+        scratch.tails.resize_with(num_domains, Vec::new);
+    }
+    for d in 0..num_domains {
+        scratch.heads[d].clear();
+        scratch.tails[d].clear();
+    }
+    for i in 0..obs.threads.len() {
+        let vcore = obs.threads[i].vcore.index();
+        let dom = if num_domains == 1 {
+            0
+        } else {
+            obs.core_domain[vcore].index()
+        };
+        if dom >= num_domains {
+            // Malformed observation (domain tag beyond the stated count):
+            // such a thread is unpairable, exactly as in the flat scan.
+            continue;
+        }
+        if obs.high_bw[vcore] {
+            nominate(&mut scratch.heads[dom], i, want, |a, b| {
+                rate_then_id(obs, a, b)
+            });
+        } else {
+            nominate(&mut scratch.tails[dom], i, want, |a, b| {
+                rate_then_id(obs, b, a)
+            });
+        }
+    }
+
+    // Arbitration: within each domain the k-th most extreme nominees meet,
+    // under the flat algorithm's stop rule. Nominee lists are disjoint
+    // (head ⊆ high-bandwidth cores, tail ⊆ low-bandwidth cores), so no
+    // cross-consumption bookkeeping is needed.
+    for dom in 0..num_domains {
+        let heads = &scratch.heads[dom];
+        let tails = &scratch.tails[dom];
+        for k in 0..want.min(heads.len()).min(tails.len()) {
+            let (li, hi) = (heads[k], tails[k]);
+            if swap_is_pointless(obs, li, hi) {
+                break;
+            }
+            pairs.push(Pair {
+                low: obs.threads[li].id,
+                low_vcore: obs.threads[li].vcore,
+                high: obs.threads[hi].id,
+                high_vcore: obs.threads[hi].vcore,
+            });
+        }
+    }
+}
+
+/// Bounded-insertion selection: keep `idx` in `list` iff it ranks within
+/// the first `cap` seen so far under `order`, maintaining `list` sorted
+/// ascending by `order`. O(cap) per call; `order` must be a total order
+/// with no ties (guaranteed by the thread-id tiebreak).
+fn nominate(
+    list: &mut Vec<usize>,
+    idx: usize,
+    cap: usize,
+    order: impl Fn(usize, usize) -> Ordering,
+) {
+    let pos = list
+        .iter()
+        .position(|&j| order(idx, j) == Ordering::Less)
+        .unwrap_or(list.len());
+    if list.len() < cap {
+        list.insert(pos, idx);
+    } else if pos < cap {
+        list.pop();
+        list.insert(pos, idx);
+    }
+}
+
+/// The retained flat reference: one global sort by access rate, then per
+/// domain a head/tail rescan of the full sorted order — Algorithm 1 as
+/// the paper writes it, O(n log n + domains · n · swap_size). Kept
+/// verbatim (modulo the shared NaN-safe comparator) as the oracle the
+/// property tests pin [`select_pairs_into`] against.
+pub fn select_pairs_flat_into(
     obs: &Observation,
     swap_size: u32,
     fairness_threshold: f64,
@@ -89,20 +256,11 @@ pub fn select_pairs_into(
     // unstable sort is result-identical to a stable one.
     scratch.by_rate.clear();
     scratch.by_rate.extend(0..obs.threads.len());
-    scratch.by_rate.sort_unstable_by(|&a, &b| {
-        obs.threads[a]
-            .access_rate
-            .partial_cmp(&obs.threads[b].access_rate)
-            .expect("rates are finite")
-            .then(obs.threads[a].id.cmp(&obs.threads[b].id))
-    });
+    scratch
+        .by_rate
+        .sort_unstable_by(|&a, &b| rate_then_id(obs, a, b));
 
-    let num_domains = obs
-        .core_domain
-        .iter()
-        .map(|d| d.index() + 1)
-        .max()
-        .unwrap_or(1);
+    let num_domains = obs.num_domains.max(1);
 
     scratch.used.clear();
     scratch.used.resize(obs.threads.len(), false);
@@ -116,28 +274,22 @@ pub fn select_pairs_into(
             &mut scratch.used,
             pairs,
             want,
-            &eligible,
+            eligible,
         );
     }
 }
 
 /// Algorithm 1's head/tail pairing restricted to the threads `eligible`
-/// accepts, appending at most `budget` pairs.
+/// accepts, appending at most `budget` pairs. Flat reference path only.
 fn pair_within(
     obs: &Observation,
     by_rate: &[usize],
     used: &mut [bool],
     pairs: &mut Vec<Pair>,
     budget: usize,
-    eligible: &dyn Fn(usize) -> bool,
+    eligible: impl Fn(usize) -> bool,
 ) {
     let on_high_bw = |i: usize| obs.high_bw[obs.threads[i].vcore.index()];
-    // A class violator breaks the placement rule: a memory thread on a
-    // low-bandwidth core or a compute thread on a high-bandwidth core.
-    let violator = |i: usize| match obs.threads[i].class {
-        crate::observer::ThreadClass::Memory => !obs.high_bw[obs.threads[i].vcore.index()],
-        crate::observer::ThreadClass::Compute => obs.high_bw[obs.threads[i].vcore.index()],
-    };
 
     let mut formed = 0;
     while formed < budget {
@@ -167,10 +319,7 @@ fn pair_within(
         // workloads, where one side's violators (extra memory threads on
         // slow cores, or extra compute threads on fast cores) have no
         // opposite-side violator to meet.
-        if !violator(li)
-            && !violator(hi)
-            && obs.threads[hi].access_rate <= obs.threads[li].access_rate
-        {
+        if swap_is_pointless(obs, li, hi) {
             break;
         }
         used[li] = true;
@@ -222,6 +371,7 @@ mod tests {
             high_bw,
             core_bw: vec![0.0; n],
             core_domain: vec![DomainId(0); n],
+            num_domains: 1,
             fairness_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
             memory_fraction: 0.5,
         }
@@ -233,14 +383,31 @@ mod tests {
         let flat: Vec<(f64, bool)> = threads.iter().map(|&(r, h, _)| (r, h)).collect();
         let mut o = obs_from(&flat);
         o.core_domain = threads.iter().map(|&(_, _, d)| DomainId(d)).collect();
+        o.num_domains = threads
+            .iter()
+            .map(|&(_, _, d)| d as usize + 1)
+            .max()
+            .unwrap_or(1);
         o
+    }
+
+    /// Run both implementations and assert they agree before returning the
+    /// hierarchical result, so every fixture below exercises the flat
+    /// reference too.
+    fn select_both(obs: &Observation, swap_size: u32, threshold: f64) -> Vec<Pair> {
+        let mut scratch = SelectScratch::default();
+        let mut flat = Vec::new();
+        select_pairs_flat_into(obs, swap_size, threshold, &mut scratch, &mut flat);
+        let hier = select_pairs(obs, swap_size, threshold);
+        assert_eq!(hier, flat, "hierarchical and flat selection diverge");
+        hier
     }
 
     #[test]
     fn fair_system_selects_nothing() {
         let o = obs_from(&[(10.0, true), (10.0, false), (10.0, true), (10.0, false)]);
         assert!(o.fairness_cv < 0.1);
-        assert!(select_pairs(&o, 8, 0.1).is_empty());
+        assert!(select_both(&o, 8, 0.1).is_empty());
     }
 
     #[test]
@@ -248,7 +415,7 @@ mod tests {
         // t0: C on fast (violator, lowest rate), t1: M on slow (violator,
         // highest rate), t2: M on fast (fine), t3: C on slow (fine).
         let o = obs_from(&[(1e6, true), (9e7, false), (8e7, true), (2e6, false)]);
-        let pairs = select_pairs(&o, 2, 0.1);
+        let pairs = select_both(&o, 2, 0.1);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].low, ThreadId(0));
         assert_eq!(pairs[0].high, ThreadId(1));
@@ -269,17 +436,17 @@ mod tests {
             (8e7, false),
             (9e7, false),
         ]);
-        assert_eq!(select_pairs(&o, 2, 0.1).len(), 1);
-        assert_eq!(select_pairs(&o, 4, 0.1).len(), 2);
-        assert_eq!(select_pairs(&o, 8, 0.1).len(), 4);
+        assert_eq!(select_both(&o, 2, 0.1).len(), 1);
+        assert_eq!(select_both(&o, 4, 0.1).len(), 2);
+        assert_eq!(select_both(&o, 8, 0.1).len(), 4);
         // Asking for more than available yields what exists.
-        assert_eq!(select_pairs(&o, 16, 0.1).len(), 4);
+        assert_eq!(select_both(&o, 16, 0.1).len(), 4);
     }
 
     #[test]
     fn pairs_are_disjoint_and_ordered_by_extremity() {
         let o = obs_from(&[(1e6, true), (2e6, true), (6e7, false), (9e7, false)]);
-        let pairs = select_pairs(&o, 4, 0.1);
+        let pairs = select_both(&o, 4, 0.1);
         assert_eq!(pairs.len(), 2);
         // Most extreme pair first.
         assert_eq!(pairs[0].low, ThreadId(0));
@@ -298,7 +465,7 @@ mod tests {
         // All M (unbalanced-memory case): weakest-on-fast pairs with
         // strongest-on-slow, realising the paper's same-type branch.
         let o = obs_from(&[(3e7, true), (4e7, true), (5e7, false), (9e7, false)]);
-        let pairs = select_pairs(&o, 2, 0.1);
+        let pairs = select_both(&o, 2, 0.1);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].low, ThreadId(0)); // weakest on a fast core
         assert_eq!(pairs[0].high, ThreadId(3)); // strongest on a slow core
@@ -308,17 +475,17 @@ mod tests {
     fn no_pair_when_one_side_is_empty() {
         // Everything already on high-BW cores: no tail candidates.
         let o = obs_from(&[(1e6, true), (9e7, true)]);
-        assert!(select_pairs(&o, 4, 0.1).is_empty());
+        assert!(select_both(&o, 4, 0.1).is_empty());
         // Everything on low-BW cores: no head candidates.
         let o = obs_from(&[(1e6, false), (9e7, false)]);
-        assert!(select_pairs(&o, 4, 0.1).is_empty());
+        assert!(select_both(&o, 4, 0.1).is_empty());
     }
 
     #[test]
     fn no_pair_when_swap_would_not_help() {
         // The only high-BW occupant already has the higher rate.
         let o = obs_from(&[(9e7, true), (1e6, false)]);
-        assert!(select_pairs(&o, 4, 0.1).is_empty());
+        assert!(select_both(&o, 4, 0.1).is_empty());
     }
 
     #[test]
@@ -331,7 +498,7 @@ mod tests {
             (2e6, true, 1),  // t2: C on fast, domain 1
             (9e7, false, 1), // t3: highest rate, slow, domain 1
         ]);
-        let pairs = select_pairs(&o, 8, 0.1);
+        let pairs = select_both(&o, 8, 0.1);
         assert_eq!(pairs.len(), 2);
         // Domain 0's pair first, then domain 1's — never t0 with t3.
         assert_eq!(pairs[0].low, ThreadId(0));
@@ -361,8 +528,8 @@ mod tests {
             (6e7, false, 1),
             (9e7, false, 1),
         ]);
-        assert_eq!(select_pairs(&o, 2, 0.1).len(), 2);
-        assert_eq!(select_pairs(&o, 4, 0.1).len(), 4);
+        assert_eq!(select_both(&o, 2, 0.1).len(), 2);
+        assert_eq!(select_both(&o, 4, 0.1).len(), 4);
     }
 
     #[test]
@@ -376,7 +543,7 @@ mod tests {
             (5e6, true, 1),
             (6e7, true, 1),
         ]);
-        let pairs = select_pairs(&o, 8, 0.1);
+        let pairs = select_both(&o, 8, 0.1);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].low, ThreadId(0));
         assert_eq!(pairs[0].high, ThreadId(1));
@@ -399,8 +566,8 @@ mod tests {
         let o1 = obs_with_domains(&tagged);
         for swap_size in [0, 2, 4, 8, 16] {
             assert_eq!(
-                select_pairs(&o0, swap_size, 0.1),
-                select_pairs(&o1, swap_size, 0.1)
+                select_both(&o0, swap_size, 0.1),
+                select_both(&o1, swap_size, 0.1)
             );
         }
     }
@@ -408,8 +575,62 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let o = obs_from(&[(5.0, true)]);
-        assert!(select_pairs(&o, 4, 1e-9).is_empty());
+        assert!(select_both(&o, 4, 1e-9).is_empty());
         let o = obs_from(&[(1e6, true), (9e7, false)]);
-        assert!(select_pairs(&o, 0, 0.1).is_empty());
+        assert!(select_both(&o, 0, 0.1).is_empty());
+    }
+
+    #[test]
+    fn nan_rates_never_panic_and_order_deterministically() {
+        // A corrupted rate that somehow survives sanitization must not
+        // bring selection down: total_cmp orders NaN after every finite
+        // value, both implementations agree, and output stays well-formed.
+        let mut o = obs_from(&[(1e6, true), (9e7, false), (3e7, true), (4e7, false)]);
+        o.threads[2].access_rate = f64::NAN;
+        o.fairness_cv = 10.0; // keep the gate open despite the NaN rate
+        let pairs = select_both(&o, 8, 0.1);
+        for p in &pairs {
+            assert_ne!(p.low, p.high);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shrinking_domain_counts_is_clean() {
+        // A scratch warmed on a 2-domain observation must not leak stale
+        // nominees into a later 1-domain selection.
+        let mut scratch = SelectScratch::default();
+        let mut pairs = Vec::new();
+        let two = obs_with_domains(&[
+            (1e6, true, 0),
+            (8e7, false, 0),
+            (2e6, true, 1),
+            (9e7, false, 1),
+        ]);
+        select_pairs_into(&two, 8, 0.1, &mut scratch, &mut pairs);
+        assert_eq!(pairs.len(), 2);
+        let one = obs_from(&[(1e6, true), (9e7, false)]);
+        select_pairs_into(&one, 8, 0.1, &mut scratch, &mut pairs);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].low, ThreadId(0));
+        assert_eq!(pairs[0].high, ThreadId(1));
+    }
+
+    #[test]
+    fn domain_tags_beyond_stated_count_are_unpairable_in_both_paths() {
+        // Thread t2/t3 carry a domain tag ≥ num_domains (a malformed
+        // observation): both implementations ignore them identically.
+        let mut o = obs_with_domains(&[
+            (1e6, true, 0),
+            (9e7, false, 0),
+            (2e6, true, 1),
+            (8e7, false, 1),
+        ]);
+        o.core_domain[2] = DomainId(5);
+        o.core_domain[3] = DomainId(5);
+        o.num_domains = 2;
+        let pairs = select_both(&o, 8, 0.1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].low, ThreadId(0));
+        assert_eq!(pairs[0].high, ThreadId(1));
     }
 }

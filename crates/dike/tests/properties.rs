@@ -33,9 +33,23 @@ fn obs_from(threads: &[(f64, bool, bool)]) -> Observation {
         high_bw,
         core_bw: vec![1.0; threads.len()],
         core_domain: vec![DomainId(0); threads.len()],
+        num_domains: 1,
         fairness_cv: 10.0, // force the gate open
         memory_fraction: 0.5,
     }
+}
+
+/// Like [`obs_from`] but tagging each thread's core with a NUMA domain
+/// (`domains` parallel to `threads`) and a stated domain count.
+fn obs_with_domains(
+    threads: &[(f64, bool, bool)],
+    domains: &[u32],
+    num_domains: usize,
+) -> Observation {
+    let mut o = obs_from(threads);
+    o.core_domain = domains.iter().map(|&d| DomainId(d)).collect();
+    o.num_domains = num_domains;
+    o
 }
 
 /// Draw a `(access_rate, on_high_bw, is_memory)` tuple list.
@@ -76,6 +90,38 @@ fn selector_pairs_are_disjoint_directed_and_bounded() {
                 assert_eq!(low.vcore, p.low_vcore);
                 assert_eq!(high.vcore, p.high_vcore);
             }
+        },
+    );
+}
+
+#[test]
+fn hierarchical_selection_matches_flat_reference() {
+    use dike_scheduler::{select_pairs_flat_into, select_pairs_into, SelectScratch};
+    // The O(n·swap_size) nomination/arbitration hierarchy must emit the
+    // exact `Pair` sequence of the retained flat reference (global sort +
+    // per-domain rescan) for every domain count, class mix, and budget.
+    check(
+        "hierarchical_selection_matches_flat_reference",
+        512,
+        |rng| {
+            let num_domains = [1usize, 2, 4, 8][rng.gen_range(0usize..4)];
+            let threads = gen_threads(rng, 0.0, 64);
+            let domains: Vec<u32> = threads
+                .iter()
+                .map(|_| rng.gen_range(0u32..num_domains as u32))
+                .collect();
+            let swap_size = rng.gen_range(0u32..20);
+
+            let obs = obs_with_domains(&threads, &domains, num_domains);
+            let mut scratch = SelectScratch::default();
+            let mut hier = Vec::new();
+            let mut flat = Vec::new();
+            select_pairs_into(&obs, swap_size, 0.1, &mut scratch, &mut hier);
+            select_pairs_flat_into(&obs, swap_size, 0.1, &mut scratch, &mut flat);
+            assert_eq!(
+                hier, flat,
+                "selection diverged: {num_domains} domains, swap_size {swap_size}, {threads:?}"
+            );
         },
     );
 }
@@ -132,6 +178,7 @@ fn optimizer_converges_and_stays_valid() {
             high_bw: Vec::new(),
             core_bw: Vec::new(),
             core_domain: Vec::new(),
+            num_domains: 1,
             fairness_cv: 1.0,
             memory_fraction,
         };

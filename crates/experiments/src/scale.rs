@@ -42,9 +42,11 @@ json_struct!(ScalePoint {
     cells,
 });
 
-/// The sweep's machine sizes: the paper machine plus 4- and 8-controller
-/// scale-ups (40 / 160 / 320 vcores).
-pub const SCALE_DOMAINS: [u32; 3] = [1, 4, 8];
+/// The sweep's machine sizes: the paper machine plus 4-, 8-, 16- and
+/// 26-controller scale-ups (40 / 160 / 320 / 640 / 1040 vcores). The two
+/// largest cells exist to demonstrate sub-quadratic growth of the
+/// hierarchical selection + incremental contention-solve pipeline.
+pub const SCALE_DOMAINS: [u32; 5] = [1, 4, 8, 16, 26];
 
 /// The paper's WL1 mix replicated `k`×, plus one KMEANS background — sized
 /// so a `k`-domain machine sees the paper machine's per-controller load.
@@ -159,6 +161,8 @@ mod tests {
         // The 1-domain point is the paper machine and workload scale.
         assert_eq!(scale_workload(1).num_threads(), 40);
         assert_eq!(scale_workload(8).num_threads(), 264);
+        assert_eq!(scale_workload(16).num_threads(), 520);
+        assert_eq!(scale_workload(26).num_threads(), 840);
     }
 
     #[test]

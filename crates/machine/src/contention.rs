@@ -379,6 +379,24 @@ fn solve_memory_scaled(
     cfg: &MemoryConfig,
     rates: &mut Vec<f64>,
 ) -> (f64, f64) {
+    solve_memory_scaled_seeded(demands, factors, cfg, rates, None)
+}
+
+/// [`solve_memory_scaled`] with an optional warm-start seed for the
+/// utilisation iterate. `None` starts the fixed point from `rho = 0`,
+/// reproducing the cold solver bit-for-bit; `Some(rho)` starts from a
+/// previous tick's solved utilisation, which typically converges in 1–2
+/// damped steps instead of 3–6. Either way the early-exit criterion bounds
+/// the result to within [`REL_TOL`] of the true fixed point, so a warm seed
+/// changes the answer by at most ~2·[`REL_TOL`] relative — the basis of the
+/// [`NumaWarmSolver`] tolerance-mode accuracy argument.
+fn solve_memory_scaled_seeded(
+    demands: &[MemDemand],
+    factors: &[f64],
+    cfg: &MemoryConfig,
+    rates: &mut Vec<f64>,
+    seed: Option<f64>,
+) -> (f64, f64) {
     rates.clear();
     if demands.is_empty() {
         return (0.0, cfg.base_latency_s);
@@ -386,7 +404,7 @@ fn solve_memory_scaled(
     rates.resize(demands.len(), 0.0);
 
     let bw = cfg.bandwidth_accesses_per_sec;
-    let mut rho = 0.0_f64;
+    let mut rho = seed.map_or(0.0_f64, |s| s.clamp(0.0, 1.0));
     let mut prev_delta = 0.0_f64;
 
     for _ in 0..MAX_ITERS {
@@ -439,6 +457,161 @@ fn solve_memory_scaled(
         miss_throughput / bw
     };
     (utilisation, latency)
+}
+
+/// Warm-start memo for one memory controller inside a [`NumaWarmSolver`].
+#[derive(Debug, Clone, Default)]
+struct WarmController {
+    /// Demand sub-vector of the last real solve, in presentation order.
+    demands: Vec<MemDemand>,
+    /// Latency factors of the last real solve, parallel to `demands`.
+    factors: Vec<f64>,
+    /// Rates of the last real solve, parallel to `demands`.
+    rates: Vec<f64>,
+    solution: DomainSolution,
+    /// False until the first solve populates the memo.
+    valid: bool,
+}
+
+/// Per-controller warm-started contention solving.
+///
+/// The engine re-solves a controller only when that controller's demand
+/// sub-vector actually moved (per-domain dirty tracking); this type holds
+/// the per-controller state that makes each re-solve cheap and each
+/// unchanged controller free:
+///
+/// * **Exact reuse** — a bitwise-identical `(demands, factors)` sub-vector
+///   returns the memoised rates outright. The solver is a pure function of
+///   its inputs, so this is bit-for-bit the answer a cold solve would give.
+/// * **Tolerance reuse** (opt-in, `tolerance > 0`) — a sub-vector whose
+///   every element moved by less than `tolerance` *relative* keeps the
+///   previous solution. The fixed-point map is Lipschitz in the demands at
+///   the solved point, so the reused rates differ from a fresh solve by
+///   O(`tolerance`) relative.
+/// * **Warm seeding** (tolerance mode only) — a sub-vector that did move
+///   beyond tolerance is re-solved with the fixed point seeded from the
+///   previous utilisation instead of zero. The early-exit criterion bounds
+///   the result to within ~2·1e-12 of the true fixed point regardless of
+///   the seed, so seeding buys iterations, not error.
+///
+/// The default `tolerance` of 0.0 disables both approximations: every
+/// answer is then bit-identical to the cold [`solve_memory_numa_into`]
+/// reference path, which is kept for property-test cross-checking.
+#[derive(Debug, Clone, Default)]
+pub struct NumaWarmSolver {
+    ctrls: Vec<WarmController>,
+    tolerance: f64,
+}
+
+impl NumaWarmSolver {
+    /// An exact (`tolerance = 0`) warm solver for `num_domains` controllers.
+    pub fn new(num_domains: usize) -> Self {
+        Self::with_tolerance(num_domains, 0.0)
+    }
+
+    /// A warm solver that reuses a controller's previous solution while its
+    /// demand vector stays within `tolerance` relative per element.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn with_tolerance(num_domains: usize, tolerance: f64) -> Self {
+        assert!(
+            tolerance >= 0.0 && tolerance.is_finite(),
+            "tolerance must be finite and non-negative, got {tolerance}"
+        );
+        NumaWarmSolver {
+            ctrls: vec![WarmController::default(); num_domains.max(1)],
+            tolerance,
+        }
+    }
+
+    /// Number of controllers this solver tracks.
+    pub fn num_domains(&self) -> usize {
+        self.ctrls.len()
+    }
+
+    /// Drop all memoised state: the next solve of every controller runs
+    /// cold, exactly as on the first tick.
+    pub fn invalidate(&mut self) {
+        for c in &mut self.ctrls {
+            c.valid = false;
+        }
+    }
+
+    /// Solved state of one controller (the last `solve` answer for it).
+    pub fn domain_solution(&self, dom: usize) -> DomainSolution {
+        self.ctrls[dom].solution
+    }
+
+    /// Solve controller `dom` for a demand sub-vector in presentation
+    /// order, returning the achieved rates (parallel to `demands`) and the
+    /// controller solution. Reuses the memoised answer when the inputs are
+    /// bitwise unchanged (always) or within the relative tolerance (when
+    /// one was configured); otherwise runs the fixed point — seeded from
+    /// the previous utilisation in tolerance mode, cold otherwise.
+    pub fn solve(
+        &mut self,
+        dom: usize,
+        demands: &[MemDemand],
+        factors: &[f64],
+        cfg: &MemoryConfig,
+    ) -> (&[f64], DomainSolution) {
+        assert_eq!(
+            demands.len(),
+            factors.len(),
+            "demands and factors must be parallel"
+        );
+        let tolerance = self.tolerance;
+        let c = &mut self.ctrls[dom];
+        if c.valid && c.demands == demands && c.factors == factors {
+            return (&c.rates, c.solution);
+        }
+        if c.valid
+            && tolerance > 0.0
+            && within_relative_tolerance(&c.demands, &c.factors, demands, factors, tolerance)
+        {
+            return (&c.rates, c.solution);
+        }
+        let seed = if tolerance > 0.0 && c.valid && c.demands.len() == demands.len() {
+            Some(c.solution.utilisation)
+        } else {
+            None
+        };
+        let (utilisation, latency_s) =
+            solve_memory_scaled_seeded(demands, factors, cfg, &mut c.rates, seed);
+        c.demands.clear();
+        c.demands.extend_from_slice(demands);
+        c.factors.clear();
+        c.factors.extend_from_slice(factors);
+        c.solution = DomainSolution {
+            utilisation,
+            latency_s,
+        };
+        c.valid = true;
+        (&c.rates, c.solution)
+    }
+}
+
+/// True when `b` is elementwise within `tol` relative of `a` (and the
+/// factor vectors are identical): the reuse test of the warm solver's
+/// tolerance mode. Length changes never pass.
+fn within_relative_tolerance(
+    a_demands: &[MemDemand],
+    a_factors: &[f64],
+    b_demands: &[MemDemand],
+    b_factors: &[f64],
+    tol: f64,
+) -> bool {
+    if a_demands.len() != b_demands.len() || a_factors != b_factors {
+        return false;
+    }
+    a_demands.iter().zip(b_demands).all(|(a, b)| {
+        let bt = (a.base_time_per_instr - b.base_time_per_instr).abs()
+            <= tol * a.base_time_per_instr.abs().max(b.base_time_per_instr.abs());
+        let mr = (a.miss_ratio - b.miss_ratio).abs()
+            <= tol * a.miss_ratio.abs().max(b.miss_ratio.abs()).max(tol);
+        bt && mr
+    })
 }
 
 #[cfg(test)]
@@ -689,5 +862,122 @@ mod tests {
             heavy.latency_s <= cfg.base_latency_s * 25.0,
             "latency finite"
         );
+    }
+
+    fn demand(bt: f64, mr: f64) -> MemDemand {
+        MemDemand {
+            base_time_per_instr: bt,
+            miss_ratio: mr,
+        }
+    }
+
+    #[test]
+    fn warm_solver_exact_mode_matches_cold_solver_bitwise() {
+        let cfg = mem_cfg();
+        let demands = vec![
+            demand(1.0 / 2.33e9, 0.03),
+            demand(1.0 / 1.21e9, 0.15),
+            demand(1.0 / 2.33e9, 0.002),
+        ];
+        let factors = vec![1.0, 1.5, 1.0];
+        let mut warm = NumaWarmSolver::new(2);
+        let mut cold_rates = Vec::new();
+        let (cold_util, cold_lat) = solve_memory_scaled(&demands, &factors, &cfg, &mut cold_rates);
+        for _ in 0..3 {
+            let (rates, sol) = warm.solve(1, &demands, &factors, &cfg);
+            assert_eq!(rates, cold_rates.as_slice(), "rates bit-identical");
+            assert_eq!(sol.utilisation, cold_util);
+            assert_eq!(sol.latency_s, cold_lat);
+        }
+    }
+
+    #[test]
+    fn warm_solver_resolves_on_any_bit_change_in_exact_mode() {
+        let cfg = mem_cfg();
+        let mut demands = vec![demand(1.0 / 2.33e9, 0.03); 8];
+        let factors = vec![1.0; 8];
+        let mut warm = NumaWarmSolver::new(1);
+        let (_, first) = warm.solve(0, &demands, &factors, &cfg);
+        // A tiny (one-ulp-scale) change must still trigger a real re-solve.
+        demands[3].miss_ratio = 0.03 + 1e-14;
+        let (_, second) = warm.solve(0, &demands, &factors, &cfg);
+        let mut cold_rates = Vec::new();
+        let (cold_util, _) = solve_memory_scaled(&demands, &factors, &cfg, &mut cold_rates);
+        assert_eq!(second.utilisation, cold_util, "exact mode never reuses");
+        assert!(first.utilisation > 0.0);
+    }
+
+    #[test]
+    fn warm_solver_tolerance_mode_reuses_within_band_and_resolves_beyond() {
+        let cfg = mem_cfg();
+        let base = vec![demand(1.0 / 2.33e9, 0.03); 8];
+        let factors = vec![1.0; 8];
+        let mut warm = NumaWarmSolver::with_tolerance(1, 1e-3);
+        let (_, first) = warm.solve(0, &base, &factors, &cfg);
+
+        // Inside the band: previous solution is held.
+        let mut nudged = base.clone();
+        nudged[0].miss_ratio *= 1.0 + 1e-6;
+        let (_, held) = warm.solve(0, &nudged, &factors, &cfg);
+        assert_eq!(held.utilisation, first.utilisation);
+
+        // Beyond the band: a fresh (seeded) solve runs and lands within
+        // ~2*REL_TOL of the cold answer.
+        let mut moved = base.clone();
+        for d in &mut moved {
+            d.miss_ratio *= 1.25;
+        }
+        let (_, resolved) = warm.solve(0, &moved, &factors, &cfg);
+        let mut cold_rates = Vec::new();
+        let (cold_util, _) = solve_memory_scaled(&moved, &factors, &cfg, &mut cold_rates);
+        assert!(resolved.utilisation > first.utilisation);
+        let rel = (resolved.utilisation - cold_util).abs() / cold_util.max(1e-12);
+        assert!(rel <= 1e-9, "seeded solve within 1e-9 of cold: rel={rel}");
+    }
+
+    #[test]
+    fn warm_solver_length_change_always_resolves() {
+        let cfg = mem_cfg();
+        let factors4 = vec![1.0; 4];
+        let factors5 = vec![1.0; 5];
+        let mut warm = NumaWarmSolver::with_tolerance(1, 0.5);
+        let four = vec![demand(1.0 / 2.33e9, 0.03); 4];
+        let five = vec![demand(1.0 / 2.33e9, 0.03); 5];
+        let (r4, _) = warm.solve(0, &four, &factors4, &cfg);
+        assert_eq!(r4.len(), 4);
+        let (r5, sol5) = warm.solve(0, &five, &factors5, &cfg);
+        assert_eq!(r5.len(), 5);
+        let mut cold_rates = Vec::new();
+        let (cold_util, _) = solve_memory_scaled(&five, &factors5, &cfg, &mut cold_rates);
+        assert_eq!(sol5.utilisation, cold_util, "membership change re-solves");
+    }
+
+    #[test]
+    fn warm_solver_invalidate_forces_cold_restart() {
+        let cfg = mem_cfg();
+        let demands = vec![demand(1.0 / 2.33e9, 0.03); 4];
+        let factors = vec![1.0; 4];
+        let mut warm = NumaWarmSolver::with_tolerance(2, 1e-3);
+        let (_, a) = warm.solve(0, &demands, &factors, &cfg);
+        warm.invalidate();
+        let (_, b) = warm.solve(0, &demands, &factors, &cfg);
+        // After invalidation the solve is cold (seed None), so the answer is
+        // the plain cold answer bit-for-bit.
+        let mut cold_rates = Vec::new();
+        let (cold_util, _) = solve_memory_scaled(&demands, &factors, &cfg, &mut cold_rates);
+        assert_eq!(b.utilisation, cold_util);
+        assert_eq!(a.utilisation, b.utilisation);
+        assert_eq!(warm.num_domains(), 2);
+        assert_eq!(warm.domain_solution(1), DomainSolution::default());
+    }
+
+    #[test]
+    fn warm_solver_empty_domain_is_consistent() {
+        let cfg = mem_cfg();
+        let mut warm = NumaWarmSolver::new(1);
+        let (rates, sol) = warm.solve(0, &[], &[], &cfg);
+        assert!(rates.is_empty());
+        assert_eq!(sol.utilisation, 0.0);
+        assert_eq!(sol.latency_s, cfg.base_latency_s);
     }
 }

@@ -22,10 +22,7 @@
 //! compare schedulers fairly.
 
 use crate::config::MachineConfig;
-use crate::contention::{
-    llc_inflation, solve_memory_into, solve_memory_numa_into, MemDemand, MemSolution, NumaDemand,
-    NumaSolution,
-};
+use crate::contention::{llc_inflation, solve_memory_into, MemDemand, MemSolution, NumaWarmSolver};
 use crate::ids::{AppId, BarrierId, DomainId, SimTime, ThreadId, VCoreId};
 use crate::phase::Phase;
 use crate::thread::{CoreCounters, ThreadCounters, ThreadSlab, ThreadSpec};
@@ -105,21 +102,27 @@ pub struct Machine {
     vcore_pcore: Vec<u32>,
     /// Frequency of each vcore, likewise flattened.
     vcore_freq: Vec<f64>,
+    // Per-thread cached tick state, indexed by dense thread id. Written
+    // by the rebuild stages, read by the advance stage; between rebuilds
+    // of a thread's domain the entries stay exact (the boundary entry is
+    // a decayed lower bound, re-walked exactly in the advance slow path).
+    thread_phase: Vec<Phase>,
+    thread_boundary: Vec<f64>,
+    thread_eff_mr: Vec<f64>,
+    thread_demand: Vec<MemDemand>,
+    thread_rate: Vec<f64>,
     // Per-tick scratch buffers, reused so steady-state ticks allocate
     // nothing at all.
     scratch_runnable: Vec<usize>,
-    scratch_phases: Vec<Phase>,
-    scratch_boundary: Vec<f64>,
     scratch_demands: Vec<MemDemand>,
-    scratch_eff_mr: Vec<f64>,
     scratch_solution: MemSolution,
-    /// Demand vector of the last tick that actually ran the memory solver.
-    /// The solver is a pure function of the demands, so when a tick builds
-    /// a bitwise-identical vector (the common steady state: same phases,
-    /// same placement, same noise window) the previous solution is reused
-    /// verbatim instead of re-running the fixed point.
+    /// Demand vector of the last tick that actually ran the memory solver
+    /// (single-controller machines). The solver is a pure function of the
+    /// demands, so when a tick builds a bitwise-identical vector (the
+    /// common steady state: same phases, same placement, same noise
+    /// window) the previous solution is reused verbatim instead of
+    /// re-running the fixed point.
     memo_demands: Vec<MemDemand>,
-    memo_numa_demands: Vec<NumaDemand>,
     /// Set by every state mutation (spawn, migration, stall, balancer
     /// move, completion, barrier traffic, phase-boundary crossing). While
     /// clear, the per-tick scratch state built by the last full tick still
@@ -130,10 +133,12 @@ pub struct Machine {
     /// scratch state was last rebuilt: a window change redraws burstiness
     /// noise, so quiescent ticks require the window to match.
     memo_window: u64,
-    /// Simulated time at which the scratch state was last rebuilt. A
-    /// thread whose dead time or cache warm-up expires *after* this
-    /// instant changes runnability or effective miss ratio without any
-    /// event firing, so such pending expiries also force the full path.
+    /// Simulated time at which the scratch state was last rebuilt. A dead
+    /// time or cache warm-up expiring between this instant and the current
+    /// tick changes runnability or an effective miss ratio without any
+    /// event firing; the per-tick expiry scan detects exactly those
+    /// *crossings* (an expiry still in the future leaves every cached
+    /// branch outcome unchanged, so it forces nothing until it happens).
     cache_now: SimTime,
     scratch_vcore_load: Vec<u32>,
     scratch_pcore_load: Vec<u32>,
@@ -141,11 +146,44 @@ pub struct Machine {
     scratch_finished: Vec<ThreadId>,
     scratch_occupancy: Vec<u32>,
     scratch_moves: Vec<(ThreadId, VCoreId)>,
-    // Multi-domain scratch (unused on single-controller machines, whose
-    // tick path is unchanged from the original single-solver code).
-    scratch_domain_llc: Vec<f64>,
-    scratch_numa_demands: Vec<NumaDemand>,
-    scratch_numa_solution: NumaSolution,
+    // Multi-domain incremental-rebuild state (empty on single-controller
+    // machines, whose tick path keeps the original single-solver
+    // arithmetic verbatim).
+    /// True when the machine has more than one NUMA domain and takes the
+    /// per-domain incremental rebuild path.
+    multi: bool,
+    /// NUMA domain of each vcore, flattened from the immutable topology.
+    vcore_domain: Vec<u32>,
+    /// Run domains whose cached loads/LLC/demands no longer match the
+    /// machine. Every event marks the domain(s) it touches; a rebuild
+    /// refreshes exactly the marked ones.
+    dirty_domains: Vec<bool>,
+    /// Memory controllers whose demand sub-vector may have moved and must
+    /// be re-presented to the warm solver (which skips bitwise-unchanged
+    /// inputs outright).
+    stale_ctrls: Vec<bool>,
+    /// Alive thread ids currently *running* in each domain, ascending —
+    /// the per-domain walk list of the incremental rebuild. Ascending
+    /// order keeps every float accumulation in global thread order, which
+    /// is what makes the partial rebuild bit-identical to a full one.
+    run_members: Vec<Vec<u32>>,
+    /// Alive thread ids *homed* to each controller, ascending — the
+    /// presentation order of each controller's demand sub-vector.
+    home_members: Vec<Vec<u32>>,
+    /// Static per-domain vcore lists (for zeroing a dirty domain's loads).
+    domain_vcores: Vec<Vec<u32>>,
+    /// Static per-domain pcore lists (pcores never span domains).
+    domain_pcores: Vec<Vec<u32>>,
+    /// Per-domain shared-LLC inflation factor, persistent across ticks so
+    /// clean domains keep theirs.
+    domain_llc: Vec<f64>,
+    /// Per-controller warm-started fixed-point solver (exact mode: reuses
+    /// a solution only on bitwise-identical inputs, so results stay
+    /// bit-identical to the cold reference).
+    ctrl_solver: NumaWarmSolver,
+    ctrl_scratch_demands: Vec<MemDemand>,
+    ctrl_scratch_factors: Vec<f64>,
+    ctrl_scratch_members: Vec<u32>,
 }
 
 impl Machine {
@@ -178,6 +216,22 @@ impl Machine {
         let vcore_freq: Vec<f64> = (0..n_vcores)
             .map(|v| cfg.topology.freq_of(VCoreId(v as u32)))
             .collect();
+        let num_domains = cfg.topology.num_domains();
+        let multi = num_domains > 1;
+        let vcore_domain: Vec<u32> = (0..n_vcores)
+            .map(|v| cfg.topology.domain_of(VCoreId(v as u32)).0)
+            .collect();
+        let mut domain_vcores = vec![Vec::new(); if multi { num_domains } else { 0 }];
+        let mut domain_pcores = vec![Vec::new(); if multi { num_domains } else { 0 }];
+        if multi {
+            for (v, &d) in vcore_domain.iter().enumerate() {
+                domain_vcores[d as usize].push(v as u32);
+            }
+            for p in 0..cfg.topology.num_pcores() {
+                let d = cfg.topology.domain_of_pcore(crate::ids::PCoreId(p as u32));
+                domain_pcores[d.index()].push(p as u32);
+            }
+        }
         Machine {
             cfg,
             now: SimTime::ZERO,
@@ -198,27 +252,45 @@ impl Machine {
             alive: Vec::new(),
             vcore_pcore,
             vcore_freq,
+            thread_phase: Vec::new(),
+            thread_boundary: Vec::new(),
+            thread_eff_mr: Vec::new(),
+            thread_demand: Vec::new(),
+            thread_rate: Vec::new(),
             scratch_runnable: Vec::new(),
-            scratch_phases: Vec::new(),
-            scratch_boundary: Vec::new(),
             scratch_demands: Vec::new(),
-            scratch_eff_mr: Vec::new(),
             scratch_solution: MemSolution::empty(),
             memo_demands: Vec::new(),
-            memo_numa_demands: Vec::new(),
             // Dirty until the first full tick builds the scratch state.
             state_dirty: true,
             memo_window: u64::MAX,
             cache_now: SimTime::ZERO,
-            scratch_vcore_load: Vec::new(),
-            scratch_pcore_load: Vec::new(),
+            // Multi-domain loads persist across partial rebuilds, so they
+            // are sized once here (single-domain machines resize their own
+            // copies per rebuild, as before).
+            scratch_vcore_load: if multi { vec![0; n_vcores] } else { Vec::new() },
+            scratch_pcore_load: if multi {
+                vec![0; domain_pcores.iter().map(Vec::len).sum()]
+            } else {
+                Vec::new()
+            },
             scratch_vcore_busy: Vec::new(),
             scratch_finished: Vec::new(),
             scratch_occupancy: Vec::new(),
             scratch_moves: Vec::new(),
-            scratch_domain_llc: Vec::new(),
-            scratch_numa_demands: Vec::new(),
-            scratch_numa_solution: NumaSolution::empty(),
+            multi,
+            vcore_domain,
+            dirty_domains: vec![false; if multi { num_domains } else { 0 }],
+            stale_ctrls: vec![false; if multi { num_domains } else { 0 }],
+            run_members: vec![Vec::new(); if multi { num_domains } else { 0 }],
+            home_members: vec![Vec::new(); if multi { num_domains } else { 0 }],
+            domain_vcores,
+            domain_pcores,
+            domain_llc: vec![1.0; if multi { num_domains } else { 0 }],
+            ctrl_solver: NumaWarmSolver::new(num_domains),
+            ctrl_scratch_demands: Vec::new(),
+            ctrl_scratch_factors: Vec::new(),
+            ctrl_scratch_members: Vec::new(),
         }
     }
 
@@ -253,12 +325,47 @@ impl Machine {
             self.barrier_groups.entry(b.group).or_default().push(id);
         }
         let home = self.cfg.topology.domain_of(vcore);
+        // Placeholder cached state: the spawn dirties the thread's domain,
+        // so the next rebuild overwrites these before the advance stage
+        // ever reads them.
+        let phase0 = *spec
+            .program
+            .phase_at(0.0)
+            .expect("validated program has a first phase");
         self.threads.push(spec, vcore, home, self.now);
         self.noise_window.push(u64::MAX);
         self.noise_unit.push(0.0);
+        self.thread_phase.push(phase0);
+        self.thread_boundary.push(0.0);
+        self.thread_eff_mr.push(0.0);
+        self.thread_demand.push(MemDemand {
+            base_time_per_instr: 0.0,
+            miss_ratio: 0.0,
+        });
+        self.thread_rate.push(0.0);
         // Ids are monotone, so appending keeps the alive list ascending.
         self.alive.push(id.0);
         self.state_dirty = true;
+        if self.multi {
+            let d = self.vcore_domain[vcore.index()] as usize;
+            self.run_members[d].push(id.0);
+            self.home_members[home.index()].push(id.0);
+            self.dirty_domains[d] = true;
+            self.stale_ctrls[home.index()] = true;
+            // Migrations shuffle membership lists mid-run: keep every list
+            // (and the controller sub-vector scratch) sized for the whole
+            // population so a binary-search insert never reallocates.
+            let n = self.threads.len();
+            for v in &mut self.run_members {
+                v.reserve(n - v.len());
+            }
+            for v in &mut self.home_members {
+                v.reserve(n - v.len());
+            }
+            self.ctrl_scratch_demands.reserve(n);
+            self.ctrl_scratch_factors.reserve(n);
+            self.ctrl_scratch_members.reserve(n);
+        }
         // Every live thread can finish in the same tick, and the balancer
         // can move every live thread at once: keep those scratches sized
         // for the worst case now, so the first completion (which is also
@@ -268,6 +375,34 @@ impl Machine {
         self.events
             .push(MachineEvent::Spawned { thread: id, vcore });
         id
+    }
+
+    /// Mark thread `i`'s current run domain dirty and its home controller
+    /// stale (multi-domain machines; no-op otherwise). Every event that can
+    /// change the thread's runnability, placement or demand must call this
+    /// — for moves, once per endpoint.
+    fn mark_thread_dirty(&mut self, i: usize) {
+        if self.multi {
+            let d = self.vcore_domain[self.threads.vcore[i].index()] as usize;
+            self.dirty_domains[d] = true;
+            self.stale_ctrls[self.threads.home_domain[i].index()] = true;
+        }
+    }
+
+    /// Move thread `i` between per-domain run-membership lists, keeping
+    /// both ascending (multi-domain machines only).
+    fn move_run_member(&mut self, i: u32, from_d: usize, to_d: usize) {
+        if !self.multi || from_d == to_d {
+            return;
+        }
+        let list = &mut self.run_members[from_d];
+        if let Ok(pos) = list.binary_search(&i) {
+            list.remove(pos);
+        }
+        let list = &mut self.run_members[to_d];
+        if let Err(pos) = list.binary_search(&i) {
+            list.insert(pos, i);
+        }
     }
 
     /// Move a thread to another virtual core. A move to the thread's current
@@ -286,7 +421,17 @@ impl Machine {
             return;
         }
         let from = self.threads.vcore[i];
+        // Both endpoints change state: the source domain loses the thread's
+        // load/LLC share, the destination gains it (once runnable again),
+        // and the home controller's sub-vector moves either way.
+        self.mark_thread_dirty(i);
         self.threads.vcore[i] = to;
+        self.mark_thread_dirty(i);
+        self.move_run_member(
+            thread.0,
+            self.vcore_domain[from.index()] as usize,
+            self.vcore_domain[to.index()] as usize,
+        );
         self.threads.dead_until[i] = self.now + SimTime::from_us(self.cfg.migration.dead_time_us);
         // Warm-up scales with the thread's current working set: a large
         // footprint takes proportionally longer to refill on the new core.
@@ -326,6 +471,7 @@ impl Machine {
             return;
         }
         self.threads.dead_until[i] = until;
+        self.mark_thread_dirty(i);
         self.state_dirty = true;
         self.events.push(MachineEvent::Stalled {
             thread,
@@ -559,7 +705,14 @@ impl Machine {
             return;
         }
         let from = self.threads.vcore[i];
+        self.mark_thread_dirty(i);
         self.threads.vcore[i] = to;
+        self.mark_thread_dirty(i);
+        self.move_run_member(
+            thread.0,
+            self.vcore_domain[from.index()] as usize,
+            self.vcore_domain[to.index()] as usize,
+        );
         let ws_mib = self.threads.specs[i]
             .program
             .phase_at(self.threads.retired[i])
@@ -581,12 +734,15 @@ impl Machine {
         });
     }
 
-    /// Rebuild the full per-tick scratch state — stages 1–3 of the tick:
-    /// the runnable walk, shared-LLC pressure, contention demands and the
-    /// memory solution. Afterwards the scratch mirrors the machine
-    /// exactly, so the dirty flag clears and quiescent ticks may reuse
-    /// it; events from the advance stage or from between-tick actuation
-    /// re-dirty it.
+    /// Rebuild the full per-tick scratch state of a single-controller
+    /// machine — stages 1–3 of the tick: the runnable walk, shared-LLC
+    /// pressure, contention demands and the memory solution. Afterwards
+    /// the cached per-thread state mirrors the machine exactly, so the
+    /// dirty flag clears and quiescent ticks may reuse it; events from the
+    /// advance stage or from between-tick actuation re-dirty it. The
+    /// arithmetic (and its evaluation order) is unchanged from the
+    /// original single-solver code, so paper-machine results stay
+    /// bit-identical.
     fn rebuild_tick_state(&mut self, n_vcores: usize, window: u64) {
         // 1. Runnable threads, per-vcore and per-pcore occupancy, and each
         //    runnable thread's active phase: one combined walk per thread
@@ -596,8 +752,6 @@ impl Machine {
         //    idling between open-system arrivals) pays per live thread,
         //    not per thread ever spawned.
         self.scratch_runnable.clear();
-        self.scratch_phases.clear();
-        self.scratch_boundary.clear();
         self.scratch_vcore_load.clear();
         self.scratch_vcore_load.resize(n_vcores, 0);
         self.scratch_pcore_load.clear();
@@ -611,8 +765,8 @@ impl Machine {
                     .phase_and_boundary(self.threads.retired[i])
                     .expect("runnable thread must have an active phase");
                 self.scratch_runnable.push(i);
-                self.scratch_phases.push(phase);
-                self.scratch_boundary.push(boundary);
+                self.thread_phase[i] = phase;
+                self.thread_boundary[i] = boundary;
                 let v = self.threads.vcore[i].index();
                 self.scratch_vcore_load[v] += 1;
                 self.scratch_pcore_load[self.vcore_pcore[v] as usize] += 1;
@@ -624,44 +778,21 @@ impl Machine {
             // factor needs no pass of its own: a sibling context is busy
             // exactly when the physical core carries more load than the
             // vcore itself, so it is read off the load counts inside the
-            // demand loop below. Shared-LLC: on a single-controller machine one
-            // LLC spans the whole chip (the paper's testbed); on a NUMA
-            // machine each domain has its own LLC slice fed by the threads
-            // *running* in that domain. The single-domain arithmetic below
-            // is kept verbatim so paper-machine results stay bit-identical.
-            let multi = self.cfg.topology.num_domains() > 1;
-            if !multi {
-                let total_ws: f64 = self.scratch_phases.iter().map(|p| p.working_set_mib).sum();
-                let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
-                self.scratch_domain_llc.clear();
-                self.scratch_domain_llc.push(llc_factor);
-            } else {
-                self.scratch_domain_llc.clear();
-                self.scratch_domain_llc
-                    .resize(self.cfg.topology.num_domains(), 0.0);
-                for (k, &i) in self.scratch_runnable.iter().enumerate() {
-                    let ws = self.scratch_phases[k].working_set_mib;
-                    let d = self.cfg.topology.domain_of(self.threads.vcore[i]).index();
-                    self.scratch_domain_llc[d] += ws;
-                }
-                for f in &mut self.scratch_domain_llc {
-                    *f = llc_inflation(*f, &self.cfg.llc);
-                }
-            }
+            // demand loop below. One LLC spans the whole chip (the paper's
+            // testbed).
+            let total_ws: f64 = self
+                .scratch_runnable
+                .iter()
+                .map(|&i| self.thread_phase[i].working_set_mib)
+                .sum();
+            let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
 
             // Effective per-thread miss ratios and pipeline times.
             self.scratch_demands.clear();
-            self.scratch_numa_demands.clear();
-            self.scratch_eff_mr.clear();
-            for (k, &i) in self.scratch_runnable.iter().enumerate() {
-                let phase = &self.scratch_phases[k];
+            for idx in 0..self.scratch_runnable.len() {
+                let i = self.scratch_runnable[idx];
+                let phase = self.thread_phase[i];
                 let vcore = self.threads.vcore[i];
-                let run_domain = self.cfg.topology.domain_of(vcore);
-                let llc_factor = if multi {
-                    self.scratch_domain_llc[run_domain.index()]
-                } else {
-                    self.scratch_domain_llc[0]
-                };
                 let mut mr = phase.miss_ratio() * llc_factor;
                 let mut cpi = phase.cpi_exec;
                 if self.now < self.threads.warmup_until[i] {
@@ -691,42 +822,20 @@ impl Machine {
                     1.0
                 };
                 let base_time = cpi / (freq * share * smt_factor);
-                let demand = MemDemand {
+                self.thread_eff_mr[i] = mr;
+                self.scratch_demands.push(MemDemand {
                     base_time_per_instr: base_time,
                     miss_ratio: mr,
-                };
-                if multi {
-                    self.scratch_numa_demands.push(NumaDemand {
-                        demand,
-                        home: self.threads.home_domain[i],
-                        remote: run_domain != self.threads.home_domain[i],
-                    });
-                } else {
-                    self.scratch_demands.push(demand);
-                }
-                self.scratch_eff_mr.push(mr);
+                });
             }
 
-            // 4. Memory system (into the reusable solution buffers): one
-            // global fixed point on the paper machine, one per controller
-            // on a NUMA machine.
+            // 4. Memory system (into the reusable solution buffer).
             // A bitwise-unchanged demand vector reuses the previous
             // solution outright (`memo_demands` tracks the inputs of the
             // last real solve, whose outputs still sit in the solution
             // buffer) — identical inputs give identical outputs, so this
             // is a pure speedup.
-            if multi {
-                if self.scratch_numa_demands != self.memo_numa_demands {
-                    solve_memory_numa_into(
-                        &self.scratch_numa_demands,
-                        self.cfg.topology.num_domains(),
-                        &self.cfg.memory,
-                        &mut self.scratch_numa_solution,
-                    );
-                    self.memo_numa_demands
-                        .clone_from(&self.scratch_numa_demands);
-                }
-            } else if self.scratch_demands != self.memo_demands {
+            if self.scratch_demands != self.memo_demands {
                 solve_memory_into(
                     &self.scratch_demands,
                     &self.cfg.memory,
@@ -734,8 +843,160 @@ impl Machine {
                 );
                 self.memo_demands.clone_from(&self.scratch_demands);
             }
+            for (k, &i) in self.scratch_runnable.iter().enumerate() {
+                self.thread_rate[i] = self.scratch_solution.rates[k];
+            }
         }
 
+        self.state_dirty = false;
+        self.memo_window = window;
+        self.cache_now = self.now;
+    }
+
+    /// Incremental multi-domain rebuild: refresh only the run domains
+    /// marked dirty and re-present only the stale controllers to the warm
+    /// solver. Cross-domain coupling is one-directional by construction —
+    /// a thread's demand depends only on state *inside its run domain*
+    /// (per-domain LLC slice, per-vcore/pcore loads, its own warm-up and
+    /// noise), and a controller's solution depends only on the demands of
+    /// the threads *homed* to it — so refreshing the marked subset
+    /// reproduces what a full rebuild would compute, bit for bit:
+    ///
+    /// * every per-thread quantity is an independent pure function, so
+    ///   clean-domain threads' cached values are already what a full
+    ///   rebuild would recompute;
+    /// * the only cross-thread float accumulation (a domain's working-set
+    ///   sum) walks that domain's members in ascending thread order —
+    ///   exactly the order in which the old global walk met them;
+    /// * each controller's demand sub-vector is presented in ascending
+    ///   thread order, exactly the partition order of the old
+    ///   `solve_memory_numa_into`, and the warm solver in exact mode runs
+    ///   the very same fixed point on it (skipping bitwise-unchanged
+    ///   inputs, which is a pure speedup).
+    fn rebuild_tick_state_multi(&mut self, window: u64) {
+        let num_domains = self.cfg.topology.num_domains();
+        // A window change redraws burstiness noise for every bursty
+        // thread (and the first rebuild has nothing cached): refresh
+        // everything.
+        if window != self.memo_window {
+            self.dirty_domains.iter_mut().for_each(|f| *f = true);
+            self.stale_ctrls.iter_mut().for_each(|f| *f = true);
+        }
+
+        for d in 0..num_domains {
+            if !self.dirty_domains[d] {
+                continue;
+            }
+            // Stage 1 (per dirty domain): loads, phases and the domain's
+            // shared-LLC slice, walking only this domain's members.
+            for &v in &self.domain_vcores[d] {
+                self.scratch_vcore_load[v as usize] = 0;
+            }
+            for &p in &self.domain_pcores[d] {
+                self.scratch_pcore_load[p as usize] = 0;
+            }
+            let mut ws_sum = 0.0;
+            for idx in 0..self.run_members[d].len() {
+                let i = self.run_members[d][idx] as usize;
+                if !self.threads.runnable(i, self.now) {
+                    continue;
+                }
+                let (phase, boundary) = self.threads.specs[i]
+                    .program
+                    .phase_and_boundary(self.threads.retired[i])
+                    .expect("runnable thread must have an active phase");
+                self.thread_phase[i] = phase;
+                self.thread_boundary[i] = boundary;
+                let v = self.threads.vcore[i].index();
+                self.scratch_vcore_load[v] += 1;
+                self.scratch_pcore_load[self.vcore_pcore[v] as usize] += 1;
+                ws_sum += phase.working_set_mib;
+            }
+            self.domain_llc[d] = llc_inflation(ws_sum, &self.cfg.llc);
+
+            // Stage 2 (same domain, loads now final): effective miss
+            // ratios and demands. Any thread whose demand is recomputed
+            // may feed a different sub-vector to its home controller.
+            let llc_factor = self.domain_llc[d];
+            for idx in 0..self.run_members[d].len() {
+                let i = self.run_members[d][idx] as usize;
+                if !self.threads.runnable(i, self.now) {
+                    continue;
+                }
+                let phase = self.thread_phase[i];
+                let mut mr = phase.miss_ratio() * llc_factor;
+                let mut cpi = phase.cpi_exec;
+                if self.now < self.threads.warmup_until[i] {
+                    mr *= self.cfg.migration.warmup_miss_multiplier;
+                    cpi *= self.cfg.migration.warmup_cpi_multiplier;
+                }
+                if phase.burstiness != 0.0 {
+                    if self.noise_window[i] != window {
+                        self.noise_window[i] = window;
+                        self.noise_unit[i] = noise_unit(self.cfg.seed, i, window);
+                    }
+                    mr *= 1.0 + phase.burstiness * (2.0 * self.noise_unit[i] - 1.0);
+                }
+                mr = mr.clamp(0.0, 1.0);
+                let v = self.threads.vcore[i].index();
+                let share = 1.0 / self.scratch_vcore_load[v] as f64;
+                let freq = self.vcore_freq[v];
+                let smt_factor = if self.scratch_pcore_load[self.vcore_pcore[v] as usize]
+                    > self.scratch_vcore_load[v]
+                {
+                    self.cfg.smt.busy_share
+                } else {
+                    1.0
+                };
+                let base_time = cpi / (freq * share * smt_factor);
+                self.thread_eff_mr[i] = mr;
+                self.thread_demand[i] = MemDemand {
+                    base_time_per_instr: base_time,
+                    miss_ratio: mr,
+                };
+                self.stale_ctrls[self.threads.home_domain[i].index()] = true;
+            }
+        }
+
+        // Stage 3: re-present each stale controller's demand sub-vector
+        // (runnable home members, ascending) to the warm solver and
+        // scatter the achieved rates back. The solver memoises bitwise, so
+        // a controller whose sub-vector did not actually move costs one
+        // comparison instead of a fixed point.
+        for c in 0..num_domains {
+            if !self.stale_ctrls[c] {
+                continue;
+            }
+            self.ctrl_scratch_demands.clear();
+            self.ctrl_scratch_factors.clear();
+            self.ctrl_scratch_members.clear();
+            for idx in 0..self.home_members[c].len() {
+                let i = self.home_members[c][idx] as usize;
+                if !self.threads.runnable(i, self.now) {
+                    continue;
+                }
+                let run_d = self.vcore_domain[self.threads.vcore[i].index()] as usize;
+                self.ctrl_scratch_demands.push(self.thread_demand[i]);
+                self.ctrl_scratch_factors.push(if run_d != c {
+                    self.cfg.memory.remote_latency_factor
+                } else {
+                    1.0
+                });
+                self.ctrl_scratch_members.push(i as u32);
+            }
+            let (rates, _) = self.ctrl_solver.solve(
+                c,
+                &self.ctrl_scratch_demands,
+                &self.ctrl_scratch_factors,
+                &self.cfg.memory,
+            );
+            for (j, &i) in self.ctrl_scratch_members.iter().enumerate() {
+                self.thread_rate[i as usize] = rates[j];
+            }
+        }
+
+        self.dirty_domains.iter_mut().for_each(|f| *f = false);
+        self.stale_ctrls.iter_mut().for_each(|f| *f = false);
         self.state_dirty = false;
         self.memo_window = window;
         self.cache_now = self.now;
@@ -772,77 +1033,109 @@ impl Machine {
         let n_vcores = self.cfg.topology.num_vcores();
         let window = self.tick_index / NOISE_WINDOW_TICKS;
 
-        // Quiescent-tick eligibility. The expiry checks compare against
-        // `cache_now`, the instant the scratch state was built: a dead
-        // time or warm-up that ends anywhere *after* that instant changes
-        // the runnable set or an effective miss ratio without any event
-        // firing, so the first tick at or past the expiry still takes the
-        // full path and rebuilds (after which the check passes again).
-        let quiescent = !self.state_dirty
-            && window == self.memo_window
-            && !self.scratch_runnable.is_empty()
-            && self.alive.iter().all(|&i| {
+        // Quiescent-tick eligibility. The expiry scan detects *crossings*:
+        // a dead time or warm-up that ended between `cache_now` (when the
+        // cached state was built) and this tick changes the runnable set
+        // or an effective miss ratio without any event firing. An expiry
+        // still in the future flips nothing yet — every cached branch
+        // outcome (`now >= dead_until`, `now < warmup_until`) is constant
+        // until the instant is actually crossed — so, unlike the previous
+        // scheme, a pending expiry alone no longer forces a rebuild every
+        // tick. Skipping the rebuild is bit-identical because rebuilding
+        // is idempotent: with no input changed it would recompute exactly
+        // the cached values.
+        let mut crossed = false;
+        if self.multi {
+            // On a NUMA machine the crossing is also an *event*: mark the
+            // thread's run domain and home controller so the partial
+            // rebuild refreshes them.
+            for idx in 0..self.alive.len() {
+                let i = self.alive[idx] as usize;
+                let dead = self.threads.dead_until[i];
+                let warm = self.threads.warmup_until[i];
+                if (dead > self.cache_now && dead <= self.now)
+                    || (warm > self.cache_now && warm <= self.now)
+                {
+                    crossed = true;
+                    let d = self.vcore_domain[self.threads.vcore[i].index()] as usize;
+                    self.dirty_domains[d] = true;
+                    self.stale_ctrls[self.threads.home_domain[i].index()] = true;
+                }
+            }
+        } else {
+            crossed = self.alive.iter().any(|&i| {
                 let i = i as usize;
-                self.threads.dead_until[i] <= self.cache_now
-                    && self.threads.warmup_until[i] <= self.cache_now
+                let dead = self.threads.dead_until[i];
+                let warm = self.threads.warmup_until[i];
+                (dead > self.cache_now && dead <= self.now)
+                    || (warm > self.cache_now && warm <= self.now)
             });
+        }
+        let quiescent = !self.state_dirty && window == self.memo_window && !crossed;
 
         if !quiescent {
-            self.rebuild_tick_state(n_vcores, window);
+            if self.multi {
+                self.rebuild_tick_state_multi(window);
+            } else {
+                self.rebuild_tick_state(n_vcores, window);
+            }
         }
 
-        if !self.scratch_runnable.is_empty() {
-            let multi = self.cfg.topology.num_domains() > 1;
-            // 5. Advance threads.
+        {
+            let multi = self.multi;
+            // 5. Advance threads (the alive list is ascending and the
+            // runnable set cannot have changed since the last rebuild, so
+            // this meets exactly the rebuilt threads, in rebuild order).
             self.scratch_vcore_busy.clear();
             self.scratch_vcore_busy.resize(n_vcores, false);
-            for (k, &i) in self.scratch_runnable.iter().enumerate() {
-                let rate = if multi {
-                    self.scratch_numa_solution.rates[k]
-                } else {
-                    self.scratch_solution.rates[k]
-                };
-                let mr = self.scratch_eff_mr[k];
+            for idx in 0..self.alive.len() {
+                let i = self.alive[idx] as usize;
+                if !self.threads.runnable(i, self.now) {
+                    continue;
+                }
+                let rate = self.thread_rate[i];
+                let mr = self.thread_eff_mr[i];
                 let vcore = self.threads.vcore[i];
                 let freq = self.vcore_freq[vcore.index()];
                 let retired = self.threads.retired[i];
                 let next_barrier_at = self.threads.next_barrier_at[i];
 
-                // `scratch_boundary[k]` is a lower bound on the distance
-                // to the thread's next phase boundary: exact right after a
-                // full rebuild, then decayed by each tick's progress (the
-                // decay's f64 rounding is absorbed by a one-instruction
-                // cushion in the test below). When the whole tick's
-                // progress fits strictly inside that bound and short of
-                // the barrier, the exact walk below would take its
-                // single-slice branch with the very same `advance`, so the
-                // walk is skipped outright.
+                // `thread_boundary[i]` is a lower bound on the distance
+                // to the thread's next phase boundary: exact right after
+                // its domain's rebuild, then decayed by each tick's
+                // progress (the decay's f64 rounding is absorbed by a
+                // one-instruction cushion in the test below). When the
+                // whole tick's progress fits strictly inside that bound
+                // and short of the barrier, the exact walk below would
+                // take its single-slice branch with the very same
+                // `advance`, so the walk is skipped outright.
                 let to_barrier0 = (next_barrier_at - retired).max(0.0);
                 let possible0 = rate * dt_s;
                 let mut advance = 0.0;
                 let mut hit_barrier = false;
                 if rate > 0.0
-                    && possible0 < self.scratch_boundary[k] - 1.0
+                    && possible0 < self.thread_boundary[i] - 1.0
                     && possible0 < to_barrier0
                 {
                     advance = possible0;
                 } else {
                     // Near a boundary, a barrier, or stalled: run the exact
-                    // multi-slice advance. On a quiescent tick the cached
-                    // bound has decayed, so the true distance is re-walked
-                    // first (a full rebuild computed it exactly).
-                    if quiescent {
-                        self.scratch_boundary[k] = self.threads.specs[i]
-                            .program
-                            .instructions_to_boundary(retired);
-                    }
+                    // multi-slice advance. The cached bound may have
+                    // decayed, so the true distance is re-walked first —
+                    // `instructions_to_boundary` returns the same value a
+                    // rebuild's phase lookup computes (a property pinned by
+                    // a unit test in `phase.rs`), so re-walking is always
+                    // exact regardless of how stale the bound was.
+                    self.thread_boundary[i] = self.threads.specs[i]
+                        .program
+                        .instructions_to_boundary(retired);
                     // Advance through as many phase boundaries as the tick
                     // allows (the achieved rate is held constant within the
                     // tick; phase boundaries only clamp barrier/completion
                     // crossings exactly). The first iteration's boundary came
-                    // free with the phase lookup above.
+                    // free with the walk above.
                     let mut time_left = dt_s;
-                    let mut first_boundary = Some(self.scratch_boundary[k]);
+                    let mut first_boundary = Some(self.thread_boundary[i]);
                     for _ in 0..64 {
                         if time_left <= 0.0 || rate <= 0.0 {
                             break;
@@ -873,7 +1166,7 @@ impl Machine {
                     }
                 }
 
-                let apki = self.scratch_phases[k].apki;
+                let apki = self.thread_phase[i].apki;
                 self.threads.retired[i] = retired + advance;
                 let c = &mut self.threads.counters[i];
                 c.instructions += advance;
@@ -891,20 +1184,36 @@ impl Machine {
                 // Reaching (or crossing) a phase boundary changes the next
                 // tick's phase lookup, so the cached phases cannot be
                 // reused past it.
-                if advance >= self.scratch_boundary[k] {
+                if advance >= self.thread_boundary[i] {
                     self.state_dirty = true;
+                    self.mark_thread_dirty(i);
                 }
                 // Decay the boundary bound by this tick's progress (see
-                // above; a full rebuild restores exactness).
-                self.scratch_boundary[k] -= advance;
+                // above; a rebuild restores exactness).
+                self.thread_boundary[i] -= advance;
                 if self.threads.retired[i] >= self.threads.specs[i].program.total_instructions {
                     self.threads.finished_at[i] =
                         Some(self.now + SimTime::from_us(self.cfg.tick_us));
                     self.threads.at_barrier[i] = false;
                     self.state_dirty = true;
+                    if multi {
+                        // The departure changes its domain's loads and its
+                        // controller's membership; drop it from both walk
+                        // lists now that it can never run again.
+                        self.mark_thread_dirty(i);
+                        let d = self.vcore_domain[vcore.index()] as usize;
+                        if let Ok(pos) = self.run_members[d].binary_search(&(i as u32)) {
+                            self.run_members[d].remove(pos);
+                        }
+                        let h = self.threads.home_domain[i].index();
+                        if let Ok(pos) = self.home_members[h].binary_search(&(i as u32)) {
+                            self.home_members[h].remove(pos);
+                        }
+                    }
                 } else if hit_barrier {
                     self.threads.at_barrier[i] = true;
                     self.state_dirty = true;
+                    self.mark_thread_dirty(i);
                 }
             }
             for (v, busy) in self.scratch_vcore_busy.iter().enumerate() {
@@ -920,6 +1229,7 @@ impl Machine {
         // the previous scan already released every complete group and
         // nothing has arrived since, so the scan is skipped.
         if !quiescent || self.state_dirty {
+            let multi = self.multi;
             for members in self.barrier_groups.values() {
                 let all_arrived = members.iter().all(|t| {
                     let i = t.index();
@@ -936,6 +1246,13 @@ impl Machine {
                                 .interval_instructions;
                             self.threads.next_barrier_at[i] += interval;
                             self.state_dirty = true;
+                            if multi {
+                                // A released member rejoins its domain's
+                                // runnable set next tick.
+                                let d = self.vcore_domain[self.threads.vcore[i].index()] as usize;
+                                self.dirty_domains[d] = true;
+                                self.stale_ctrls[self.threads.home_domain[i].index()] = true;
+                            }
                         }
                     }
                 }
@@ -944,12 +1261,12 @@ impl Machine {
 
         // Record completions after the fact (events carry the finish tick).
         // Only a thread that ran this tick can have finished in it, so the
-        // runnable list is the full candidate set (it is ascending, so
-        // events keep their id order).
+        // alive list — still holding this tick's finishers, ascending — is
+        // the full candidate set (events keep their id order).
         self.scratch_finished.clear();
         let tick_end = self.now + SimTime::from_us(self.cfg.tick_us);
-        for k in 0..self.scratch_runnable.len() {
-            let i = self.scratch_runnable[k];
+        for idx in 0..self.alive.len() {
+            let i = self.alive[idx] as usize;
             if self.threads.finished_at[i] == Some(tick_end) {
                 self.scratch_finished.push(ThreadId(i as u32));
             }

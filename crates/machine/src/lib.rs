@@ -54,6 +54,7 @@ pub use config::{presets, LlcConfig, MachineConfig, MemoryConfig, MigrationConfi
 pub use contention::{
     llc_inflation, solve_memory, solve_memory_into, solve_memory_numa, solve_memory_numa_into,
     solve_memory_reference, DomainSolution, MemDemand, MemSolution, NumaDemand, NumaSolution,
+    NumaWarmSolver,
 };
 pub use engine::{Machine, MachineEvent};
 pub use faults::{FaultConfig, FaultEvent, FaultHasher, FaultKind, FaultPlan};

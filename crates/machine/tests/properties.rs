@@ -3,7 +3,8 @@
 use dike_machine::{
     llc_inflation, presets, solve_memory, solve_memory_into, solve_memory_numa,
     solve_memory_reference, AppId, DomainId, LlcConfig, Machine, MemDemand, MemSolution,
-    MemoryConfig, NumaDemand, Phase, PhaseProgram, PhaseRepeat, SimTime, ThreadSpec, VCoreId,
+    MemoryConfig, NumaDemand, NumaWarmSolver, Phase, PhaseProgram, PhaseRepeat, SimTime,
+    ThreadSpec, VCoreId,
 };
 use dike_util::check::check;
 use dike_util::Pcg32;
@@ -339,6 +340,95 @@ fn numa_total_bandwidth_never_exceeds_sum_of_controller_peaks() {
                 "total {total} > {} * {bw}",
                 n_domains
             );
+        },
+    );
+}
+
+#[test]
+fn warm_started_solver_tracks_reference_across_perturbation_sequences() {
+    // The engine's warm solver re-solves a controller only when its demand
+    // vector moves, seeding the fixed point from the previous quantum's
+    // utilisation. Across randomized perturbation sequences — small nudges,
+    // large jumps, membership growth/shrink — every answer it hands out
+    // (including reused ones, in exact mode) must agree with the cold
+    // full-budget `solve_memory_reference` to 1e-9 relative.
+    check(
+        "warm_started_solver_tracks_reference_across_perturbation_sequences",
+        48,
+        |rng| {
+            let n0 = rng.gen_range(1usize..48);
+            let bw = rng.gen_range(2e7f64..1.5e9);
+            let seq_len = rng.gen_range(2usize..8);
+            // Draw the whole perturbation schedule up front so shrinking
+            // keeps the draw-sequence shape.
+            let mut demands: Vec<MemDemand> = (0..n0)
+                .map(|_| MemDemand {
+                    base_time_per_instr: rng.gen_range(0.2f64..2.5) / 2.33e9,
+                    miss_ratio: rng.gen_range(0.0f64..0.08),
+                })
+                .collect();
+            let mut steps: Vec<Vec<MemDemand>> = Vec::new();
+            for _ in 0..seq_len {
+                match rng.gen_range(0u32..4) {
+                    // Tiny nudge of one element (may round to no-op).
+                    0 => {
+                        let i = rng.gen_range(0usize..demands.len());
+                        let f = 1.0 + rng.gen_range(0.0f64..1e-8);
+                        demands[i].miss_ratio *= f;
+                    }
+                    // Substantial move of a random subset.
+                    1 => {
+                        for d in demands.iter_mut() {
+                            if rng.gen_range(0u32..3) == 0 {
+                                d.base_time_per_instr *= rng.gen_range(0.5f64..2.0);
+                            }
+                        }
+                    }
+                    // Membership change: add a thread.
+                    2 => demands.push(MemDemand {
+                        base_time_per_instr: rng.gen_range(0.2f64..2.5) / 2.33e9,
+                        miss_ratio: rng.gen_range(0.0f64..0.08),
+                    }),
+                    // Membership change: drop a thread (keep at least one).
+                    _ => {
+                        if demands.len() > 1 {
+                            let i = rng.gen_range(0usize..demands.len());
+                            demands.remove(i);
+                        }
+                    }
+                }
+                steps.push(demands.clone());
+            }
+
+            let cfg = MemoryConfig {
+                bandwidth_accesses_per_sec: bw,
+                ..MemoryConfig::default()
+            };
+            let mut warm = NumaWarmSolver::new(1);
+            for step in &steps {
+                let factors = vec![1.0; step.len()];
+                let (rates, sol) = warm.solve(0, step, &factors, &cfg);
+                let reference = solve_memory_reference(step, &cfg);
+                assert_eq!(rates.len(), reference.rates.len());
+                for (a, b) in rates.iter().zip(&reference.rates) {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                        "warm rate {a} deviates from reference {b}"
+                    );
+                }
+                assert!(
+                    (sol.utilisation - reference.utilisation).abs() <= 1e-9,
+                    "utilisation {} vs {}",
+                    sol.utilisation,
+                    reference.utilisation
+                );
+                assert!(
+                    (sol.latency_s - reference.latency_s).abs() <= 1e-9 * reference.latency_s,
+                    "latency {} vs {}",
+                    sol.latency_s,
+                    reference.latency_s
+                );
+            }
         },
     );
 }

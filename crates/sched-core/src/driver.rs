@@ -341,6 +341,7 @@ pub fn run_open_with_scratch(
             bandwidth: 0.0,
         });
     }
+    scratch.view.num_domains = machine.config().topology.num_domains();
 
     let mut quanta = 0u64;
     let migrations_before = machine.total_migrations();

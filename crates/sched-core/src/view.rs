@@ -56,6 +56,11 @@ pub struct SystemView {
     pub threads: Vec<ThreadObservation>,
     /// All cores, in core-id order.
     pub cores: Vec<CoreObservation>,
+    /// Number of NUMA domains on the machine — public hardware knowledge
+    /// from the topology, so policies never have to re-derive it by
+    /// scanning per-core domain tags. `0` (the default) means "unstated";
+    /// consumers treat it as a single domain.
+    pub num_domains: usize,
     /// Threads that arrived (were spawned) during the quantum that just
     /// elapsed, in spawn order. Always empty for a closed workload, where
     /// every thread exists before the driver starts.

@@ -20,6 +20,14 @@ check=target/debug/bench_check
 fail=0
 "$check" target/BENCH_sweep_smoke.json results/BENCH_sweep.json || fail=1
 "$check" target/BENCH_scale_smoke.json results/BENCH_scale.json || fail=1
+# Every scale row up to the 1040-vcore cell must be covered by the smoke
+# run — a missing row would otherwise SKIP silently inside bench_check.
+for row in 1dom_40c 4dom_160c 8dom_320c 16dom_640c 26dom_1040c; do
+    if ! grep -q "\"scale/dike_$row\"" target/BENCH_scale_smoke.json; then
+        echo "bench_check: scale smoke is missing row $row"
+        fail=1
+    fi
+done
 "$check" target/BENCH_open_smoke.json results/BENCH_open.json || fail=1
 "$check" target/BENCH_robustness_smoke.json results/BENCH_robustness.json || fail=1
 

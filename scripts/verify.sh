@@ -34,4 +34,9 @@ cargo run -q --release --offline -p dike-experiments --bin robustness -- --scale
 # to target/, never touches the recorded results/BENCH_*.json).
 DIKE_BENCH_FAST=1 scripts/bench.sh
 
+# The smoke must include the largest NUMA scale cell (26 controllers, 1040
+# vcores): its presence proves the hierarchical selection and warm-started
+# contention-solve pipeline drives the full-size machine end to end.
+grep -q '"scale/dike_26dom_1040c"' target/BENCH_scale_smoke.json
+
 echo "verify: OK"
