@@ -1,0 +1,104 @@
+//! Fleet bench: wall-clock of a whole fleet lap — tenant trace
+//! generation, the open-loop dispatch pre-pass, every machine's
+//! open-system run over the pool workers, and the fleet-wide windowed
+//! fairness roll-up.
+//!
+//! Two rows:
+//!
+//! * `fleet/dike_8m_12t` — the smoke fleet, run in both fast and full
+//!   mode. This is the row `scripts/bench_check.sh` guards (same
+//!   configuration in both modes, so the smoke-vs-reference ratio is a
+//!   pure host-speed measurement).
+//! * `fleet/dike_64m_96t` — the headline fleet: 64 machines, 96
+//!   tenants, >1M simulated thread-arrivals per lap. Full mode only; a
+//!   smoke lap at this size would dominate CI. Its recorded row carries
+//!   `arrivals` and `arrivals_per_sec` so the throughput trajectory is
+//!   visible release over release.
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` records them into `results/BENCH_fleet.json`.
+
+use dike_experiments::fleet::{headline_config, smoke_config, FLEET_SEED};
+use dike_fleet::FleetRunner;
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::{pool, Pool};
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+    let pool = Pool::from_env();
+
+    // (row name, arrivals per lap), recorded into the JSON extras.
+    let mut arrivals: Vec<(String, u64)> = Vec::new();
+
+    let smoke = FleetRunner::new(smoke_config(FLEET_SEED));
+    let mut smoke_arrivals = 0u64;
+    b.bench("fleet/dike_8m_12t", || {
+        let r = smoke.run(&pool);
+        smoke_arrivals = r.total_arrivals;
+        black_box(r.mean_windowed_fairness)
+    });
+    arrivals.push(("fleet/dike_8m_12t".to_string(), smoke_arrivals));
+
+    if !fast {
+        let headline = FleetRunner::new(headline_config(FLEET_SEED));
+        let mut headline_arrivals = 0u64;
+        b.bench("fleet/dike_64m_96t", || {
+            let r = headline.run(&pool);
+            headline_arrivals = r.total_arrivals;
+            black_box(r.mean_windowed_fairness)
+        });
+        arrivals.push(("fleet/dike_64m_96t".to_string(), headline_arrivals));
+    }
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ];
+                // Throughput extras (ignored by bench_check's median
+                // comparison, read by EXPERIMENTS.md): how many simulated
+                // thread-arrivals one lap dispatches and completes, and
+                // the resulting arrivals per wall-clock second.
+                if let Some((_, n)) = arrivals.iter().find(|(name, _)| *name == r.name) {
+                    fields.push(("arrivals".into(), Value::Num(Num::U(*n))));
+                    fields.push((
+                        "arrivals_per_sec".into(),
+                        Value::Num(Num::F(*n as f64 / (r.median_ns / 1e9))),
+                    ));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

@@ -1,0 +1,111 @@
+//! Fleet-scale multi-tenancy driver: route tenants' Poisson arrival
+//! streams over a fleet of independent machines and roll per-tenant
+//! fairness up across the fleet. See the `fleet` module docs.
+//!
+//! Flags (the other binaries' common flags do not fit a fleet, so this
+//! binary parses its own):
+//!
+//! * `--machines <n>` — fleet size (default 64);
+//! * `--tenants <n>`  — tenant count (default 96);
+//! * `--seed <n>`     — fleet seed (default 42);
+//! * `--quick`        — the 8-machine, 12-tenant smoke fleet;
+//! * `--json <path>`  — also write the full `FleetResult` as JSON (the
+//!   byte-identity artefact the determinism gate diffs);
+//! * `--per-machine`  — print the per-machine table too.
+
+use dike_experiments::fleet;
+use dike_util::{json, Pool};
+use std::time::Instant;
+
+struct Args {
+    machines: usize,
+    tenants: usize,
+    seed: u64,
+    quick: bool,
+    json_path: Option<String>,
+    per_machine: bool,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        machines: fleet::FLEET_MACHINES,
+        tenants: fleet::FLEET_TENANTS,
+        seed: fleet::FLEET_SEED,
+        quick: false,
+        json_path: None,
+        per_machine: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--machines" => {
+                let v = iter.next().ok_or("--machines needs a value")?;
+                a.machines = v
+                    .parse()
+                    .map_err(|e| format!("bad --machines {v:?}: {e}"))?;
+            }
+            "--tenants" => {
+                let v = iter.next().ok_or("--tenants needs a value")?;
+                a.tenants = v.parse().map_err(|e| format!("bad --tenants {v:?}: {e}"))?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                a.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+            }
+            "--quick" => a.quick = true,
+            "--json" => a.json_path = Some(iter.next().ok_or("--json needs a path")?),
+            "--per-machine" => a.per_machine = true,
+            "--help" | "-h" => {
+                return Err(
+                    "flags: --machines <n> (default 64), --tenants <n> (default 96), \
+                     --seed <n>, --quick, --json <path>, --per-machine"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    if a.machines == 0 || a.tenants == 0 {
+        return Err("--machines and --tenants must be >= 1".into());
+    }
+    Ok(a)
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if args.quick {
+        fleet::smoke_config(args.seed)
+    } else {
+        fleet::fleet_config(args.machines, args.tenants, args.seed)
+    };
+    let offered = cfg.offered_threads();
+    println!(
+        "Fleet — {} machines, {} tenants, {} offered thread-arrivals\n",
+        cfg.machines.len(),
+        cfg.tenants.len(),
+        offered
+    );
+    let t0 = Instant::now();
+    let result = fleet::run_fleet_pool(&cfg, &Pool::from_env());
+    let host_s = t0.elapsed().as_secs_f64();
+
+    println!("{}\n", fleet::summary(&result));
+    print!("{}", fleet::render_tenants(&result).render());
+    if args.per_machine {
+        print!("\n{}", fleet::render_machines(&result).render());
+    }
+    println!(
+        "\nhost wall-clock: {host_s:.1}s ({:.0} arrivals/sec)",
+        result.total_arrivals as f64 / host_s
+    );
+    if let Some(path) = args.json_path {
+        std::fs::write(&path, json::to_string(&result) + "\n").expect("write --json");
+        println!("wrote {path}");
+    }
+}

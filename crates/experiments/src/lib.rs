@@ -19,6 +19,7 @@
 //! | [`ablations`] | DESIGN.md §5 design-choice ablations |
 //! | [`scale`] | beyond-paper: 40/160/320-vcore NUMA scale sweep |
 //! | [`open`] | beyond-paper: open-system arrivals/departures |
+//! | [`fleet`] | beyond-paper: fleet-scale multi-tenancy roll-up |
 //! | [`robustness`] | beyond-paper: fault-injection degradation curves |
 
 pub mod ablations;
@@ -30,6 +31,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod open;
 pub mod robustness;
 pub mod runner;

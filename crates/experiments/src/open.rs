@@ -19,7 +19,9 @@
 use crate::runner::{RunOptions, SchedKind};
 use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
 use dike_machine::{presets, Machine, MachineConfig, SimTime};
-use dike_metrics::{mean, mean_sojourn, windowed_fairness, TextTable, ThreadSpan, WindowPoint};
+use dike_metrics::{
+    fairness_summary, mean_sojourn, windowed_fairness, TextTable, ThreadSpan, WindowPoint,
+};
 use dike_sched_core::{run_open, NullScheduler, RunResult, TimedSpawn};
 use dike_scheduler::{Dike, SchedConfig};
 use dike_util::{json_struct, Pool};
@@ -174,7 +176,7 @@ pub fn run_open_cell(
         })
         .collect();
     let windows = windowed_fairness(&spans, WINDOW_S, WINDOW_STEP_S, wall.max(WINDOW_S));
-    let fair: Vec<f64> = windows.iter().map(|w| w.fairness).collect();
+    let (mean_fair, min_fair) = fairness_summary(&windows);
 
     OpenPoint {
         trace: trace.name.clone(),
@@ -185,8 +187,8 @@ pub fn run_open_cell(
         completed: result.completed,
         makespan_s: wall,
         mean_sojourn_s: mean_sojourn(&spans, wall),
-        mean_windowed_fairness: mean(&fair),
-        min_windowed_fairness: fair.iter().copied().fold(f64::INFINITY, f64::min),
+        mean_windowed_fairness: mean_fair,
+        min_windowed_fairness: min_fair,
         windows,
     }
 }

@@ -4,7 +4,7 @@
 //! wall-clock knob with no effect on any recorded figure or fixture.
 
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, open, robustness, scale, table3, RunOptions};
+use dike_experiments::{fig6, fleet, open, robustness, scale, table3, RunOptions};
 use dike_machine::presets;
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -124,6 +124,27 @@ fn scale_sweep_is_thread_count_invariant_on_numa_machines() {
             serial_json,
             json::to_string(&parallel),
             "{threads}-thread scale sweep JSON must be byte-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn fleet_rollup_is_thread_count_invariant() {
+    // The fleet fans whole machines (not cells) across the pool, and its
+    // dispatch pre-pass runs before any worker starts — so machine
+    // placement on workers must not leak into a single byte of the
+    // rolled-up result.
+    let cfg = fleet::smoke_config(5);
+    let serial = fleet::run_fleet_pool(&cfg, &Pool::new(1));
+    let serial_json = json::to_string(&serial);
+    assert!(serial_json.contains("\"tenants\""), "fleet serializes");
+    assert!(serial.total_arrivals > 0, "smoke fleet must dispatch work");
+    for threads in [2usize, 8] {
+        let parallel = fleet::run_fleet_pool(&cfg, &Pool::new(threads));
+        assert_eq!(
+            serial_json,
+            json::to_string(&parallel),
+            "{threads}-thread fleet JSON must be byte-identical to serial"
         );
     }
 }

@@ -1,0 +1,226 @@
+//! Open-loop arrival dispatch: route every tenant arrival to a machine
+//! *before* any machine simulates a tick.
+//!
+//! A feedback dispatcher (route by each machine's observed queue) would
+//! force the fleet to simulate in lockstep — machine `i`'s state at time
+//! `t` would depend on every other machine's state at `t`, serialising
+//! the whole fleet and destroying worker-count invariance. Instead the
+//! dispatcher is a *pre-pass*: it walks the merged, time-ordered arrival
+//! stream once and maintains its own load estimate per machine — an
+//! exponentially decayed count of dispatched threads, normalised by the
+//! machine's vcore count so a 2-domain NUMA box absorbs twice the share
+//! of a single-socket one. Each event goes to the machine with the
+//! lowest effective load, where a tenant's *home* machine (a seeded hash
+//! of the tenant id) competes with a configurable discount — the
+//! least-loaded-with-affinity rule, ties broken toward the lowest
+//! machine index. The result is a pure function of the fleet config, so
+//! the per-machine simulations can fan out in parallel afterwards with
+//! no cross-machine communication at all.
+//!
+//! An arrival event is dispatched *whole*: all of its threads land on
+//! one machine. Splitting would strand barrier siblings (KMEANS phases
+//! synchronise within an arrival instance) on machines that never
+//! exchange messages.
+
+use crate::config::FleetConfig;
+use dike_machine::{AppId, BarrierId, SimTime};
+use dike_sched_core::TimedSpawn;
+use dike_util::rng::splitmix64;
+use dike_workloads::{ArrivalTrace, MergedArrival};
+
+/// Where every arrival went, plus the per-machine spawn plans the runner
+/// feeds to the open-system driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchPlan {
+    /// The merged, time-ordered event stream (one entry per arrival
+    /// event across all tenants).
+    pub merged: Vec<MergedArrival>,
+    /// Machine index chosen for each merged event, parallel to `merged`.
+    pub assignment: Vec<u32>,
+    /// Owning tenant of each *global event index*. The runner tags every
+    /// spawned thread's `AppId` with its global event index, so this is
+    /// the thread→tenant map for the roll-up.
+    pub tenant_of_event: Vec<u32>,
+    /// Per-machine spawn plans, in arrival order.
+    pub per_machine: Vec<Vec<TimedSpawn>>,
+}
+
+impl DispatchPlan {
+    /// Total threads routed, across all machines.
+    pub fn total_threads(&self) -> usize {
+        self.per_machine.iter().map(Vec::len).sum()
+    }
+}
+
+/// Materialise every tenant's arrival trace, in tenant order.
+pub fn tenant_traces(cfg: &FleetConfig) -> Vec<ArrivalTrace> {
+    cfg.tenants
+        .iter()
+        .map(|t| ArrivalTrace::poisson(t.name.clone(), &t.apps, &t.arrivals, t.seed))
+        .collect()
+}
+
+/// A tenant's home machine: a SplitMix64 hash of the tenant index,
+/// reduced mod the fleet size. Independent of load, so it never changes
+/// mid-run, and spread uniformly so homes do not pile onto machine 0.
+pub fn home_machine(tenant: u32, n_machines: usize) -> u32 {
+    let mut s = 0xD1CE_F1EE_7000_0000u64 ^ u64::from(tenant);
+    (splitmix64(&mut s) % n_machines as u64) as u32
+}
+
+/// Route every arrival in `traces` over the fleet's machines and expand
+/// the per-machine spawn plans.
+///
+/// Every thread of event `g` (global merged index) is spawned with
+/// `AppId(g)` and `BarrierId(g)`: distinct arrivals stay distinct
+/// applications even when two tenants' events land on the same machine,
+/// and barrier groups never span machines.
+pub fn dispatch(cfg: &FleetConfig, traces: &[ArrivalTrace]) -> DispatchPlan {
+    let m = cfg.machines.len();
+    assert!(m > 0, "cannot dispatch over an empty fleet");
+    assert_eq!(traces.len(), cfg.tenants.len(), "one trace per tenant");
+    let vcores: Vec<f64> = cfg
+        .machines
+        .iter()
+        .map(|mc| mc.topology.num_vcores() as f64)
+        .collect();
+    let homes: Vec<u32> = (0..traces.len() as u32)
+        .map(|t| home_machine(t, m))
+        .collect();
+
+    let merged = ArrivalTrace::merge_order(traces);
+    let mut assignment = Vec::with_capacity(merged.len());
+    let mut tenant_of_event = Vec::with_capacity(merged.len());
+    let mut per_machine: Vec<Vec<TimedSpawn>> = vec![Vec::new(); m];
+
+    // Exponentially decayed dispatched-thread count per machine, with the
+    // time it was last touched. Decay is applied lazily at read time, so
+    // the estimate is a pure function of the dispatch history.
+    let mut load = vec![0.0f64; m];
+    let mut last_ms = vec![0u64; m];
+    let tau = cfg.dispatch.decay_tau_ms.max(1.0);
+
+    for (g, ev) in merged.iter().enumerate() {
+        let event = &traces[ev.tenant as usize].events[ev.event as usize];
+        let home = homes[ev.tenant as usize];
+        let mut best = 0usize;
+        let mut best_eff = f64::INFINITY;
+        for i in 0..m {
+            let decayed = load[i] * (-((ev.at_ms - last_ms[i]) as f64) / tau).exp();
+            let mut eff = decayed / vcores[i];
+            if i as u32 == home {
+                eff -= cfg.dispatch.affinity_bonus;
+            }
+            // Strict `<` keeps the lowest index on ties.
+            if eff < best_eff {
+                best_eff = eff;
+                best = i;
+            }
+        }
+        load[best] = load[best] * (-((ev.at_ms - last_ms[best]) as f64) / tau).exp()
+            + f64::from(event.nthreads);
+        last_ms[best] = ev.at_ms;
+        assignment.push(best as u32);
+        tenant_of_event.push(ev.tenant);
+
+        let app = AppId(g as u32);
+        let barrier = BarrierId(g as u32);
+        let at = SimTime::from_ms(ev.at_ms);
+        for _ in 0..event.nthreads {
+            per_machine[best].push(TimedSpawn {
+                at,
+                spec: event.app.thread_spec(app, cfg.scale, barrier),
+            });
+        }
+    }
+
+    DispatchPlan {
+        merged,
+        assignment,
+        tenant_of_event,
+        per_machine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_workloads::ArrivalConfig;
+
+    fn fleet(machines: usize, tenants: usize) -> FleetConfig {
+        FleetConfig::uniform(
+            machines,
+            tenants,
+            ArrivalConfig {
+                mean_interarrival_ms: 500.0,
+                horizon_ms: 10_000,
+                threads_min: 1,
+                threads_max: 3,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn homes_are_stable_and_spread() {
+        let homes: Vec<u32> = (0..64).map(|t| home_machine(t, 16)).collect();
+        assert_eq!(
+            homes,
+            (0..64).map(|t| home_machine(t, 16)).collect::<Vec<_>>()
+        );
+        let mut used = homes.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert!(used.len() > 8, "64 tenants over 16 machines should spread");
+        assert!(homes.iter().all(|&h| h < 16));
+    }
+
+    #[test]
+    fn load_balances_away_from_a_hot_machine() {
+        // With affinity off, a burst of simultaneous arrivals must not
+        // all land on machine 0: each dispatch raises that machine's
+        // load, pushing the next arrival elsewhere.
+        let mut cfg = fleet(4, 8);
+        cfg.dispatch.affinity_bonus = 0.0;
+        let traces = tenant_traces(&cfg);
+        let plan = dispatch(&cfg, &traces);
+        let mut used: Vec<u32> = plan.assignment.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert!(
+            used.len() == 4,
+            "every machine should receive work, got {used:?}"
+        );
+    }
+
+    #[test]
+    fn affinity_pins_a_lone_tenant_home() {
+        // One tenant, overwhelming bonus: every event lands on the home
+        // machine regardless of the load it accumulates there.
+        let mut cfg = fleet(4, 1);
+        cfg.dispatch.affinity_bonus = 1e9;
+        let traces = tenant_traces(&cfg);
+        let plan = dispatch(&cfg, &traces);
+        let home = home_machine(0, 4);
+        assert!(!plan.assignment.is_empty());
+        assert!(plan.assignment.iter().all(|&a| a == home));
+    }
+
+    #[test]
+    fn numa_machines_absorb_more_by_vcore_normalisation() {
+        // Machine 7 (every 8th) has twice the vcores. Under uniform load
+        // with affinity off it should receive noticeably more threads
+        // than the single-socket average.
+        let mut cfg = fleet(8, 16);
+        cfg.dispatch.affinity_bonus = 0.0;
+        let traces = tenant_traces(&cfg);
+        let plan = dispatch(&cfg, &traces);
+        let counts: Vec<usize> = plan.per_machine.iter().map(Vec::len).collect();
+        let single_avg: f64 = counts[..7].iter().sum::<usize>() as f64 / 7.0;
+        assert!(
+            counts[7] as f64 > single_avg,
+            "NUMA box got {} vs single-socket average {single_avg:.1}",
+            counts[7]
+        );
+    }
+}

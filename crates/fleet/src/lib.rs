@@ -1,0 +1,29 @@
+//! # dike-fleet — fleet-scale multi-tenancy over independent machines
+//!
+//! Everything below the fleet layer simulates *one* machine. Real
+//! consolidated deployments run thousands, with tenants' jobs arriving
+//! at a dispatcher that must pick a machine for each. This crate models
+//! that layer while preserving the workspace's two core contracts:
+//!
+//! * **Determinism** — a fleet run is a pure function of its
+//!   [`FleetConfig`]. The dispatcher routes *before* simulation starts
+//!   (an open-loop pre-pass over the merged arrival stream), so machines
+//!   never communicate and the per-machine runs fan out over
+//!   [`dike_util::Pool`] workers with byte-identical output at any
+//!   `DIKE_THREADS`.
+//! * **Paper metrics** — per-tenant fairness is the windowed Eqn-4
+//!   reduction from [`dike_metrics::windowed`], computed over the merged
+//!   fleet-wide span set; with one machine the roll-up equals the
+//!   single-machine value exactly.
+//!
+//! Pipeline: [`config`] describes machines + tenants → [`dispatch`]
+//! routes arrivals (least-loaded, vcore-normalised, home-affinity bonus)
+//! → [`run`] fans the machines out and rolls the results up.
+
+pub mod config;
+pub mod dispatch;
+pub mod run;
+
+pub use config::{DispatchConfig, FleetConfig, TenantSpec};
+pub use dispatch::{dispatch, home_machine, tenant_traces, DispatchPlan};
+pub use run::{FleetResult, FleetRunner, MachineSummary, TenantPoint, WINDOW_S, WINDOW_STEP_S};

@@ -1,0 +1,152 @@
+//! Dispatcher and roll-up properties the fleet layer is contractually
+//! bound to: routing is a pure function of the config, no arrival is
+//! lost or duplicated, and the M=1 fleet degenerates *exactly* to a
+//! single-machine open run.
+
+use dike_fleet::{dispatch, tenant_traces, FleetConfig, FleetRunner, WINDOW_S, WINDOW_STEP_S};
+use dike_machine::{FaultConfig, Machine};
+use dike_metrics::{fairness_summary, windowed_fairness, ThreadSpan};
+use dike_sched_core::run_open;
+use dike_scheduler::{Dike, SchedConfig};
+use dike_util::check::check;
+use dike_util::Pool;
+use dike_workloads::ArrivalConfig;
+
+fn arrivals(mean_ms: f64, horizon_ms: u64) -> ArrivalConfig {
+    ArrivalConfig {
+        mean_interarrival_ms: mean_ms,
+        horizon_ms,
+        threads_min: 1,
+        threads_max: 3,
+    }
+}
+
+#[test]
+fn routing_is_deterministic_for_a_fixed_seed() {
+    check("routing_is_deterministic_for_a_fixed_seed", 12, |rng| {
+        let m = rng.gen_range(1u64..12) as usize;
+        let t = rng.gen_range(1u64..8) as usize;
+        let seed = rng.gen_range(0u64..u64::MAX);
+        let cfg = FleetConfig::uniform(m, t, arrivals(400.0, 8_000), seed);
+        let traces = tenant_traces(&cfg);
+        let a = dispatch(&cfg, &traces);
+        let b = dispatch(&cfg, &tenant_traces(&cfg));
+        assert_eq!(a, b, "same config must route identically");
+        assert!(a.assignment.iter().all(|&i| (i as usize) < m));
+    });
+}
+
+#[test]
+fn every_arrival_lands_on_exactly_one_machine() {
+    check("every_arrival_lands_on_exactly_one_machine", 12, |rng| {
+        let m = rng.gen_range(1u64..12) as usize;
+        let t = rng.gen_range(1u64..8) as usize;
+        let seed = rng.gen_range(0u64..u64::MAX);
+        let cfg = FleetConfig::uniform(m, t, arrivals(300.0, 8_000), seed);
+        let traces = tenant_traces(&cfg);
+        let plan = dispatch(&cfg, &traces);
+
+        // Event conservation: one assignment per merged event…
+        let total_events: usize = traces.iter().map(|tr| tr.events.len()).sum();
+        assert_eq!(plan.merged.len(), total_events);
+        assert_eq!(plan.assignment.len(), total_events);
+        assert_eq!(plan.tenant_of_event.len(), total_events);
+
+        // …and thread conservation: the per-machine plans partition the
+        // offered threads exactly.
+        let offered: usize = traces.iter().map(|tr| tr.num_threads()).sum();
+        assert_eq!(plan.total_threads(), offered);
+
+        // Every global event index appears on exactly one machine, with
+        // exactly its event's thread count.
+        let mut seen = vec![0u32; total_events];
+        for (mi, spawns) in plan.per_machine.iter().enumerate() {
+            for s in spawns {
+                let g = s.spec.app.0 as usize;
+                assert_eq!(
+                    plan.assignment[g] as usize, mi,
+                    "thread of event {g} on machine {mi}, assigned {}",
+                    plan.assignment[g]
+                );
+                seen[g] += 1;
+            }
+        }
+        for (g, ev) in plan.merged.iter().enumerate() {
+            let nthreads = traces[ev.tenant as usize].events[ev.event as usize].nthreads;
+            assert_eq!(seen[g], nthreads, "event {g} thread count mismatch");
+        }
+    });
+}
+
+/// With one machine the fleet's roll-up must equal a single-machine open
+/// run exactly: same spans, same windows, same summary scalars — not
+/// approximately, byte-for-byte.
+#[test]
+fn m1_rollup_equals_the_single_machine_value() {
+    let mut cfg = FleetConfig::uniform(1, 3, arrivals(800.0, 6_000), 21);
+    cfg.scale = 0.01;
+    let runner = FleetRunner::new(cfg.clone());
+    let fleet = runner.run(&Pool::new(1));
+
+    // The reference: drive the dispatch plan's (single) machine plan
+    // through the plain open-system driver and roll up by tenant by hand.
+    let plan = dispatch(&cfg, &tenant_traces(&cfg));
+    let mut machine = Machine::new(cfg.machines[0].clone());
+    let mut sched = Dike::fixed(SchedConfig::DEFAULT);
+    let deadline = dike_machine::SimTime::from_secs_f64(cfg.deadline_s);
+    let result = run_open(
+        &mut machine,
+        &mut sched,
+        deadline,
+        plan.per_machine[0].clone(),
+    );
+    let wall = result.wall.as_secs_f64();
+    let spans: Vec<ThreadSpan> = result
+        .threads
+        .iter()
+        .map(|t| ThreadSpan {
+            app: plan.tenant_of_event[t.app as usize],
+            spawned_at: t.spawned_at.as_secs_f64(),
+            finished_at: t.finished_at.map(|f| f.as_secs_f64()),
+        })
+        .collect();
+    let windows = windowed_fairness(&spans, WINDOW_S, WINDOW_STEP_S, wall.max(WINDOW_S));
+    let (mean_fair, min_fair) = fairness_summary(&windows);
+
+    assert!(fleet.total_arrivals > 0);
+    assert_eq!(fleet.total_arrivals as usize, spans.len());
+    assert_eq!(fleet.windows, windows);
+    assert_eq!(fleet.mean_windowed_fairness, mean_fair);
+    assert_eq!(fleet.min_windowed_fairness, min_fair);
+    assert_eq!(fleet.makespan_s, wall);
+    let tenant_arrivals: u64 = fleet.tenants.iter().map(|t| t.arrivals).sum();
+    assert_eq!(tenant_arrivals, fleet.total_arrivals);
+}
+
+/// A machine with an aggressive fault plan still drains its share: the
+/// fleet layer inherits the single-machine graceful-degradation
+/// guarantee, and the faulty machine's results stay deterministic.
+#[test]
+fn faulty_machines_still_drain_their_dispatch_share() {
+    let mut cfg = FleetConfig::uniform(3, 4, arrivals(900.0, 5_000), 33);
+    cfg.scale = 0.01;
+    cfg.machines[1].faults = FaultConfig {
+        dropout_rate: 0.3,
+        corruption_rate: 0.1,
+        stale_rate: 0.1,
+        noise_amplitude: 0.2,
+        migration_fail_rate: 0.2,
+        migration_delay_rate: 0.2,
+        migration_delay_quanta: 2,
+        stall_rate: 0.05,
+        stall_us: 500,
+        seed: 99,
+    };
+    let runner = FleetRunner::new(cfg);
+    let pool = Pool::new(1);
+    let a = runner.run(&pool);
+    let b = runner.run(&pool);
+    assert_eq!(a, b, "faulty fleet must still be deterministic");
+    assert!(a.completed, "light load should drain even under faults");
+    assert_eq!(a.total_arrivals, a.total_departures);
+}

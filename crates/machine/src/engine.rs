@@ -1305,6 +1305,26 @@ impl Machine {
         }
         self.all_done()
     }
+
+    /// Return the machine to its just-constructed state: simulated time
+    /// zero, no threads, cleared counters/events, burstiness noise
+    /// re-derived from the configured seed. A reset machine is
+    /// behaviourally indistinguishable from `Machine::new(config)` — the
+    /// fleet layer relies on this to reuse machine slots across runs
+    /// without re-validating or re-plumbing configurations.
+    pub fn reset(&mut self) {
+        let cfg = self.cfg.clone();
+        *self = Machine::new(cfg);
+    }
+
+    /// [`Machine::reset`] under a different seed: the fleet constructs
+    /// every machine from one template configuration and gives each slot
+    /// its own deterministic noise/fault stream.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        let mut cfg = self.cfg.clone();
+        cfg.seed = seed;
+        *self = Machine::new(cfg);
+    }
 }
 
 /// Deterministic burstiness unit draw for `(seed, thread, window)` — a

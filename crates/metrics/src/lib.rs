@@ -19,4 +19,6 @@ pub use fairness::{relative_improvement, speedup, RuntimeMatrix};
 pub use stats::{coefficient_of_variation, geometric_mean, mean, std_dev, Summary};
 pub use table::{pct, ratio, TextTable};
 pub use timeseries::TimeSeries;
-pub use windowed::{mean_sojourn, windowed_fairness, ThreadSpan, WindowPoint};
+pub use windowed::{
+    fairness_summary, mean_sojourn, merge_spans, windowed_fairness, ThreadSpan, WindowPoint,
+};

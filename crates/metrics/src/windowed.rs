@@ -113,6 +113,34 @@ pub fn windowed_fairness(
     points
 }
 
+/// Deterministically flatten per-machine span lists into one fleet-wide
+/// set: machine order first, span order within a machine second. This is
+/// the roll-up input order for fleet-level [`windowed_fairness`] — a pure
+/// function of the per-machine results, so the fleet metric is as
+/// thread-count-invariant as the runs that produced it. With one machine
+/// the merge is the identity, which is what makes the M=1 fleet roll-up
+/// equal the single-machine value exactly.
+pub fn merge_spans(per_machine: &[Vec<ThreadSpan>]) -> Vec<ThreadSpan> {
+    let total = per_machine.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for spans in per_machine {
+        merged.extend_from_slice(spans);
+    }
+    merged
+}
+
+/// `(mean, min)` fairness over a window series — the two scalars every
+/// open-system table reports. An empty series is vacuously fair:
+/// `(1.0, 1.0)`.
+pub fn fairness_summary(windows: &[WindowPoint]) -> (f64, f64) {
+    if windows.is_empty() {
+        return (1.0, 1.0);
+    }
+    let fair: Vec<f64> = windows.iter().map(|w| w.fairness).collect();
+    let min = fair.iter().copied().fold(f64::INFINITY, f64::min);
+    (mean(&fair), min)
+}
+
 /// Mean sojourn time over all spans, charging unfinished threads up to
 /// `wall` — the open-system headline performance number (lower is
 /// better). Returns 0 for an empty span set.
@@ -185,6 +213,28 @@ mod tests {
             pts.iter().map(|p| p.departures).collect::<Vec<_>>(),
             vec![1, 1, 0]
         );
+    }
+
+    #[test]
+    fn merge_spans_keeps_machine_then_span_order_and_m1_is_identity() {
+        let m0 = vec![span(0, 0.0, 1.0), span(1, 0.5, 2.0)];
+        let m1 = vec![span(0, 0.2, 1.4)];
+        let merged = merge_spans(&[m0.clone(), m1.clone()]);
+        assert_eq!(merged, vec![m0[0], m0[1], m1[0]]);
+        // One machine: the roll-up input is exactly the machine's spans,
+        // so every downstream metric matches the single-machine value.
+        assert_eq!(merge_spans(std::slice::from_ref(&m0)), m0);
+        assert_eq!(merge_spans(&[]), Vec::<ThreadSpan>::new());
+    }
+
+    #[test]
+    fn fairness_summary_reduces_mean_and_min() {
+        let spans = vec![span(0, 0.0, 1.0), span(0, 0.0, 3.9)];
+        let windows = windowed_fairness(&spans, 2.0, 2.0, 4.0);
+        let (mean_f, min_f) = fairness_summary(&windows);
+        assert!(min_f <= mean_f);
+        assert!(mean_f <= 1.0);
+        assert_eq!(fairness_summary(&[]), (1.0, 1.0));
     }
 
     #[test]

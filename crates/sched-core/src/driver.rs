@@ -277,6 +277,38 @@ pub fn run_open_with(
     )
 }
 
+std::thread_local! {
+    /// Per-thread driver scratch for [`run_open_pooled`]: harnesses that
+    /// drive many machines back to back on pool workers (the fleet layer
+    /// runs hundreds of open-system loops per worker) share one warm
+    /// buffer set per OS thread instead of reallocating per machine.
+    static POOLED_SCRATCH: std::cell::RefCell<DriverScratch> =
+        std::cell::RefCell::new(DriverScratch::new());
+}
+
+/// [`run_open`] against a per-OS-thread reusable [`DriverScratch`].
+/// Results are identical to [`run_open`] (the scratch is reset per run —
+/// see `scratch_reuse_is_equivalent_to_fresh_scratch`); only the buffer
+/// reuse differs. This is the entry point the fleet layer drives its
+/// machines through.
+pub fn run_open_pooled(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    arrivals: Vec<TimedSpawn>,
+) -> RunResult {
+    POOLED_SCRATCH.with(|s| {
+        run_open_with_scratch(
+            machine,
+            scheduler,
+            deadline,
+            arrivals,
+            |_| {},
+            &mut s.borrow_mut(),
+        )
+    })
+}
+
 /// [`run_open_with`] against caller-owned scratch buffers. After the
 /// first quantum warms the buffers, the loop performs no steady-state
 /// heap allocation (enforced by the workspace `zero_alloc` test).
@@ -962,6 +994,31 @@ mod tests {
                 |_| {},
                 &mut scratch,
             );
+            assert_eq!(r, fresh);
+        }
+    }
+
+    /// The pooled entry point reuses one scratch per OS thread; results
+    /// must still match fresh-scratch runs exactly, run after run.
+    #[test]
+    fn pooled_runs_match_fresh_scratch_runs() {
+        let arrivals = || {
+            vec![TimedSpawn {
+                at: SimTime::from_ms(150),
+                spec: spec_for(2, 5e7),
+            }]
+        };
+        let fresh = {
+            let mut m = Machine::new(presets::small_machine(1));
+            spawn_pair(&mut m);
+            let mut s = SwapOnce { done: false };
+            run_open(&mut m, &mut s, SimTime::from_secs_f64(60.0), arrivals())
+        };
+        for _ in 0..2 {
+            let mut m = Machine::new(presets::small_machine(1));
+            spawn_pair(&mut m);
+            let mut s = SwapOnce { done: false };
+            let r = run_open_pooled(&mut m, &mut s, SimTime::from_secs_f64(60.0), arrivals());
             assert_eq!(r, fresh);
         }
     }

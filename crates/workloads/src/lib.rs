@@ -22,6 +22,6 @@ pub mod paper;
 pub mod workload;
 
 pub use apps::{AppClass, AppKind};
-pub use arrival::{ArrivalConfig, ArrivalEvent, ArrivalTrace};
+pub use arrival::{ArrivalConfig, ArrivalEvent, ArrivalTrace, MergedArrival};
 pub use generator::{random_workload, GeneratorConfig};
 pub use workload::{Placement, SpawnedWorkload, Workload, WorkloadClass};

@@ -24,6 +24,7 @@ if [[ "${DIKE_BENCH_FAST:-0}" == "1" ]]; then
     out_scale="$PWD/target/BENCH_scale_smoke.json"
     out_open="$PWD/target/BENCH_open_smoke.json"
     out_robustness="$PWD/target/BENCH_robustness_smoke.json"
+    out_fleet="$PWD/target/BENCH_fleet_smoke.json"
     export DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}"
     export DIKE_BENCH_WARMUP_MS="${DIKE_BENCH_WARMUP_MS:-20}"
     export DIKE_BENCH_SAMPLE_MS="${DIKE_BENCH_SAMPLE_MS:-20}"
@@ -32,11 +33,16 @@ else
     out_scale="$PWD/results/BENCH_scale.json"
     out_open="$PWD/results/BENCH_open.json"
     out_robustness="$PWD/results/BENCH_robustness.json"
+    out_fleet="$PWD/results/BENCH_fleet.json"
 fi
 
 DIKE_BENCH_JSON="$out_sweep" cargo bench -q --offline -p dike-bench --bench sweep_parallel
 DIKE_BENCH_JSON="$out_scale" cargo bench -q --offline -p dike-bench --bench scale
 DIKE_BENCH_JSON="$out_open" cargo bench -q --offline -p dike-bench --bench open
 DIKE_BENCH_JSON="$out_robustness" cargo bench -q --offline -p dike-bench --bench robustness
+# One headline-fleet lap simulates >1M thread-arrivals (~10s); three
+# samples bound the full recording run without hurting the median.
+DIKE_BENCH_JSON="$out_fleet" DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}" \
+    cargo bench -q --offline -p dike-bench --bench fleet
 
-echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness)"
+echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness, $out_fleet)"

@@ -18,18 +18,50 @@ cargo build -q --offline -p dike-bench --bin bench_check
 check=target/debug/bench_check
 
 fail=0
-"$check" target/BENCH_sweep_smoke.json results/BENCH_sweep.json || fail=1
-"$check" target/BENCH_scale_smoke.json results/BENCH_scale.json || fail=1
-# Every scale row up to the 1040-vcore cell must be covered by the smoke
-# run — a missing row would otherwise SKIP silently inside bench_check.
+
+# Completeness: every committed reference must be exercised by the smoke
+# run. Each results/BENCH_<name>.json needs a target/BENCH_<name>_smoke
+# counterpart, and bench_check itself exits non-zero when the two files
+# share no rows — so a renamed or dropped bench cannot silently slip out
+# of the gate while its recorded reference rots.
+refs=(results/BENCH_*.json)
+if [[ ! -e "${refs[0]}" ]]; then
+    echo "bench_check: no results/BENCH_*.json references found"
+    exit 1
+fi
+for ref in "${refs[@]}"; do
+    name=$(basename "$ref")
+    name=${name#BENCH_}
+    name=${name%.json}
+    smoke="target/BENCH_${name}_smoke.json"
+    if [[ ! -f "$smoke" ]]; then
+        echo "bench_check: reference $ref has no smoke run ($smoke missing)"
+        fail=1
+        continue
+    fi
+    "$check" "$smoke" "$ref" || fail=1
+done
+
+# Row-presence checks for rows whose absence bench_check would SKIP
+# silently. Every scale row up to the 1040-vcore cell must be covered by
+# the smoke run…
 for row in 1dom_40c 4dom_160c 8dom_320c 16dom_640c 26dom_1040c; do
     if ! grep -q "\"scale/dike_$row\"" target/BENCH_scale_smoke.json; then
         echo "bench_check: scale smoke is missing row $row"
         fail=1
     fi
 done
-"$check" target/BENCH_open_smoke.json results/BENCH_open.json || fail=1
-"$check" target/BENCH_robustness_smoke.json results/BENCH_robustness.json || fail=1
+# …the smoke fleet row must guard the recorded fleet reference, and the
+# reference itself must still carry the headline >1M-arrival row (full
+# mode only, so the smoke file never has it).
+if ! grep -q '"fleet/dike_8m_12t"' target/BENCH_fleet_smoke.json; then
+    echo "bench_check: fleet smoke is missing row fleet/dike_8m_12t"
+    fail=1
+fi
+if ! grep -q '"fleet/dike_64m_96t"' results/BENCH_fleet.json; then
+    echo "bench_check: fleet reference lost the headline row fleet/dike_64m_96t"
+    fail=1
+fi
 
 if [[ "$fail" != 0 ]]; then
     echo "bench_check: FAIL"

@@ -3,40 +3,72 @@
 # without touching the network. This is the CI entry point; it must pass
 # on a machine with no crates.io access (the workspace has no external
 # dependencies — everything lives in crates/util).
+#
+# Each step is timed and named: on failure the script prints exactly
+# which step broke and how long the run had been going, so a CI log read
+# starts at the answer instead of a scrollback hunt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+total_t0=$SECONDS
+
+# Run one named verification step, timing it and failing fast with the
+# step's name on a non-zero exit.
+step() {
+    local name=$1
+    shift
+    local t0=$SECONDS
+    echo "==> $name"
+    if ! "$@"; then
+        echo "verify: FAIL in step '$name' after $((SECONDS - t0))s," \
+             "$((SECONDS - total_t0))s into the run" >&2
+        exit 1
+    fi
+    echo "<== $name: OK ($((SECONDS - t0))s)"
+}
+
 # Offline purity: no manifest may reintroduce a crates.io dependency.
-scripts/offline_guard.sh
+step "offline-guard" scripts/offline_guard.sh
 
-cargo fmt --all -- --check
-cargo build --release --offline --workspace --all-targets
-cargo test -q --offline --workspace
-cargo clippy --offline --workspace --all-targets -- -D warnings
+step "fmt" cargo fmt --all -- --check
+step "build" cargo build --release --offline --workspace --all-targets
+step "test" cargo test -q --offline --workspace
+step "clippy" cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Parallel-driver smoke: the pooled sweeps — closed and the open-system
-# experiment — must stay byte-identical to the serial path when actually
-# running on multiple workers.
-DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
+# Parallel-driver smoke: the pooled sweeps — closed, open-system and the
+# fleet roll-up — must stay byte-identical to the serial path when
+# actually running on multiple workers.
+step "parallel-determinism (DIKE_THREADS=2)" \
+    env DIKE_THREADS=2 cargo test -q --offline -p dike-experiments --test parallel_determinism
 
 # Allocation discipline: post-warmup quanta of the closed driver must not
 # allocate (counting global allocator, tests/zero_alloc.rs). The workspace
 # test run above already covers this; the named re-run makes a regression
 # fail loudly as its own step.
-cargo test -q --offline -p dike-repro --test zero_alloc
+step "zero-alloc" cargo test -q --offline -p dike-repro --test zero_alloc
 
 # Robustness smoke: the fault-injection degradation sweep end to end at a
 # tiny scale — every policy must survive every swept fault level (no
 # panics, no NaN) with the hardened pipeline in the comparison set.
-cargo run -q --release --offline -p dike-experiments --bin robustness -- --scale 0.02 > /dev/null
+step "robustness-smoke" bash -c \
+    'cargo run -q --release --offline -p dike-experiments --bin robustness -- --scale 0.02 > /dev/null'
+
+# Fleet smoke: the 8-machine multi-tenant fleet end to end — dispatch
+# pre-pass, per-machine open runs, fleet-wide fairness roll-up.
+step "fleet-smoke" bash -c \
+    'cargo run -q --release --offline -p dike-experiments --bin fleet -- --quick > /dev/null'
+
+# Golden drift: replay the golden-fixture suite and prove the committed
+# results/ artefacts are byte-identical to the working tree.
+step "golden-check" scripts/golden_check.sh
 
 # Bench smoke: the bench targets must run end to end (tiny samples, writes
 # to target/, never touches the recorded results/BENCH_*.json).
-DIKE_BENCH_FAST=1 scripts/bench.sh
+step "bench-smoke" bash -c 'DIKE_BENCH_FAST=1 scripts/bench.sh'
 
 # The smoke must include the largest NUMA scale cell (26 controllers, 1040
 # vcores): its presence proves the hierarchical selection and warm-started
 # contention-solve pipeline drives the full-size machine end to end.
-grep -q '"scale/dike_26dom_1040c"' target/BENCH_scale_smoke.json
+step "scale-smoke-coverage" grep -q '"scale/dike_26dom_1040c"' target/BENCH_scale_smoke.json
 
-echo "verify: OK"
+echo "verify: OK ($((SECONDS - total_t0))s total)"
