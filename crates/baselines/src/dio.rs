@@ -152,6 +152,7 @@ mod tests {
                 },
                 cumulative: ThreadCounters::default(),
                 migrated_last_quantum: false,
+                llc_occupancy_mib: 0.0,
             })
             .collect();
         let cores = (0..4)

@@ -9,13 +9,18 @@
 //! * [`SortOnce`] — a one-shot contention-aware static placement,
 //!   separating "get the mapping right once" from Dike's continuous
 //!   adaptation.
+//! * [`Lfoc`] — an LFOC-like fairness-oriented cache clustering policy:
+//!   partitions the LLC into way clusters from a streaming/sensitive/light
+//!   classification and never migrates — the second-actuator baseline.
 
 pub mod cfs;
 pub mod dio;
+pub mod lfoc;
 pub mod random_sched;
 pub mod sort_once;
 
 pub use cfs::StaticSpread;
 pub use dio::Dio;
+pub use lfoc::{build_plan, classify, CacheClass, Lfoc};
 pub use random_sched::RandomScheduler;
 pub use sort_once::SortOnce;

@@ -1,0 +1,97 @@
+//! Property tests on the LFOC plan builder's invariants.
+
+use dike_baselines::{build_plan, classify, CacheClass};
+use dike_machine::{AppId, ThreadId};
+use dike_util::check::check;
+use dike_util::Pcg32;
+
+/// Draw a random population the way the LFOC pass would have accumulated
+/// one: arbitrary thread/app ids, every class, occupancies from zero to
+/// several times the whole cache.
+fn gen_population(rng: &mut Pcg32, capacity_mib: f64) -> Vec<(ThreadId, AppId, CacheClass, f64)> {
+    let n = rng.gen_range(0usize..40);
+    let mut pop = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = match rng.gen_range(0u64..3) {
+            0 => CacheClass::Streaming,
+            1 => CacheClass::Sensitive,
+            _ => CacheClass::Light,
+        };
+        let occ = rng.gen_range(0.0f64..capacity_mib * 3.0);
+        pop.push((
+            ThreadId(i as u32),
+            AppId(rng.gen_range(0u64..8) as u32),
+            class,
+            occ,
+        ));
+    }
+    pop
+}
+
+#[test]
+fn built_plans_always_validate_against_the_llc_geometry() {
+    // However extreme the population, the plan must be one the engine
+    // accepts: cluster capacities plus the shared reserve never exceed
+    // the way budget, every cluster has at least one way, and every
+    // assignment targets a real cluster.
+    check("built_plans_always_validate", 256, |rng| {
+        let total_ways = rng.gen_range(2u64..64) as u32;
+        let capacity_mib = rng.gen_range(1.0f64..64.0);
+        let pop = gen_population(rng, capacity_mib);
+        let way_mib = capacity_mib / f64::from(total_ways);
+
+        let plan = build_plan(&pop, total_ways, capacity_mib);
+        plan.validate(total_ways).unwrap_or_else(|e| {
+            panic!("invalid plan {plan:?} for {total_ways} ways: {e}");
+        });
+        let granted: u32 = plan.cluster_ways.iter().sum();
+        assert!(
+            granted <= total_ways,
+            "granted {granted} ways of {total_ways}"
+        );
+        if !plan.is_empty() {
+            assert!(
+                plan.shared_ways(total_ways) >= 1,
+                "no shared reserve left: {plan:?}"
+            );
+        }
+        // Every placed thread must come from the population, and only
+        // streaming/sensitive threads are ever placed.
+        for &(t, _) in &plan.assignments {
+            let entry = pop
+                .iter()
+                .find(|p| p.0 == t)
+                .expect("assigned unknown thread");
+            assert!(
+                entry.2 != CacheClass::Light,
+                "light thread {t:?} was clustered"
+            );
+        }
+        // Classification is total and pure — exercise it on the same draws.
+        let _ = classify(
+            rng.gen_range(0.0f64..1.0),
+            rng.gen_range(0.0f64..64.0),
+            way_mib,
+        );
+    });
+}
+
+#[test]
+fn plans_are_deterministic_in_population_order_of_ids() {
+    // The builder sorts by occupancy (tie: app id) internally; feeding
+    // the same population must always produce byte-identical plans, and
+    // assignments come out sorted by thread id — the determinism the
+    // golden suite depends on.
+    check("plans_are_deterministic", 128, |rng| {
+        let total_ways = rng.gen_range(4u64..32) as u32;
+        let capacity_mib = rng.gen_range(4.0f64..32.0);
+        let pop = gen_population(rng, capacity_mib);
+        let a = build_plan(&pop, total_ways, capacity_mib);
+        let b = build_plan(&pop, total_ways, capacity_mib);
+        assert_eq!(a, b);
+        assert!(
+            a.assignments.windows(2).all(|w| w[0].0 < w[1].0),
+            "assignments not sorted by thread id: {a:?}"
+        );
+    });
+}

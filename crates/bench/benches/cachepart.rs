@@ -1,0 +1,111 @@
+//! Cache-partitioning bench: wall-clock of the partition actuator's hot
+//! path — the LFOC classification/plan-build pass, the engine's
+//! partitioned-capacity contention solve, and the partition actuation
+//! channel in the driver.
+//!
+//! Three policies per workload mix bracket the cost: plain Dike
+//! (migration-only — the pre-partition baseline the others are measured
+//! against), LFOC (partition-only), and the Dike+LFOC hybrid (both
+//! actuators). Each row's JSON record carries the cell's
+//! `mean_windowed_fairness` and `partitions` as extras, so
+//! `results/BENCH_cachepart.json` archives the hybrid-vs-Dike fairness
+//! comparison on both mixes alongside the timings (the golden suite pins
+//! the same cells byte-for-byte at test scale).
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` uses this to record the numbers into
+//! `results/BENCH_cachepart.json`.
+
+use dike_experiments::cachepart::run_cachepart_cell;
+use dike_experiments::{RunOptions, SchedKind};
+use dike_machine::presets;
+use dike_scheduler::SchedConfig;
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::pool;
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+
+    // Full mode runs at 0.05 — long enough for a partition to pay back
+    // its plan-churn warm-up, so the recorded fairness extras reflect the
+    // steady state (the acceptance comparison in the cachepart tests uses
+    // the same scale).
+    let opts = RunOptions {
+        scale: if fast { 0.01 } else { 0.05 },
+        deadline_s: 120.0,
+        ..RunOptions::default()
+    };
+    let base = presets::paper_machine(opts.seed);
+
+    let kinds: [(&str, SchedKind); 3] = [
+        ("dike", SchedKind::Dike(SchedConfig::DEFAULT)),
+        ("lfoc", SchedKind::Lfoc),
+        ("dike_lfoc", SchedKind::DikeLfoc),
+    ];
+
+    // (row name, windowed fairness, partitions applied) recorded into the
+    // JSON extras.
+    let mut extras: Vec<(String, f64, u64)> = Vec::new();
+    for wl in [1usize, 13] {
+        for (suffix, kind) in &kinds {
+            let name = format!("cachepart/wl{wl}_{suffix}");
+            let mut fairness = 0.0;
+            let mut partitions = 0u64;
+            b.bench(&name, || {
+                let point = run_cachepart_cell("none", 0.0, wl, black_box(&base), kind, &opts);
+                fairness = point.mean_windowed_fairness;
+                partitions = point.partitions;
+                black_box(fairness)
+            });
+            extras.push((name, fairness, partitions));
+        }
+    }
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ];
+                // Fairness extras (ignored by bench_check's median
+                // comparison, read by EXPERIMENTS.md): the cell's windowed
+                // fairness and how many partition plans landed.
+                if let Some((_, f, p)) = extras.iter().find(|(name, _, _)| *name == r.name) {
+                    fields.push(("mean_windowed_fairness".into(), Value::Num(Num::F(*f))));
+                    fields.push(("partitions".into(), Value::Num(Num::U(*p))));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

@@ -14,11 +14,16 @@
 //!   smoke lap at this size would dominate CI. Its recorded row carries
 //!   `arrivals` and `arrivals_per_sec` so the throughput trajectory is
 //!   visible release over release.
+//! * `fleet/dike_<N>m_quick` — the wide fleet: `--machines` machines
+//!   (default 1024) with a quick 2 s horizon, probing the ROADMAP's
+//!   "thousands of machines" knob. Full mode only, like the headline;
+//!   pass `--machines <N> --quick` after `--` to re-run it at another
+//!   width (`--quick` additionally skips the 64m headline row).
 //!
 //! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
 //! `scripts/bench.sh` records them into `results/BENCH_fleet.json`.
 
-use dike_experiments::fleet::{headline_config, smoke_config, FLEET_SEED};
+use dike_experiments::fleet::{headline_config, smoke_config, wide_quick_config, FLEET_SEED};
 use dike_fleet::FleetRunner;
 use dike_util::bench::Bench;
 use dike_util::json::{Num, Value};
@@ -29,6 +34,24 @@ fn main() {
     let mut b = Bench::from_env();
     let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
     let pool = Pool::from_env();
+
+    // `--machines <N>` resizes the wide row; `--quick` drops the headline
+    // row so a wide-fleet probe doesn't pay for the 64m lap too.
+    let mut wide_machines = 1024usize;
+    let mut quick_only = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--machines" => {
+                wide_machines = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--machines needs a count");
+            }
+            "--quick" => quick_only = true,
+            _ => {}
+        }
+    }
 
     // (row name, arrivals per lap), recorded into the JSON extras.
     let mut arrivals: Vec<(String, u64)> = Vec::new();
@@ -42,7 +65,7 @@ fn main() {
     });
     arrivals.push(("fleet/dike_8m_12t".to_string(), smoke_arrivals));
 
-    if !fast {
+    if !fast && !quick_only {
         let headline = FleetRunner::new(headline_config(FLEET_SEED));
         let mut headline_arrivals = 0u64;
         b.bench("fleet/dike_64m_96t", || {
@@ -51,6 +74,18 @@ fn main() {
             black_box(r.mean_windowed_fairness)
         });
         arrivals.push(("fleet/dike_64m_96t".to_string(), headline_arrivals));
+    }
+
+    if !fast {
+        let name = format!("fleet/dike_{wide_machines}m_quick");
+        let wide = FleetRunner::new(wide_quick_config(wide_machines, FLEET_SEED));
+        let mut wide_arrivals = 0u64;
+        b.bench(&name, || {
+            let r = wide.run(&pool);
+            wide_arrivals = r.total_arrivals;
+            black_box(r.mean_windowed_fairness)
+        });
+        arrivals.push((name, wide_arrivals));
     }
 
     if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {

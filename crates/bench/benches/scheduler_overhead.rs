@@ -41,6 +41,7 @@ fn paper_scale_view(quantum_index: u64) -> SystemView {
                 },
                 cumulative: ThreadCounters::default(),
                 migrated_last_quantum: false,
+                llc_occupancy_mib: 0.0,
             });
         }
     }

@@ -46,6 +46,7 @@
 
 pub mod config;
 pub mod decider;
+pub mod hybrid;
 pub mod observer;
 pub mod optimizer;
 pub mod predictor;
@@ -55,6 +56,7 @@ pub mod selector;
 pub use config::{
     AdaptationGoal, CoreBwEstimate, CoreRanking, DikeConfig, HardeningConfig, SchedConfig,
 };
+pub use hybrid::DikeLfoc;
 pub use observer::{Observation, ObservedThread, Observer, ThreadClass};
 pub use optimizer::WorkloadType;
 pub use predictor::{ErrorSample, Predictor, SwapPrediction};

@@ -521,6 +521,7 @@ mod tests {
                 },
                 cumulative: ThreadCounters::default(),
                 migrated_last_quantum: false,
+                llc_occupancy_mib: 0.0,
             })
             .collect();
         let n = rates_and_miss.len();

@@ -466,6 +466,7 @@ mod tests {
             },
             cumulative: ThreadCounters::default(),
             migrated_last_quantum: false,
+            llc_occupancy_mib: 0.0,
         };
         let core = |id: u32, kind: CoreKind| CoreObservation {
             id: VCoreId(id),

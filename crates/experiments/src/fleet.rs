@@ -72,6 +72,20 @@ pub fn smoke_config(seed: u64) -> FleetConfig {
     cfg
 }
 
+/// A wide, shallow fleet: `machines` machines at the headline 3:2
+/// tenant ratio but a 2 s arrival horizon — the ROADMAP's "thousands of
+/// machines" probe. Total dispatched work stays near the headline lap
+/// (the horizon shrinks as the fleet widens), so the row measures how
+/// the dispatch pre-pass and per-machine fan-out scale with machine
+/// count, not just more simulation.
+pub fn wide_quick_config(machines: usize, seed: u64) -> FleetConfig {
+    let mut cfg = fleet_config(machines, (machines * 3 / 2).max(1), seed);
+    for t in &mut cfg.tenants {
+        t.arrivals.horizon_ms = 2_000;
+    }
+    cfg
+}
+
 /// Run a fleet on an explicit pool (tests pin the worker count; the
 /// binary uses `Pool::from_env`).
 pub fn run_fleet_pool(cfg: &FleetConfig, pool: &Pool) -> FleetResult {

@@ -21,8 +21,13 @@
 //! | [`open`] | beyond-paper: open-system arrivals/departures |
 //! | [`fleet`] | beyond-paper: fleet-scale multi-tenancy roll-up |
 //! | [`robustness`] | beyond-paper: fault-injection degradation curves |
+//! | [`cachepart`] | beyond-paper: LLC way-partitioning actuator comparison |
+//!
+//! [`roster`] is the shared `SchedKind → scheduler` constructor all of the
+//! above build policies through.
 
 pub mod ablations;
+pub mod cachepart;
 pub mod cli;
 pub mod fig1;
 pub mod fig2;
@@ -34,9 +39,11 @@ pub mod fig8;
 pub mod fleet;
 pub mod open;
 pub mod robustness;
+pub mod roster;
 pub mod runner;
 pub mod scale;
 pub mod sweep;
 pub mod table3;
 
+pub use roster::PolicyHandle;
 pub use runner::{run_cell, run_cell_with, CellResult, RunOptions, SchedKind};

@@ -16,14 +16,14 @@
 //! output is byte-identical to a serial run — the same contract as every
 //! other experiment in this crate.
 
+use crate::roster::PolicyHandle;
 use crate::runner::{RunOptions, SchedKind};
-use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
 use dike_machine::{presets, Machine, MachineConfig, SimTime};
 use dike_metrics::{
     fairness_summary, mean_sojourn, windowed_fairness, TextTable, ThreadSpan, WindowPoint,
 };
-use dike_sched_core::{run_open, NullScheduler, RunResult, TimedSpawn};
-use dike_scheduler::{Dike, SchedConfig};
+use dike_sched_core::{run_open, RunResult, TimedSpawn};
+use dike_scheduler::SchedConfig;
 use dike_util::{json_struct, Pool};
 use dike_workloads::{paper, ArrivalConfig, ArrivalTrace};
 
@@ -123,27 +123,8 @@ pub(crate) fn drive_open(
     deadline: SimTime,
     plan: Vec<TimedSpawn>,
 ) -> RunResult {
-    match kind {
-        SchedKind::Null => run_open(
-            machine,
-            &mut NullScheduler::new(SimTime::from_ms(100)),
-            deadline,
-            plan,
-        ),
-        SchedKind::Cfs => run_open(machine, &mut StaticSpread::new(), deadline, plan),
-        SchedKind::Dio => run_open(machine, &mut Dio::new(), deadline, plan),
-        SchedKind::Random(seed) => {
-            run_open(machine, &mut RandomScheduler::new(*seed), deadline, plan)
-        }
-        SchedKind::SortOnce => run_open(machine, &mut SortOnce::new(), deadline, plan),
-        SchedKind::Dike(sc) => run_open(machine, &mut Dike::fixed(*sc), deadline, plan),
-        SchedKind::DikeAf => run_open(machine, &mut Dike::adaptive_fairness(), deadline, plan),
-        SchedKind::DikeAp => run_open(machine, &mut Dike::adaptive_performance(), deadline, plan),
-        SchedKind::DikeHardened => run_open(machine, &mut Dike::hardened(), deadline, plan),
-        SchedKind::DikeCustom(cfg) => {
-            run_open(machine, &mut Dike::with_config(cfg.clone()), deadline, plan)
-        }
-    }
+    let mut policy = PolicyHandle::build(kind, &machine.config().llc);
+    run_open(machine, policy.as_scheduler(), deadline, plan)
 }
 
 /// Run one open cell: inject the trace into an initially empty machine

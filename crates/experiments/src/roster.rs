@@ -1,0 +1,131 @@
+//! The policy roster: the one place a [`SchedKind`] becomes a live
+//! scheduler.
+//!
+//! Before this module, the closed runner ([`crate::runner::run_cell_with`])
+//! and the open driver ([`crate::open`]) each carried their own
+//! `SchedKind → concrete scheduler` match; adding a policy meant editing
+//! every copy in lockstep or silently diverging. [`PolicyHandle::build`] is
+//! now the single constructor both paths (and any future experiment) go
+//! through, and it is where new actuator-aware policies — LFOC and the
+//! Dike+LFOC hybrid, which need the machine's LLC geometry — register
+//! once for every harness.
+
+use crate::runner::SchedKind;
+use dike_baselines::{Dio, Lfoc, RandomScheduler, SortOnce, StaticSpread};
+use dike_machine::{LlcConfig, SimTime};
+use dike_sched_core::{NullScheduler, Scheduler};
+use dike_scheduler::{Dike, DikeLfoc};
+
+/// An owned, concretely-typed scheduler built from a [`SchedKind`].
+///
+/// Harnesses drive it through [`PolicyHandle::as_scheduler`]; afterwards
+/// [`PolicyHandle::dike`] recovers the Dike pipeline (plain or inside the
+/// hybrid) for predictor-statistics extraction without downcasting.
+#[derive(Debug)]
+pub enum PolicyHandle {
+    /// The no-op floor.
+    Null(NullScheduler),
+    /// Linux-CFS stand-in.
+    Cfs(StaticSpread),
+    /// Distributed Intensity Online.
+    Dio(Dio),
+    /// Seeded random swaps.
+    Random(RandomScheduler),
+    /// One-shot sorted static placement.
+    SortOnce(SortOnce),
+    /// Any Dike variant (fixed, adaptive, hardened, custom).
+    Dike(Dike),
+    /// LFOC cache clustering (partition-only).
+    Lfoc(Lfoc),
+    /// Dike swaps + LFOC partitioning.
+    DikeLfoc(DikeLfoc),
+}
+
+impl PolicyHandle {
+    /// Construct the scheduler a kind names. `llc` is the target machine's
+    /// cache geometry — public hardware knowledge the partitioning
+    /// policies are configured with (migration-only policies ignore it).
+    pub fn build(kind: &SchedKind, llc: &LlcConfig) -> PolicyHandle {
+        match kind {
+            SchedKind::Null => PolicyHandle::Null(NullScheduler::new(SimTime::from_ms(100))),
+            SchedKind::Cfs => PolicyHandle::Cfs(StaticSpread::new()),
+            SchedKind::Dio => PolicyHandle::Dio(Dio::new()),
+            SchedKind::Random(seed) => PolicyHandle::Random(RandomScheduler::new(*seed)),
+            SchedKind::SortOnce => PolicyHandle::SortOnce(SortOnce::new()),
+            SchedKind::Dike(sc) => PolicyHandle::Dike(Dike::fixed(*sc)),
+            SchedKind::DikeAf => PolicyHandle::Dike(Dike::adaptive_fairness()),
+            SchedKind::DikeAp => PolicyHandle::Dike(Dike::adaptive_performance()),
+            SchedKind::DikeHardened => PolicyHandle::Dike(Dike::hardened()),
+            SchedKind::DikeCustom(cfg) => PolicyHandle::Dike(Dike::with_config(cfg.clone())),
+            SchedKind::Lfoc => PolicyHandle::Lfoc(Lfoc::for_llc(llc)),
+            SchedKind::DikeLfoc => PolicyHandle::DikeLfoc(DikeLfoc::new(llc)),
+        }
+    }
+
+    /// The policy as the trait object the drivers take.
+    pub fn as_scheduler(&mut self) -> &mut dyn Scheduler {
+        match self {
+            PolicyHandle::Null(s) => s,
+            PolicyHandle::Cfs(s) => s,
+            PolicyHandle::Dio(s) => s,
+            PolicyHandle::Random(s) => s,
+            PolicyHandle::SortOnce(s) => s,
+            PolicyHandle::Dike(s) => s,
+            PolicyHandle::Lfoc(s) => s,
+            PolicyHandle::DikeLfoc(s) => s,
+        }
+    }
+
+    /// The Dike pipeline inside this policy, if any — plain Dike or the
+    /// hybrid's wrapped instance — for predictor-stats extraction.
+    pub fn dike(&self) -> Option<&Dike> {
+        match self {
+            PolicyHandle::Dike(d) => Some(d),
+            PolicyHandle::DikeLfoc(h) => Some(h.dike()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dike_scheduler::SchedConfig;
+
+    #[test]
+    fn every_kind_builds_and_names_consistently() {
+        let llc = LlcConfig::default();
+        let kinds = [
+            (SchedKind::Null, "null"),
+            (SchedKind::Cfs, "Linux-CFS"),
+            (SchedKind::Dio, "DIO"),
+            (SchedKind::Random(1), "Random"),
+            (SchedKind::SortOnce, "SortOnce"),
+            (SchedKind::Dike(SchedConfig::DEFAULT), "Dike"),
+            (SchedKind::Lfoc, "LFOC"),
+            (SchedKind::DikeLfoc, "Dike+LFOC"),
+        ];
+        for (kind, name) in kinds {
+            let mut p = PolicyHandle::build(&kind, &llc);
+            assert_eq!(p.as_scheduler().name(), name, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn dike_handle_is_recovered_from_plain_and_hybrid() {
+        let llc = LlcConfig::default();
+        assert!(
+            PolicyHandle::build(&SchedKind::Dike(SchedConfig::DEFAULT), &llc)
+                .dike()
+                .is_some()
+        );
+        assert!(PolicyHandle::build(&SchedKind::DikeHardened, &llc)
+            .dike()
+            .is_some());
+        assert!(PolicyHandle::build(&SchedKind::DikeLfoc, &llc)
+            .dike()
+            .is_some());
+        assert!(PolicyHandle::build(&SchedKind::Lfoc, &llc).dike().is_none());
+        assert!(PolicyHandle::build(&SchedKind::Cfs, &llc).dike().is_none());
+    }
+}

@@ -1,11 +1,11 @@
 //! The experiment runner: evaluate one (workload × scheduler × machine)
 //! cell and reduce it to the paper's metrics.
 
-use dike_baselines::{Dio, RandomScheduler, SortOnce, StaticSpread};
+use crate::roster::PolicyHandle;
 use dike_machine::{Machine, MachineConfig, SimTime};
 use dike_metrics::RuntimeMatrix;
-use dike_sched_core::{run_with, NullScheduler, SystemView};
-use dike_scheduler::{Dike, DikeConfig, SchedConfig};
+use dike_sched_core::{run_with, SystemView};
+use dike_scheduler::{DikeConfig, SchedConfig};
 use dike_util::{json_enum, json_struct};
 use dike_workloads::{Placement, Workload};
 
@@ -34,9 +34,14 @@ pub enum SchedKind {
     DikeHardened,
     /// Dike with a fully custom configuration (ablations).
     DikeCustom(DikeConfig),
+    /// LFOC-like fairness-oriented cache clustering: partitions the LLC,
+    /// never migrates (the second-actuator baseline).
+    Lfoc,
+    /// Dike swaps plus LFOC way-partitioning — both actuators at once.
+    DikeLfoc,
 }
 
-json_enum!(SchedKind { Null, Cfs, Dio, SortOnce, DikeAf, DikeAp, DikeHardened } {
+json_enum!(SchedKind { Null, Cfs, Dio, SortOnce, DikeAf, DikeAp, DikeHardened, Lfoc, DikeLfoc } {
     Random(u64),
     Dike(SchedConfig),
     DikeCustom(DikeConfig)
@@ -57,6 +62,8 @@ impl SchedKind {
             SchedKind::DikeAp => "Dike-AP".into(),
             SchedKind::DikeHardened => "Dike-H".into(),
             SchedKind::DikeCustom(_) => "Dike*".into(),
+            SchedKind::Lfoc => "LFOC".into(),
+            SchedKind::DikeLfoc => "Dike+LFOC".into(),
         }
     }
 
@@ -180,56 +187,11 @@ pub fn run_cell_with(
     let spawned = workload.spawn(&mut machine, opts.placement, opts.scale);
     let deadline = SimTime::from_secs_f64(opts.deadline_s);
 
-    // Drive the concrete scheduler type; keep the Dike handle when there is
-    // one so its predictor state survives the run.
-    let mut dike_handle: Option<Dike> = None;
-    let result = match kind {
-        SchedKind::Null => run_with(
-            &mut machine,
-            &mut NullScheduler::new(SimTime::from_ms(100)),
-            deadline,
-            observer,
-        ),
-        SchedKind::Cfs => run_with(&mut machine, &mut StaticSpread::new(), deadline, observer),
-        SchedKind::Dio => run_with(&mut machine, &mut Dio::new(), deadline, observer),
-        SchedKind::Random(seed) => run_with(
-            &mut machine,
-            &mut RandomScheduler::new(*seed),
-            deadline,
-            observer,
-        ),
-        SchedKind::SortOnce => run_with(&mut machine, &mut SortOnce::new(), deadline, observer),
-        SchedKind::Dike(sc) => {
-            let mut dike = Dike::fixed(*sc);
-            let r = run_with(&mut machine, &mut dike, deadline, observer);
-            dike_handle = Some(dike);
-            r
-        }
-        SchedKind::DikeAf => {
-            let mut dike = Dike::adaptive_fairness();
-            let r = run_with(&mut machine, &mut dike, deadline, observer);
-            dike_handle = Some(dike);
-            r
-        }
-        SchedKind::DikeAp => {
-            let mut dike = Dike::adaptive_performance();
-            let r = run_with(&mut machine, &mut dike, deadline, observer);
-            dike_handle = Some(dike);
-            r
-        }
-        SchedKind::DikeHardened => {
-            let mut dike = Dike::hardened();
-            let r = run_with(&mut machine, &mut dike, deadline, observer);
-            dike_handle = Some(dike);
-            r
-        }
-        SchedKind::DikeCustom(cfg) => {
-            let mut dike = Dike::with_config(cfg.clone());
-            let r = run_with(&mut machine, &mut dike, deadline, observer);
-            dike_handle = Some(dike);
-            r
-        }
-    };
+    // One roster build covers every kind; the handle keeps the concrete
+    // policy alive after the run so Dike's predictor state (plain or inside
+    // the hybrid) can be read back out.
+    let mut policy = PolicyHandle::build(kind, &machine.config().llc);
+    let result = run_with(&mut machine, policy.as_scheduler(), deadline, observer);
 
     // Fairness over benchmark apps only (the paper's Eqn 4 excludes the
     // KMEANS background).
@@ -240,11 +202,11 @@ pub fn run_cell_with(
         .collect();
     let matrix = RuntimeMatrix::new(per_app);
 
-    let (prediction_errors, prediction_trace) = dike_handle
-        .as_ref()
+    let (prediction_errors, prediction_trace) = policy
+        .dike()
         .map(|d| (d.predictor().error_values(), d.predictor().error_trace()))
         .unwrap_or_default();
-    let dike_stats = dike_handle.as_ref().map(|d| d.stats()).unwrap_or_default();
+    let dike_stats = policy.dike().map(|d| d.stats()).unwrap_or_default();
 
     CellResult {
         workload: workload.name.clone(),

@@ -17,7 +17,7 @@
 
 use dike_experiments::runner::run_cells;
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, robustness, table3, RunOptions, SchedKind};
+use dike_experiments::{cachepart, fig6, robustness, table3, RunOptions, SchedKind};
 use dike_machine::{presets, FaultConfig};
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -120,4 +120,37 @@ fn robustness_sweep_is_byte_identical_to_golden() {
     let opts = small_opts();
     let points = robustness::run_robustness_pool(&[0.0, 0.30], &[0.10], true, &opts, &Pool::new(1));
     check_golden("golden_robustness.json", &json::to_string(&points));
+}
+
+/// The cache-partitioning grid, pinned: this golden holds the headline
+/// Dike vs Dike+LFOC windowed-fairness comparison, the LFOC plan
+/// contents' downstream effects, and the partition actuation counts under
+/// faults. Any change to the LFOC classifier, the plan builder, the
+/// partition fault channel, or the engine's partitioned-capacity model
+/// shows up here as a byte diff.
+#[test]
+fn cachepart_grid_is_byte_identical_to_golden() {
+    let opts = small_opts();
+    let points = cachepart::run_cachepart_pool(&[1, 13], &opts, &Pool::new(1));
+    check_golden("golden_cachepart.json", &json::to_string(&points));
+}
+
+/// The partition actuator at rest must be *absent*, not merely unused: a
+/// migration-only policy on a partition-capable machine reproduces the
+/// committed Figure 6 golden byte for byte (the new partition state,
+/// occupancy observations, and epoch plumbing change nothing until a
+/// policy issues a plan).
+#[test]
+fn migration_only_policies_reproduce_the_fig6_golden_with_partitioning_compiled_in() {
+    let opts = small_opts();
+    let fig = fig6::run_subset_pool(&opts, &[1], &Pool::new(1));
+    for row in &fig.rows {
+        for cell in row {
+            assert!(
+                cell.scheduler != "LFOC" && cell.scheduler != "Dike+LFOC",
+                "comparison_set must stay migration-only"
+            );
+        }
+    }
+    check_golden("golden_fig6_wl1.json", &json::to_string(&fig));
 }

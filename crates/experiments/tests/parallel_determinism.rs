@@ -4,7 +4,7 @@
 //! wall-clock knob with no effect on any recorded figure or fixture.
 
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{fig6, fleet, open, robustness, scale, table3, RunOptions};
+use dike_experiments::{cachepart, fig6, fleet, open, robustness, scale, table3, RunOptions};
 use dike_machine::presets;
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -124,6 +124,29 @@ fn scale_sweep_is_thread_count_invariant_on_numa_machines() {
             serial_json,
             json::to_string(&parallel),
             "{threads}-thread scale sweep JSON must be byte-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn cachepart_grid_is_thread_count_invariant() {
+    // Partition plans, partition faults, and the occupancy observations
+    // all live inside one machine's deterministic quantum loop; the
+    // `(workload × fault cell × scheduler)` fan-out must not leak worker
+    // count into any byte of the grid.
+    let opts = small_opts();
+    let serial = cachepart::run_cachepart_pool(&[1], &opts, &Pool::new(1));
+    let serial_json = json::to_string(&serial);
+    assert!(
+        serial_json.contains("\"partitions\""),
+        "cachepart points serialize"
+    );
+    for threads in [2usize, 8] {
+        let parallel = cachepart::run_cachepart_pool(&[1], &opts, &Pool::new(threads));
+        assert_eq!(
+            serial_json,
+            json::to_string(&parallel),
+            "{threads}-thread cachepart grid JSON must be byte-identical to serial"
         );
     }
 }

@@ -63,6 +63,13 @@ pub struct LlcConfig {
     pub sensitivity: f64,
     /// Upper bound on the miss-ratio inflation factor.
     pub max_inflation: f64,
+    /// Number of equal-capacity ways the cache divides into for
+    /// way-partitioning (Intel CAT-style). 16 matches a 25 MiB Xeon E5
+    /// LLC's 20-way associativity order of magnitude while keeping the
+    /// arithmetic round. Purely an actuation granularity: with no
+    /// partition applied the model never divides by it, so the
+    /// unpartitioned solve is bit-identical whatever the value.
+    pub ways: u32,
 }
 
 impl Default for LlcConfig {
@@ -71,6 +78,7 @@ impl Default for LlcConfig {
             capacity_mib: 25.0,
             sensitivity: 0.12,
             max_inflation: 1.5,
+            ways: 16,
         }
     }
 }
@@ -201,6 +209,7 @@ json_struct!(LlcConfig {
     capacity_mib,
     sensitivity,
     max_inflation,
+    ways,
 });
 json_struct!(MigrationConfig {
     dead_time_us,
@@ -251,6 +260,9 @@ impl MachineConfig {
         }
         if !(self.llc.max_inflation >= 1.0) {
             return Err("LLC max_inflation must be >= 1".into());
+        }
+        if self.llc.ways == 0 {
+            return Err("LLC ways must be >= 1".into());
         }
         if !(0.0 < self.smt.busy_share && self.smt.busy_share <= 1.0) {
             return Err("SMT busy_share must be in (0,1]".into());
@@ -401,6 +413,9 @@ mod tests {
         assert!(m.validate().is_err());
         let mut m = presets::small_machine(0);
         m.llc.capacity_mib = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = presets::small_machine(0);
+        m.llc.ways = 0;
         assert!(m.validate().is_err());
         let mut m = presets::small_machine(0);
         m.memory.remote_latency_factor = 0.5;

@@ -30,7 +30,20 @@ use crate::ids::DomainId;
 /// Returns 1.0 while the combined working set fits in the cache and grows
 /// linearly with over-subscription up to [`LlcConfig::max_inflation`].
 pub fn llc_inflation(total_working_set_mib: f64, cfg: &LlcConfig) -> f64 {
-    let over = (total_working_set_mib / cfg.capacity_mib - 1.0).max(0.0);
+    llc_inflation_scaled(total_working_set_mib, cfg, cfg.capacity_mib)
+}
+
+/// [`llc_inflation`] against an explicit capacity instead of the full
+/// configured cache — the per-cluster form used under way-partitioning,
+/// where a cluster of threads sees only its allocated slice
+/// `capacity_mib * ways_granted / ways_total`. With
+/// `capacity_mib == cfg.capacity_mib` this is [`llc_inflation`] itself
+/// (same float ops in the same order), which is what keeps the
+/// no-partition path bit-identical. A zero capacity caps at
+/// `max_inflation` for any positive working set (ws/0 = inf) and yields
+/// 1.0 for an empty cluster (0/0 = NaN, discarded by the `.max(0.0)`).
+pub fn llc_inflation_scaled(total_working_set_mib: f64, cfg: &LlcConfig, capacity_mib: f64) -> f64 {
+    let over = (total_working_set_mib / capacity_mib - 1.0).max(0.0);
     (1.0 + cfg.sensitivity * over).min(cfg.max_inflation)
 }
 
@@ -637,6 +650,36 @@ mod tests {
         let b = llc_inflation(50.0, &cfg);
         assert!(a > 1.0 && b > a);
         assert_eq!(llc_inflation(10_000.0, &cfg), cfg.max_inflation);
+    }
+
+    #[test]
+    fn llc_inflation_scaled_at_full_capacity_is_llc_inflation_bitwise() {
+        let cfg = LlcConfig::default();
+        for ws in [0.0, 10.0, 25.0, 30.0, 50.0, 10_000.0] {
+            assert_eq!(
+                llc_inflation(ws, &cfg),
+                llc_inflation_scaled(ws, &cfg, cfg.capacity_mib),
+                "ws {ws}"
+            );
+        }
+    }
+
+    #[test]
+    fn llc_inflation_scaled_smaller_slice_inflates_more() {
+        let cfg = LlcConfig::default();
+        let full = llc_inflation_scaled(20.0, &cfg, cfg.capacity_mib);
+        let half = llc_inflation_scaled(20.0, &cfg, cfg.capacity_mib / 2.0);
+        assert_eq!(full, 1.0, "20 MiB fits the full 25 MiB cache");
+        assert!(half > 1.0, "but overflows a 12.5 MiB slice: {half}");
+    }
+
+    #[test]
+    fn llc_inflation_scaled_zero_capacity_is_finite() {
+        let cfg = LlcConfig::default();
+        // An empty cluster with no capacity: no pressure.
+        assert_eq!(llc_inflation_scaled(0.0, &cfg, 0.0), 1.0);
+        // Any working set against zero capacity caps out.
+        assert_eq!(llc_inflation_scaled(1.0, &cfg, 0.0), cfg.max_inflation);
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //! compare schedulers fairly.
 
 use crate::config::MachineConfig;
-use crate::contention::{llc_inflation, solve_memory_into, MemDemand, MemSolution, NumaWarmSolver};
+use crate::contention::{
+    llc_inflation, llc_inflation_scaled, solve_memory_into, MemDemand, MemSolution, NumaWarmSolver,
+};
 use crate::ids::{AppId, BarrierId, DomainId, SimTime, ThreadId, VCoreId};
+use crate::partition::PartitionPlan;
 use crate::phase::Phase;
 use crate::thread::{CoreCounters, ThreadCounters, ThreadSlab, ThreadSpec};
 use std::collections::BTreeMap;
@@ -184,6 +187,29 @@ pub struct Machine {
     ctrl_scratch_demands: Vec<MemDemand>,
     ctrl_scratch_factors: Vec<f64>,
     ctrl_scratch_members: Vec<u32>,
+    // LLC way-partitioning state (the second actuator). All of it is
+    // inert until a non-empty plan is applied: while `partition_active`
+    // is false the rebuild stages read none of these fields, keeping the
+    // unpartitioned trajectory bit-identical to the pre-partitioning
+    // engine.
+    /// Currently applied plan (empty when unpartitioned).
+    partition: PartitionPlan,
+    /// True while a non-empty plan is in force.
+    partition_active: bool,
+    /// Bumped on every successful partition application or clear — the
+    /// actuation layer verifies against this, the way migration actuation
+    /// verifies against placement.
+    partition_epoch: u64,
+    /// Per-thread cluster id (`u32::MAX` = shared pool), dense thread
+    /// index. Threads spawned after an application land in the shared
+    /// pool until the next plan names them.
+    thread_cluster: Vec<u32>,
+    /// Capacity (MiB) of each cluster's slice; last slot = shared pool.
+    cluster_capacity_mib: Vec<f64>,
+    /// Per-rebuild per-slot runnable working-set sums and inflation
+    /// factors (scratch; reused per domain on NUMA machines).
+    scratch_cluster_ws: Vec<f64>,
+    scratch_cluster_llc: Vec<f64>,
 }
 
 impl Machine {
@@ -291,6 +317,13 @@ impl Machine {
             ctrl_scratch_demands: Vec::new(),
             ctrl_scratch_factors: Vec::new(),
             ctrl_scratch_members: Vec::new(),
+            partition: PartitionPlan::new(),
+            partition_active: false,
+            partition_epoch: 0,
+            thread_cluster: Vec::new(),
+            cluster_capacity_mib: Vec::new(),
+            scratch_cluster_ws: Vec::new(),
+            scratch_cluster_llc: Vec::new(),
         }
     }
 
@@ -343,6 +376,7 @@ impl Machine {
             miss_ratio: 0.0,
         });
         self.thread_rate.push(0.0);
+        self.thread_cluster.push(u32::MAX);
         // Ids are monotone, so appending keeps the alive list ascending.
         self.alive.push(id.0);
         self.state_dirty = true;
@@ -478,6 +512,196 @@ impl Machine {
             at: now,
             until,
         });
+    }
+
+    /// Apply an LLC way-partitioning plan (the second actuator; see
+    /// [`crate::partition`]). The plan replaces any previous one in full.
+    /// Threads named by the plan contend only inside their cluster's
+    /// slice (`capacity_mib * ways / total_ways`, identically in every
+    /// NUMA domain — the plan models one machine-wide CAT configuration);
+    /// unassigned threads share the leftover ways. Re-partitioning models
+    /// nested CAT masks: a live thread is charged the migration-style
+    /// cache warm-up (but no dead time — reprogramming CAT does not
+    /// unschedule anyone) exactly when its slice moves or shrinks, while
+    /// a pure capacity grow keeps its lines resident. Assignments naming
+    /// finished or never-spawned threads are skipped. An empty plan lifts
+    /// the partition (see [`Machine::clear_partition`]).
+    ///
+    /// Every successful application bumps [`Machine::partition_epoch`],
+    /// which the actuation layer uses to verify the request landed.
+    pub fn apply_partition(&mut self, plan: &PartitionPlan) -> Result<(), String> {
+        let total_ways = self.cfg.llc.ways;
+        plan.validate(total_ways)?;
+        let n = self.threads.len();
+        let mut new_cluster = vec![u32::MAX; n];
+        for &(t, c) in &plan.assignments {
+            let i = t.index();
+            if i < n && !self.threads.finished(i) {
+                new_cluster[i] = c;
+            }
+        }
+        let now_active = !plan.is_empty();
+        let total_cap = self.cfg.llc.capacity_mib;
+        let tw = f64::from(total_ways);
+        // Location labels for the warm-up decision: a cluster index, the
+        // shared pool, or the whole unpartitioned cache. Two labels name
+        // the same ways only when equal — except that a full-width slice
+        // (capacity == total) is literally the whole cache under any
+        // label, so moving between full-width slices evicts nothing.
+        const LOC_FULL: u64 = u64::MAX;
+        const LOC_SHARED: u64 = u32::MAX as u64;
+        let old_shared_cap = total_cap * (f64::from(self.partition.shared_ways(total_ways)) / tw);
+        let new_shared_cap = total_cap * (f64::from(plan.shared_ways(total_ways)) / tw);
+        for idx in 0..self.alive.len() {
+            let i = self.alive[idx] as usize;
+            let (old_cap, old_loc) = if !self.partition_active {
+                (total_cap, LOC_FULL)
+            } else {
+                match self.thread_cluster[i] {
+                    u32::MAX => (old_shared_cap, LOC_SHARED),
+                    c => (
+                        total_cap * (f64::from(self.partition.cluster_ways[c as usize]) / tw),
+                        u64::from(c),
+                    ),
+                }
+            };
+            let (new_cap, new_loc) = if !now_active {
+                (total_cap, LOC_FULL)
+            } else {
+                match new_cluster[i] {
+                    u32::MAX => (new_shared_cap, LOC_SHARED),
+                    c => (
+                        total_cap * (f64::from(plan.cluster_ways[c as usize]) / tw),
+                        u64::from(c),
+                    ),
+                }
+            };
+            let warms = if old_loc == new_loc {
+                new_cap < old_cap
+            } else {
+                !(old_cap == total_cap && new_cap == total_cap)
+            };
+            if warms {
+                let ws_mib = self.threads.specs[i]
+                    .program
+                    .phase_at(self.threads.retired[i])
+                    .map(|p| p.working_set_mib)
+                    .unwrap_or(0.0);
+                let warmup = self.cfg.migration.warmup_us
+                    + (ws_mib * self.cfg.migration.warmup_us_per_mib as f64) as u64;
+                let until = self.now + SimTime::from_us(warmup);
+                // Extend, never shorten, a warm-up already pending.
+                if until > self.threads.warmup_until[i] {
+                    self.threads.warmup_until[i] = until;
+                }
+                self.mark_thread_dirty(i);
+            }
+        }
+        self.thread_cluster = new_cluster;
+        self.partition = plan.clone();
+        self.partition_active = now_active;
+        self.cluster_capacity_mib.clear();
+        for &w in &plan.cluster_ways {
+            self.cluster_capacity_mib
+                .push(total_cap * (f64::from(w) / tw));
+        }
+        self.cluster_capacity_mib.push(new_shared_cap);
+        self.partition_epoch += 1;
+        // Every domain's contention changes shape: force a full rebuild
+        // and make the warm solver forget its memoised fixed points.
+        self.state_dirty = true;
+        if self.multi {
+            self.dirty_domains.iter_mut().for_each(|f| *f = true);
+            self.stale_ctrls.iter_mut().for_each(|f| *f = true);
+            self.ctrl_solver.invalidate();
+        }
+        Ok(())
+    }
+
+    /// Lift any applied partition: every thread contends for the whole
+    /// cache again. Bumps the epoch like any application.
+    pub fn clear_partition(&mut self) {
+        self.apply_partition(&PartitionPlan::new())
+            .expect("the empty plan always validates");
+    }
+
+    /// Number of successful partition applications (including clears) so
+    /// far — the actuation layer's verification signal.
+    pub fn partition_epoch(&self) -> u64 {
+        self.partition_epoch
+    }
+
+    /// The currently applied plan (empty when unpartitioned).
+    pub fn partition(&self) -> &PartitionPlan {
+        &self.partition
+    }
+
+    /// True while a non-empty plan is in force.
+    pub fn partition_active(&self) -> bool {
+        self.partition_active
+    }
+
+    /// Simulated cache-occupancy counter (the Intel CMT analog exposed to
+    /// schedulers): the thread's current-phase working set, capped at the
+    /// capacity its partition slot lets it occupy. Zero once finished.
+    pub fn llc_occupancy_mib(&self, thread: ThreadId) -> f64 {
+        let i = thread.index();
+        if self.threads.finished(i) {
+            return 0.0;
+        }
+        let ws = self.threads.specs[i]
+            .program
+            .phase_at(self.threads.retired[i])
+            .map(|p| p.working_set_mib)
+            .unwrap_or(0.0);
+        let cap = if self.partition_active {
+            self.cluster_capacity_mib[self.cluster_slot(i)]
+        } else {
+            self.cfg.llc.capacity_mib
+        };
+        ws.min(cap)
+    }
+
+    /// Slot index of thread `i` under the current plan: its cluster, or
+    /// the shared pool (last slot) when unassigned.
+    #[inline]
+    fn cluster_slot(&self, i: usize) -> usize {
+        let c = self.thread_cluster[i];
+        if c == u32::MAX {
+            self.partition.num_clusters()
+        } else {
+            c as usize
+        }
+    }
+
+    /// Per-slot inflation factors for the single-controller rebuild:
+    /// accumulate runnable working sets per slot (ascending thread order,
+    /// like the unpartitioned global sum) and inflate each against its
+    /// slice capacity.
+    fn cluster_llc_factors_runnable(&mut self) {
+        self.scratch_cluster_ws.clear();
+        self.scratch_cluster_ws
+            .resize(self.partition.num_clusters() + 1, 0.0);
+        for idx in 0..self.scratch_runnable.len() {
+            let i = self.scratch_runnable[idx];
+            let slot = self.cluster_slot(i);
+            self.scratch_cluster_ws[slot] += self.thread_phase[i].working_set_mib;
+        }
+        self.fill_cluster_llc_factors();
+    }
+
+    /// Inflate each slot's accumulated working set against its slice
+    /// capacity (an empty slot of zero capacity inflates by exactly 1 —
+    /// `llc_inflation_scaled` maps 0/0 to no pressure).
+    fn fill_cluster_llc_factors(&mut self) {
+        self.scratch_cluster_llc.clear();
+        for s in 0..self.scratch_cluster_ws.len() {
+            self.scratch_cluster_llc.push(llc_inflation_scaled(
+                self.scratch_cluster_ws[s],
+                &self.cfg.llc,
+                self.cluster_capacity_mib[s],
+            ));
+        }
     }
 
     /// All thread ids ever spawned.
@@ -780,12 +1004,19 @@ impl Machine {
             // vcore itself, so it is read off the load counts inside the
             // demand loop below. One LLC spans the whole chip (the paper's
             // testbed).
-            let total_ws: f64 = self
-                .scratch_runnable
-                .iter()
-                .map(|&i| self.thread_phase[i].working_set_mib)
-                .sum();
-            let llc_factor = llc_inflation(total_ws, &self.cfg.llc);
+            let llc_factor = if self.partition_active {
+                // Partitioned: per-slot sums and factors; the demand loop
+                // reads them per thread and this global factor is unused.
+                self.cluster_llc_factors_runnable();
+                f64::NAN
+            } else {
+                let total_ws: f64 = self
+                    .scratch_runnable
+                    .iter()
+                    .map(|&i| self.thread_phase[i].working_set_mib)
+                    .sum();
+                llc_inflation(total_ws, &self.cfg.llc)
+            };
 
             // Effective per-thread miss ratios and pipeline times.
             self.scratch_demands.clear();
@@ -793,7 +1024,12 @@ impl Machine {
                 let i = self.scratch_runnable[idx];
                 let phase = self.thread_phase[i];
                 let vcore = self.threads.vcore[i];
-                let mut mr = phase.miss_ratio() * llc_factor;
+                let lf = if self.partition_active {
+                    self.scratch_cluster_llc[self.cluster_slot(i)]
+                } else {
+                    llc_factor
+                };
+                let mut mr = phase.miss_ratio() * lf;
                 let mut cpi = phase.cpi_exec;
                 if self.now < self.threads.warmup_until[i] {
                     mr *= self.cfg.migration.warmup_miss_multiplier;
@@ -895,6 +1131,11 @@ impl Machine {
             for &p in &self.domain_pcores[d] {
                 self.scratch_pcore_load[p as usize] = 0;
             }
+            if self.partition_active {
+                self.scratch_cluster_ws.clear();
+                self.scratch_cluster_ws
+                    .resize(self.partition.num_clusters() + 1, 0.0);
+            }
             let mut ws_sum = 0.0;
             for idx in 0..self.run_members[d].len() {
                 let i = self.run_members[d][idx] as usize;
@@ -911,8 +1152,16 @@ impl Machine {
                 self.scratch_vcore_load[v] += 1;
                 self.scratch_pcore_load[self.vcore_pcore[v] as usize] += 1;
                 ws_sum += phase.working_set_mib;
+                if self.partition_active {
+                    let slot = self.cluster_slot(i);
+                    self.scratch_cluster_ws[slot] += phase.working_set_mib;
+                }
             }
-            self.domain_llc[d] = llc_inflation(ws_sum, &self.cfg.llc);
+            if self.partition_active {
+                self.fill_cluster_llc_factors();
+            } else {
+                self.domain_llc[d] = llc_inflation(ws_sum, &self.cfg.llc);
+            }
 
             // Stage 2 (same domain, loads now final): effective miss
             // ratios and demands. Any thread whose demand is recomputed
@@ -924,7 +1173,12 @@ impl Machine {
                     continue;
                 }
                 let phase = self.thread_phase[i];
-                let mut mr = phase.miss_ratio() * llc_factor;
+                let lf = if self.partition_active {
+                    self.scratch_cluster_llc[self.cluster_slot(i)]
+                } else {
+                    llc_factor
+                };
+                let mut mr = phase.miss_ratio() * lf;
                 let mut cpi = phase.cpi_exec;
                 if self.now < self.threads.warmup_until[i] {
                     mr *= self.cfg.migration.warmup_miss_multiplier;
@@ -1729,6 +1983,136 @@ mod tests {
         let idle = m.idle_vcores();
         assert!(!idle.contains(&VCoreId(2)));
         assert_eq!(idle.len(), 7, "one occupied vcore on an 8-vcore machine");
+    }
+
+    #[test]
+    fn full_width_single_cluster_is_bitwise_unpartitioned() {
+        // A single cluster holding every way, with every thread assigned
+        // to it, computes the very same working-set sum (same order) and
+        // the very same inflation as the unpartitioned path — so the whole
+        // trajectory must match bit for bit, including burstiness.
+        let run = |partition: bool| {
+            let mut m = Machine::new(small_machine_pinned(7));
+            let mut ids = Vec::new();
+            for i in 0..4u32 {
+                let mut spec = memory_spec(i, 2e8);
+                spec.program.phases[0].burstiness = 0.3;
+                ids.push(m.spawn(spec, VCoreId(i * 2)));
+            }
+            if partition {
+                let plan = PartitionPlan {
+                    cluster_ways: vec![m.config().llc.ways],
+                    assignments: ids.iter().map(|&t| (t, 0)).collect(),
+                };
+                m.apply_partition(&plan).unwrap();
+                assert!(m.partition_active());
+            }
+            m.run_for(SimTime::from_ms(500));
+            ids.iter().map(|&t| m.counters(t)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn full_width_single_cluster_is_bitwise_unpartitioned_on_numa() {
+        // Same identity through the incremental multi-domain rebuild.
+        let run = |partition: bool| {
+            let mut m = Machine::new(numa_small(7));
+            let mut ids = Vec::new();
+            for i in 0..4u32 {
+                let mut spec = memory_spec(i, 2e8);
+                spec.program.phases[0].burstiness = 0.3;
+                ids.push(m.spawn(spec, VCoreId(i * 2)));
+            }
+            if partition {
+                let plan = PartitionPlan {
+                    cluster_ways: vec![m.config().llc.ways],
+                    assignments: ids.iter().map(|&t| (t, 0)).collect(),
+                };
+                m.apply_partition(&plan).unwrap();
+            }
+            m.run_for(SimTime::from_ms(500));
+            ids.iter().map(|&t| m.counters(t)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn jailing_a_thrasher_shields_the_sensitive_corunner() {
+        // The thrasher drags a 20 MiB footprint through the 5 MiB LLC but
+        // misses rarely (capacity pressure without bandwidth pressure), so
+        // unpartitioned both threads inflate to the cap. Jailing it into a
+        // single way leaves the victim a 15/16 slice its 8 MiB set only
+        // mildly overflows, while the thrasher's own inflation was already
+        // capped — the shielded victim finishes sooner, the bandwidth bill
+        // stays the same.
+        let run = |jail: bool| {
+            let mut m = Machine::new(small_machine_pinned(1));
+            let victim = m.spawn(memory_spec(0, 2e8), VCoreId(0));
+            let thrasher = m.spawn(
+                ThreadSpec {
+                    app: AppId(1),
+                    app_name: "thrash".into(),
+                    program: PhaseProgram::single(Phase::steady(1.0, 5.0, 20.0, 1e6), 1e9),
+                    barrier: None,
+                },
+                VCoreId(2),
+            );
+            if jail {
+                let plan = PartitionPlan {
+                    cluster_ways: vec![1, m.config().llc.ways - 1],
+                    assignments: vec![(victim, 1), (thrasher, 0)],
+                };
+                m.apply_partition(&plan).unwrap();
+            }
+            m.run_until_done(SimTime::from_secs_f64(300.0));
+            m.finish_time(victim).unwrap().as_secs_f64()
+        };
+        let jailed = run(true);
+        let free = run(false);
+        assert!(
+            jailed < free * 0.95,
+            "shielded victim should finish sooner: {jailed}s vs {free}s"
+        );
+    }
+
+    #[test]
+    fn partition_epoch_validation_and_occupancy() {
+        let mut m = Machine::new(small_machine_pinned(1));
+        assert_eq!(m.partition_epoch(), 0);
+        assert!(!m.partition_active());
+        // An invalid plan is rejected without touching state.
+        let bad = PartitionPlan {
+            cluster_ways: vec![99],
+            assignments: vec![],
+        };
+        assert!(m.apply_partition(&bad).is_err());
+        assert_eq!(m.partition_epoch(), 0);
+        let t = m.spawn(memory_spec(0, 1e9), VCoreId(0));
+        // Unpartitioned occupancy: working set capped at full capacity.
+        assert_eq!(m.llc_occupancy_mib(t), 5.0);
+        let plan = PartitionPlan {
+            cluster_ways: vec![4],
+            assignments: vec![(t, 0)],
+        };
+        m.apply_partition(&plan).unwrap();
+        assert_eq!(m.partition_epoch(), 1);
+        assert!(m.partition_active());
+        assert_eq!(m.partition().cluster_ways, vec![4]);
+        // Occupancy is now capped by the 4/16 slice.
+        let cap = m.config().llc.capacity_mib * 4.0 / 16.0;
+        assert!((m.llc_occupancy_mib(t) - cap).abs() < 1e-12);
+        // Shrinking the slice charged a cache warm-up (no dead time).
+        assert!(m.threads.warmup_until[t.index()] > SimTime::ZERO);
+        assert_eq!(m.threads.dead_until[t.index()], SimTime::ZERO);
+        m.clear_partition();
+        assert_eq!(m.partition_epoch(), 2);
+        assert!(!m.partition_active());
+        // Reset returns to the unpartitioned epoch-zero state.
+        m.apply_partition(&plan).unwrap();
+        m.reset();
+        assert_eq!(m.partition_epoch(), 0);
+        assert!(!m.partition_active());
     }
 
     #[test]

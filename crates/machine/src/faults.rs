@@ -248,6 +248,17 @@ impl FaultConfig {
         self.stall_rate > 0.0 && unit(mix(self.seed, SALT_STALL, thread, quantum)) < self.stall_rate
     }
 
+    /// The actuation fault (if any) hitting a cache-partition request at
+    /// `quantum`. Partitioning is a machine-wide actuation (one CAT
+    /// programming per request, not per thread), so it draws from the
+    /// migration channel under the sentinel thread id `u32::MAX` — a slot
+    /// no real thread occupies (thread ids are dense and small), which
+    /// keeps every existing migration draw unshifted and the partition
+    /// stream independent of migration traffic.
+    pub fn partition_fault(&self, quantum: u64) -> Option<FaultKind> {
+        self.migration_fault(u32::MAX, quantum)
+    }
+
     /// Telemetry-degradation axis of the robustness experiment: dropout
     /// at `d` with corruption and stale replay riding along at `d/2`
     /// each, plus bounded noise of amplitude `d/2`.
@@ -391,6 +402,11 @@ impl FaultHasher {
     pub fn stall(&self, thread: u32, quantum: u64) -> bool {
         self.cfg.stall_rate > 0.0
             && unit(mix2(self.base_stall, thread, quantum)) < self.cfg.stall_rate
+    }
+
+    /// Same draw as [`FaultConfig::partition_fault`].
+    pub fn partition_fault(&self, quantum: u64) -> Option<FaultKind> {
+        self.migration_fault(u32::MAX, quantum)
     }
 
     /// Batch every per-thread telemetry draw for one quantum (fault kind
@@ -682,6 +698,27 @@ mod tests {
         assert_eq!(inert.noise_factor(0, 0), 1.0);
         assert_eq!(inert.migration_fault(0, 0), None);
         assert!(!inert.stall(0, 0));
+        assert_eq!(inert.partition_fault(0), None);
+    }
+
+    #[test]
+    fn partition_faults_share_the_migration_channel_under_a_sentinel() {
+        // Partition draws are migration draws at thread u32::MAX: the
+        // hasher and config agree, real-thread migration draws are
+        // untouched, and an actuation axis makes some partition requests
+        // fail or delay over a long horizon.
+        let cfg = FaultConfig::actuation_axis(0.25, 13);
+        let h = FaultHasher::new(&cfg);
+        let mut fired = 0;
+        for q in 0..200 {
+            assert_eq!(h.partition_fault(q), cfg.partition_fault(q));
+            assert_eq!(cfg.partition_fault(q), cfg.migration_fault(u32::MAX, q));
+            fired += usize::from(cfg.partition_fault(q).is_some());
+        }
+        assert!(fired > 10, "actuation axis must hit partitions: {fired}");
+        // Telemetry-only configs never fault partitions.
+        let tel = FaultConfig::telemetry_axis(0.3, 13);
+        assert!((0..100).all(|q| tel.partition_fault(q).is_none()));
     }
 
     #[test]

@@ -46,18 +46,20 @@ pub mod contention;
 pub mod engine;
 pub mod faults;
 pub mod ids;
+pub mod partition;
 pub mod phase;
 pub mod thread;
 pub mod topology;
 
 pub use config::{presets, LlcConfig, MachineConfig, MemoryConfig, MigrationConfig, SmtConfig};
 pub use contention::{
-    llc_inflation, solve_memory, solve_memory_into, solve_memory_numa, solve_memory_numa_into,
-    solve_memory_reference, DomainSolution, MemDemand, MemSolution, NumaDemand, NumaSolution,
-    NumaWarmSolver,
+    llc_inflation, llc_inflation_scaled, solve_memory, solve_memory_into, solve_memory_numa,
+    solve_memory_numa_into, solve_memory_reference, DomainSolution, MemDemand, MemSolution,
+    NumaDemand, NumaSolution, NumaWarmSolver,
 };
 pub use engine::{Machine, MachineEvent};
 pub use faults::{FaultConfig, FaultEvent, FaultHasher, FaultKind, FaultPlan};
 pub use ids::{AppId, BarrierId, DomainId, PCoreId, SimTime, ThreadId, VCoreId};
+pub use partition::PartitionPlan;
 pub use phase::{Phase, PhaseProgram, PhaseRepeat};
 pub use thread::{BarrierSpec, CoreCounters, ThreadCounters, ThreadSpec};

@@ -15,9 +15,15 @@
 //! `#[must_use]`: a scheduler that requests swaps but ignores whether they
 //! landed is exactly the failure mode this module exists to prevent, so
 //! dropping the report on the floor fails `cargo clippy -D warnings`.
+//!
+//! [`PartitionPlanner`] is the same closed loop for the second actuator:
+//! an LLC way-partitioning request (`resctrl` writes fail and race too)
+//! is verified against [`SystemView::partition_epoch`], re-issued with
+//! the same exponential backoff, and after the budget is exhausted the
+//! policy holds off partitioning for a fallback window.
 
 use crate::view::{Actions, SystemView};
-use dike_machine::{ThreadId, VCoreId};
+use dike_machine::{PartitionPlan, ThreadId, VCoreId};
 
 /// A swap whose landing has not been confirmed yet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +175,109 @@ impl SwapPlanner {
     }
 }
 
+/// A partition request whose application has not been confirmed yet.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingPartition {
+    plan: PartitionPlan,
+    /// The machine's partition epoch when the request was issued; the
+    /// request is confirmed once a view reports a later epoch.
+    epoch_at_issue: u64,
+    attempts: u32,
+    next_check: u64,
+}
+
+/// Tracks the outstanding LLC way-partitioning request until it is
+/// confirmed, retried out, or abandoned — [`SwapPlanner`]'s counterpart
+/// for the second actuator. The machine holds exactly one plan at a time
+/// (a new application replaces the old wholesale), so the planner tracks
+/// at most one request: tracking a new plan supersedes the old pending
+/// one. Verification is epoch-based — a request is confirmed when
+/// [`SystemView::partition_epoch`] advances past the value observed at
+/// issue time — because a plan's *effect* (per-cluster contention) is not
+/// directly observable the way a migration's placement is.
+#[derive(Debug, Clone)]
+pub struct PartitionPlanner {
+    /// Re-issues allowed before abandoning a request.
+    retry_budget: u32,
+    /// Quanta the policy should refrain from partitioning after an
+    /// abandoned request.
+    fallback_quanta: u64,
+    pending: Option<PendingPartition>,
+    /// Quantum counter at which the current fallback window ends.
+    fallback_until: u64,
+}
+
+impl PartitionPlanner {
+    /// A planner with the given retry budget and fallback window.
+    pub fn new(retry_budget: u32, fallback_quanta: u64) -> Self {
+        PartitionPlanner {
+            retry_budget,
+            fallback_quanta,
+            pending: None,
+            fallback_until: 0,
+        }
+    }
+
+    /// Record a plan requested at quantum `now_q`, with the partition
+    /// epoch the issuing view reported. Supersedes any pending request
+    /// (the machine would apply only the newest plan anyway). Verified
+    /// from the next quantum on.
+    pub fn track(&mut self, plan: PartitionPlan, epoch_at_issue: u64, now_q: u64) {
+        self.pending = Some(PendingPartition {
+            plan,
+            epoch_at_issue,
+            attempts: 0,
+            next_check: now_q + 1,
+        });
+    }
+
+    /// True while the policy should not issue new partition plans and
+    /// leave the cache to its current (possibly substrate) configuration.
+    pub fn in_fallback(&self, now_q: u64) -> bool {
+        now_q < self.fallback_until
+    }
+
+    /// True while a request awaits confirmation.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Check the outstanding request against the current view's partition
+    /// epoch, re-issuing an unconfirmed one (into `actions`) with
+    /// exponential backoff and abandoning it past the retry budget. Call
+    /// once per quantum, before deciding a new plan.
+    pub fn verify(
+        &mut self,
+        view: &SystemView,
+        actions: &mut Actions,
+        now_q: u64,
+    ) -> ActuationReport {
+        let mut report = ActuationReport::default();
+        let Some(p) = &mut self.pending else {
+            return report;
+        };
+        if view.partition_epoch > p.epoch_at_issue {
+            report.confirmed += 1;
+            self.pending = None;
+        } else if now_q >= p.next_check {
+            if p.attempts >= self.retry_budget {
+                report.abandoned += 1;
+                self.fallback_until = now_q + self.fallback_quanta;
+                self.pending = None;
+            } else {
+                p.attempts += 1;
+                // Exponential backoff, like swap retries: leave room for a
+                // delayed application to land before re-issuing again.
+                p.next_check = now_q + (1u64 << p.attempts.min(16));
+                p.epoch_at_issue = view.partition_epoch;
+                actions.partition = Some(p.plan.clone());
+                report.retried += 1;
+            }
+        }
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +300,7 @@ mod tests {
                     rates: RateSample::default(),
                     cumulative: ThreadCounters::default(),
                     migrated_last_quantum: false,
+                    llc_occupancy_mib: 0.0,
                 })
                 .collect(),
             departed: departed.iter().map(|&t| ThreadId(t)).collect(),
@@ -294,6 +404,90 @@ mod tests {
         let mut a = Actions::default();
         let r = p.verify(&view(&[(0, 4), (1, 0)], &[], 2), &mut a, 2);
         assert_eq!(r.confirmed, 1);
+    }
+
+    /// A view that only carries a partition epoch (all the partition
+    /// planner reads).
+    fn epoch_view(epoch: u64, q: u64) -> SystemView {
+        SystemView {
+            quantum_index: q,
+            partition_epoch: epoch,
+            ..SystemView::default()
+        }
+    }
+
+    fn small_plan() -> PartitionPlan {
+        PartitionPlan {
+            cluster_ways: vec![2],
+            assignments: vec![(ThreadId(0), 0)],
+        }
+    }
+
+    #[test]
+    fn partition_confirmed_on_epoch_advance() {
+        let mut p = PartitionPlanner::new(3, 8);
+        p.track(small_plan(), 0, 0);
+        assert!(p.has_pending());
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(1, 1), &mut a, 1);
+        assert_eq!(r.confirmed, 1);
+        assert!(r.is_clean());
+        assert!(a.is_empty());
+        assert!(!p.has_pending());
+    }
+
+    #[test]
+    fn stuck_partition_retries_with_backoff_then_abandons() {
+        let mut p = PartitionPlanner::new(1, 8);
+        p.track(small_plan(), 0, 0);
+        // Epoch never advances: retry #1 re-issues the plan.
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(0, 1), &mut a, 1);
+        assert_eq!((r.confirmed, r.retried, r.abandoned), (0, 1, 0));
+        assert_eq!(a.partition.as_ref(), Some(&small_plan()));
+        // Inside the backoff window nothing happens.
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(0, 2), &mut a, 2);
+        assert!(r.is_clean());
+        assert!(a.is_empty());
+        // Past the window with the budget spent: abandoned + fallback.
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(0, 3), &mut a, 3);
+        assert_eq!((r.retried, r.abandoned), (0, 1));
+        assert!(a.is_empty(), "an abandoned request must not re-issue");
+        assert!(!p.has_pending());
+        assert!(p.in_fallback(3));
+        assert!(p.in_fallback(10));
+        assert!(!p.in_fallback(11));
+    }
+
+    #[test]
+    fn late_partition_application_confirms_instead_of_reissuing() {
+        let mut p = PartitionPlanner::new(3, 8);
+        p.track(small_plan(), 4, 0);
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(4, 1), &mut a, 1);
+        assert_eq!(r.retried, 1);
+        // The delayed application lands during the backoff window.
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(5, 2), &mut a, 2);
+        assert_eq!(r.confirmed, 1);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn newer_plan_supersedes_pending_request() {
+        let mut p = PartitionPlanner::new(3, 8);
+        p.track(small_plan(), 0, 0);
+        let newer = PartitionPlan {
+            cluster_ways: vec![8],
+            assignments: vec![],
+        };
+        p.track(newer.clone(), 0, 1);
+        let mut a = Actions::default();
+        let r = p.verify(&epoch_view(0, 2), &mut a, 2);
+        assert_eq!(r.retried, 1);
+        assert_eq!(a.partition.as_ref(), Some(&newer));
     }
 
     #[test]

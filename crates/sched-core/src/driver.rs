@@ -27,8 +27,8 @@ use crate::scheduler::Scheduler;
 use crate::view::{Actions, CoreObservation, SystemView, ThreadObservation};
 use dike_counters::RateSample;
 use dike_machine::{
-    CoreCounters, FaultHasher, FaultKind, Machine, SimTime, ThreadCounters, ThreadId, ThreadSpec,
-    VCoreId,
+    CoreCounters, FaultHasher, FaultKind, Machine, PartitionPlan, SimTime, ThreadCounters,
+    ThreadId, ThreadSpec, VCoreId,
 };
 use std::collections::VecDeque;
 
@@ -67,6 +67,9 @@ pub struct RunResult {
     /// re-issues of lost members, explicit single-thread placements.
     /// Fault-free, `migrations == 2 * swaps + unilateral_migrations`.
     pub unilateral_migrations: u64,
+    /// LLC partition plans actually applied to the machine (after the
+    /// actuation fault channel; failed or invalid plans are not counted).
+    pub partitions: u64,
 }
 
 /// One thread's result.
@@ -170,6 +173,11 @@ pub struct DriverScratch {
     /// because the delay is constant.
     delayed: VecDeque<(u64, ThreadId, VCoreId, u64)>,
     pending_pairs: Vec<PendingPair>,
+    /// A partition plan deferred by the actuation delay channel: (land at
+    /// quantum counter, plan). At most one — a newer delayed plan
+    /// supersedes an older one, mirroring the machine's whole-plan apply
+    /// semantics.
+    delayed_partition: Option<(u64, PartitionPlan)>,
 }
 
 impl DriverScratch {
@@ -201,6 +209,7 @@ impl DriverScratch {
         self.occ_cursor.clear();
         self.delayed.clear();
         self.pending_pairs.clear();
+        self.delayed_partition = None;
     }
 }
 
@@ -379,6 +388,7 @@ pub fn run_open_with_scratch(
     let migrations_before = machine.total_migrations();
     let mut swaps = 0u64;
     let mut unilateral = 0u64;
+    let mut partitions = 0u64;
     let mut next_pair_token = 0u64;
 
     // Fault injection at the observe/act boundary (see `dike_machine::faults`).
@@ -543,6 +553,7 @@ pub fn run_open_with_scratch(
                 rates,
                 cumulative: cur,
                 migrated_last_quantum: d.migrations > 0,
+                llc_occupancy_mib: machine.llc_occupancy_mib(id),
             });
         }
         for v in 0..n_vcores {
@@ -583,6 +594,7 @@ pub fn run_open_with_scratch(
         scratch.view.now = machine.now();
         scratch.view.quantum = step;
         scratch.view.quantum_index = quanta - 1;
+        scratch.view.partition_epoch = machine.partition_epoch();
         std::mem::swap(&mut scratch.view.arrived, &mut scratch.arrived);
         scratch.arrived.clear();
 
@@ -678,6 +690,38 @@ pub fn run_open_with_scratch(
                 }
             }
         }
+        // LLC partition actuation: land a delay-deferred plan first, then
+        // route this quantum's plan (if any) through the same fault
+        // channel migrations use (under a sentinel thread id — see
+        // `FaultHasher::partition_fault`). The machine applies plans
+        // wholesale, so there is at most one in flight; an invalid plan
+        // is dropped, mirroring `Machine::migrate`'s silent no-op on a
+        // stale target.
+        if scratch
+            .delayed_partition
+            .as_ref()
+            .is_some_and(|d| d.0 <= quanta)
+        {
+            let (_, plan) = scratch.delayed_partition.take().expect("checked above");
+            partitions += u64::from(machine.apply_partition(&plan).is_ok());
+        }
+        if let Some(plan) = scratch.actions.partition.take() {
+            let fault = if faults_active {
+                hasher.partition_fault(quanta - 1)
+            } else {
+                None
+            };
+            match fault {
+                Some(FaultKind::MigrationFail) => {} // silently lost
+                Some(FaultKind::MigrationDelay) => {
+                    // A newer delayed plan supersedes an older one, as a
+                    // late `apply_partition` would.
+                    scratch.delayed_partition =
+                        Some((quanta + faults.migration_delay_quanta as u64, plan));
+                }
+                _ => partitions += u64::from(machine.apply_partition(&plan).is_ok()),
+            }
+        }
         // Resolve pairs whose members have all reported (delay-extended
         // pairs stay pending until their last member lands).
         scratch.pending_pairs.retain(|p| {
@@ -715,6 +759,7 @@ pub fn run_open_with_scratch(
         migrations,
         swaps,
         unilateral_migrations: unilateral,
+        partitions,
     }
 }
 
@@ -1155,6 +1200,97 @@ mod tests {
         let (at, ids) = first_arrival_view.expect("arrival observed");
         assert_eq!(ids, vec![ThreadId(0)]);
         assert_eq!(at, SimTime::from_ms(600));
+    }
+
+    /// A policy that requests one LLC partition plan once.
+    struct PartitionOnce {
+        done: bool,
+    }
+    impl Scheduler for PartitionOnce {
+        fn name(&self) -> &str {
+            "partition-once"
+        }
+        fn initial_quantum(&self) -> SimTime {
+            SimTime::from_ms(100)
+        }
+        fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions) {
+            if !self.done && view.threads.len() == 2 {
+                let mut plan = PartitionPlan::new();
+                plan.cluster_ways.push(4);
+                plan.assignments.push((view.threads[0].id, 0));
+                actions.partition = Some(plan);
+                self.done = true;
+            }
+        }
+    }
+
+    #[test]
+    fn partition_plans_are_applied_and_counted() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = PartitionOnce { done: false };
+        let mut max_epoch = 0;
+        let r = run_with(&mut m, &mut s, SimTime::from_secs_f64(60.0), |view| {
+            max_epoch = max_epoch.max(view.partition_epoch);
+        });
+        assert!(r.completed);
+        assert_eq!(r.partitions, 1);
+        assert_eq!(r.migrations, 0);
+        assert!(m.partition_active());
+        assert_eq!(m.partition_epoch(), 1);
+        // The view reported the advanced epoch back to the policy.
+        assert_eq!(max_epoch, 1);
+    }
+
+    #[test]
+    fn partition_faults_fail_and_delay_like_migrations() {
+        // Fail every actuation: the plan is silently lost.
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            migration_fail_rate: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg);
+        spawn_pair(&mut m);
+        let mut s = PartitionOnce { done: false };
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert_eq!(r.partitions, 0);
+        assert!(!m.partition_active());
+        assert_eq!(m.partition_epoch(), 0);
+
+        // Delay every actuation: the plan lands quanta later, once.
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            migration_delay_rate: 1.0,
+            migration_delay_quanta: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg);
+        spawn_pair(&mut m);
+        let mut s = PartitionOnce { done: false };
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(60.0));
+        assert_eq!(r.partitions, 1);
+        assert!(m.partition_active());
+        assert_eq!(m.partition_epoch(), 1);
+    }
+
+    #[test]
+    fn views_report_llc_occupancy() {
+        let mut m = Machine::new(presets::small_machine(1));
+        spawn_pair(&mut m);
+        let mut s = NullScheduler::new(SimTime::from_ms(100));
+        let mut seen = 0;
+        run_with(&mut m, &mut s, SimTime::from_ms(500), |view| {
+            for t in &view.threads {
+                // spawn_pair threads have a 2 MiB working set, well under
+                // the unpartitioned 5 MiB LLC: occupancy is the full set.
+                assert_eq!(t.llc_occupancy_mib, 2.0);
+                seen += 1;
+            }
+        });
+        assert!(seen >= 8, "saw {seen} occupancy samples");
     }
 
     #[test]

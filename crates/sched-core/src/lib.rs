@@ -16,16 +16,17 @@
 //!   [`TimedSpawn`] plan, for open systems where threads arrive and
 //!   depart mid-run.
 
-//! * [`SwapPlanner`] — actuation verification: confirm that requested
-//!   swaps actually landed, retry with backoff, fall back to substrate
-//!   placement when the budget is exhausted.
+//! * [`SwapPlanner`] / [`PartitionPlanner`] — actuation verification:
+//!   confirm that requested swaps and LLC partition plans actually
+//!   landed, retry with backoff, fall back to substrate behaviour when
+//!   the budget is exhausted.
 
 pub mod actuation;
 pub mod driver;
 pub mod scheduler;
 pub mod view;
 
-pub use actuation::{ActuationReport, SwapPlanner};
+pub use actuation::{ActuationReport, PartitionPlanner, SwapPlanner};
 pub use driver::{
     run, run_open, run_open_pooled, run_open_with, run_open_with_scratch, run_with,
     run_with_scratch, DriverScratch, RunResult, ThreadResult, TimedSpawn,

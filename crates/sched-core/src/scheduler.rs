@@ -14,22 +14,36 @@ pub trait Scheduler {
     /// Policy name for reports (e.g. `"DIO"`, `"Dike-AF"`).
     fn name(&self) -> &str;
 
-    /// The quantum length the driver should start with.
+    /// The quantum length the driver should start with. This is a real
+    /// actuation, not metadata: the driver times its observe→decide→act
+    /// loop on it from the first quantum, in closed runs and open
+    /// (event-driven) runs alike — threads that arrive or depart between
+    /// boundaries are surfaced in the *next* view's `arrived`/`departed`
+    /// lists, never mid-quantum. A policy can change the cadence later via
+    /// [`Actions::set_quantum`].
     fn initial_quantum(&self) -> SimTime;
 
-    /// Called at each quantum boundary. Populate `actions` with migrations
-    /// and/or a quantum change.
+    /// Called at each quantum boundary. Populate `actions` with any
+    /// combination of the actuator channels: migrations/swaps, an LLC
+    /// way-partitioning plan ([`Actions::partition`]), and/or a quantum
+    /// change.
     fn on_quantum(&mut self, view: &SystemView, actions: &mut Actions);
 }
 
 /// A scheduler that never acts — the no-op floor every policy must beat.
+/// Threads stay wherever the substrate (spawn placement plus the
+/// CFS-like idle balancer) puts them; in open runs, arrivals and
+/// departures are still driven normally — the policy just never reacts
+/// to them.
 #[derive(Debug, Clone, Default)]
 pub struct NullScheduler {
     quantum: SimTime,
 }
 
 impl NullScheduler {
-    /// A null scheduler with the given (irrelevant, but required) quantum.
+    /// A null scheduler observing at the given cadence. The quantum still
+    /// matters even for a policy that never acts: it sets how often the
+    /// driver samples counters and processes arrivals in open runs.
     pub fn new(quantum: SimTime) -> Self {
         NullScheduler { quantum }
     }

@@ -8,7 +8,7 @@
 
 use dike_counters::RateSample;
 use dike_machine::topology::CoreKind;
-use dike_machine::{AppId, DomainId, SimTime, ThreadCounters, ThreadId, VCoreId};
+use dike_machine::{AppId, DomainId, PartitionPlan, SimTime, ThreadCounters, ThreadId, VCoreId};
 
 /// Per-thread observation for the last quantum.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,10 @@ pub struct ThreadObservation {
     /// True if this thread migrated during the last quantum (the paper's
     /// Decider skips threads swapped in the previous quantum).
     pub migrated_last_quantum: bool,
+    /// Estimated LLC occupancy in MiB — the Intel CMT analogue a
+    /// cache-partitioning policy samples to build miss curves. Subject to
+    /// the same telemetry faults as the counter rates.
+    pub llc_occupancy_mib: f64,
 }
 
 /// Per-core observation for the last quantum.
@@ -80,6 +84,11 @@ pub struct SystemView {
     /// CSR payload for [`SystemView::occupants`]: thread ids grouped by
     /// core, cores in id order, ids ascending within a core.
     pub occ_ids: Vec<ThreadId>,
+    /// Number of successful partition applications on the machine so far
+    /// (see [`dike_machine::Machine::partition_epoch`]). A policy that
+    /// requested a [`PartitionPlan`] checks this advanced to verify the
+    /// request actually landed.
+    pub partition_epoch: u64,
 }
 
 impl SystemView {
@@ -154,6 +163,13 @@ pub struct Actions {
     /// Change the scheduling quantum from the next quantum on (the
     /// Optimizer's `quantaLength` actuation).
     pub set_quantum: Option<SimTime>,
+    /// LLC way-partitioning request — the second actuator channel. At most
+    /// one plan per quantum; a later request in the same quantum replaces
+    /// an earlier one (the machine applies plans wholesale). Subject to
+    /// the same actuation faults as migrations: the driver may drop or
+    /// delay it, so policies verify via [`SystemView::partition_epoch`]
+    /// (or a [`crate::PartitionPlanner`]).
+    pub partition: Option<PartitionPlan>,
 }
 
 impl Actions {
@@ -199,11 +215,12 @@ impl Actions {
         self.pair_of.clear();
         self.num_pairs = 0;
         self.set_quantum = None;
+        self.partition = None;
     }
 
     /// True when no actions were requested.
     pub fn is_empty(&self) -> bool {
-        self.migrations.is_empty() && self.set_quantum.is_none()
+        self.migrations.is_empty() && self.set_quantum.is_none() && self.partition.is_none()
     }
 }
 
@@ -222,6 +239,7 @@ mod tests {
             },
             cumulative: ThreadCounters::default(),
             migrated_last_quantum: false,
+            llc_occupancy_mib: 0.0,
         }
     }
 
@@ -301,6 +319,17 @@ mod tests {
         let mut b = Actions::default();
         b.set_quantum = Some(SimTime::from_ms(100));
         assert!(!b.is_empty());
+        // A partition request alone also makes the actions non-empty, and
+        // clear() resets it with everything else.
+        let mut c = Actions::default();
+        c.partition = Some(PartitionPlan {
+            cluster_ways: vec![4],
+            assignments: vec![(ThreadId(0), 0)],
+        });
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.partition.is_none());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Perf-trajectory bench: times the solve_memory hot path, the 33-cell
 # configuration sweep (serial vs parallel), the NUMA scale sweep, the
-# open-system cell and the fault-injected robustness cell, recording the
-# numbers into results/BENCH_sweep.json, results/BENCH_scale.json,
-# results/BENCH_open.json and results/BENCH_robustness.json so regressions
-# are visible release over release.
+# open-system cell, the fault-injected robustness cell and the
+# cache-partitioning cell, recording the numbers into
+# results/BENCH_sweep.json, results/BENCH_scale.json,
+# results/BENCH_open.json, results/BENCH_robustness.json and
+# results/BENCH_cachepart.json so regressions are visible release over
+# release.
 #
 # Usage:
 #   scripts/bench.sh            # full run, records results/BENCH_*.json
@@ -24,6 +26,7 @@ if [[ "${DIKE_BENCH_FAST:-0}" == "1" ]]; then
     out_scale="$PWD/target/BENCH_scale_smoke.json"
     out_open="$PWD/target/BENCH_open_smoke.json"
     out_robustness="$PWD/target/BENCH_robustness_smoke.json"
+    out_cachepart="$PWD/target/BENCH_cachepart_smoke.json"
     out_fleet="$PWD/target/BENCH_fleet_smoke.json"
     export DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}"
     export DIKE_BENCH_WARMUP_MS="${DIKE_BENCH_WARMUP_MS:-20}"
@@ -33,6 +36,7 @@ else
     out_scale="$PWD/results/BENCH_scale.json"
     out_open="$PWD/results/BENCH_open.json"
     out_robustness="$PWD/results/BENCH_robustness.json"
+    out_cachepart="$PWD/results/BENCH_cachepart.json"
     out_fleet="$PWD/results/BENCH_fleet.json"
 fi
 
@@ -40,9 +44,11 @@ DIKE_BENCH_JSON="$out_sweep" cargo bench -q --offline -p dike-bench --bench swee
 DIKE_BENCH_JSON="$out_scale" cargo bench -q --offline -p dike-bench --bench scale
 DIKE_BENCH_JSON="$out_open" cargo bench -q --offline -p dike-bench --bench open
 DIKE_BENCH_JSON="$out_robustness" cargo bench -q --offline -p dike-bench --bench robustness
-# One headline-fleet lap simulates >1M thread-arrivals (~10s); three
-# samples bound the full recording run without hurting the median.
+DIKE_BENCH_JSON="$out_cachepart" cargo bench -q --offline -p dike-bench --bench cachepart
+# One headline-fleet lap simulates >1M thread-arrivals (~10s), and the
+# full-mode run adds the 1024-machine wide lap on top; three samples
+# bound the recording run without hurting the median.
 DIKE_BENCH_JSON="$out_fleet" DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}" \
     cargo bench -q --offline -p dike-bench --bench fleet
 
-echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness, $out_fleet)"
+echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness, $out_cachepart, $out_fleet)"

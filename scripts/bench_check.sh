@@ -52,8 +52,9 @@ for row in 1dom_40c 4dom_160c 8dom_320c 16dom_640c 26dom_1040c; do
     fi
 done
 # …the smoke fleet row must guard the recorded fleet reference, and the
-# reference itself must still carry the headline >1M-arrival row (full
-# mode only, so the smoke file never has it).
+# reference itself must still carry the headline >1M-arrival row and the
+# 1024-machine wide row (both full mode only, so the smoke file never
+# has them).
 if ! grep -q '"fleet/dike_8m_12t"' target/BENCH_fleet_smoke.json; then
     echo "bench_check: fleet smoke is missing row fleet/dike_8m_12t"
     fail=1
@@ -62,6 +63,23 @@ if ! grep -q '"fleet/dike_64m_96t"' results/BENCH_fleet.json; then
     echo "bench_check: fleet reference lost the headline row fleet/dike_64m_96t"
     fail=1
 fi
+if ! grep -q '"fleet/dike_1024m_quick"' results/BENCH_fleet.json; then
+    echo "bench_check: fleet reference lost the wide row fleet/dike_1024m_quick"
+    fail=1
+fi
+# The cachepart smoke must exercise the hybrid (both actuators live in
+# one cell) on both mixes, and the recorded reference must keep carrying
+# the hybrid-vs-Dike fairness comparison rows.
+for row in wl1_dike wl1_dike_lfoc wl13_dike wl13_dike_lfoc; do
+    if ! grep -q "\"cachepart/$row\"" target/BENCH_cachepart_smoke.json; then
+        echo "bench_check: cachepart smoke is missing row $row"
+        fail=1
+    fi
+    if ! grep -q "\"cachepart/$row\"" results/BENCH_cachepart.json; then
+        echo "bench_check: cachepart reference lost row $row"
+        fail=1
+    fi
+done
 
 if [[ "$fail" != 0 ]]; then
     echo "bench_check: FAIL"

@@ -58,6 +58,13 @@ step "robustness-smoke" bash -c \
 step "fleet-smoke" bash -c \
     'cargo run -q --release --offline -p dike-experiments --bin fleet -- --quick > /dev/null'
 
+# Cache-partitioning smoke: both actuators end to end at a tiny scale —
+# LFOC classification and plan building, the engine's partitioned
+# contention solve, and the partition actuation channel, across clean and
+# faulted cells for all five policies.
+step "cachepart-smoke" bash -c \
+    'cargo run -q --release --offline -p dike-experiments --bin cachepart -- --scale 0.02 > /dev/null'
+
 # Golden drift: replay the golden-fixture suite and prove the committed
 # results/ artefacts are byte-identical to the working tree.
 step "golden-check" scripts/golden_check.sh
@@ -70,5 +77,10 @@ step "bench-smoke" bash -c 'DIKE_BENCH_FAST=1 scripts/bench.sh'
 # vcores): its presence proves the hierarchical selection and warm-started
 # contention-solve pipeline drives the full-size machine end to end.
 step "scale-smoke-coverage" grep -q '"scale/dike_26dom_1040c"' target/BENCH_scale_smoke.json
+
+# …and the hybrid cache-partitioning cell, proving the second actuator
+# (plan build → fault channel → partitioned contention solve) runs under
+# the bench harness too.
+step "cachepart-smoke-coverage" grep -q '"cachepart/wl1_dike_lfoc"' target/BENCH_cachepart_smoke.json
 
 echo "verify: OK ($((SECONDS - total_t0))s total)"
