@@ -298,6 +298,63 @@ mod tests {
     }
 
     #[test]
+    fn sustained_actuation_faults_abandon_into_fallback_then_replan() {
+        // Every actuation silently fails: the PartitionPlanner's retry
+        // budget (3) must exhaust, the plan is abandoned, LFOC forgets
+        // its `current` and goes quiet for the fallback window (8
+        // quanta), then re-decides from scratch — and the cycle repeats
+        // for as long as the fault persists. The machine must end the
+        // run unpartitioned with the workload still completing on the
+        // fault-free substrate.
+        let mut cfg = presets::small_machine(1);
+        cfg.faults = dike_machine::FaultConfig {
+            migration_fail_rate: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let (ways, cap) = (cfg.llc.ways, cfg.llc.capacity_mib);
+        let mut m = Machine::new(cfg);
+        // Long-running threads: the abandon→fallback cycle needs ~23
+        // quanta (retry backoff 1+2+4+8, then 8 fallback quanta) at the
+        // 500 ms LFOC quantum, so the population must survive ≳ 12 s.
+        m.spawn(
+            ThreadSpec {
+                app: dike_machine::AppId(0),
+                app_name: "thrash".into(),
+                program: PhaseProgram::single(Phase::steady(1.0, 60.0, 20.0, 1e6), 4e10),
+                barrier: None,
+            },
+            VCoreId(0),
+        );
+        for i in 1..4u32 {
+            m.spawn(
+                ThreadSpec {
+                    app: dike_machine::AppId(i),
+                    app_name: format!("light{i}"),
+                    program: PhaseProgram::single(Phase::steady(0.8, 1.0, 0.5, 1e7), 1e10),
+                    barrier: None,
+                },
+                VCoreId(i + 1),
+            );
+        }
+        let mut s = Lfoc::new(ways, cap);
+        let r = run(&mut m, &mut s, SimTime::from_secs_f64(120.0));
+        assert!(r.completed, "the substrate still runs without partitions");
+        assert_eq!(r.migrations, 0, "LFOC only partitions");
+        assert_eq!(r.partitions, 0, "every actuation was swallowed");
+        assert!(!m.partition_active());
+        assert_eq!(m.partition_epoch(), 0);
+        // Abandon → fallback → fresh decision: the run is long enough
+        // (240 quanta vs a ~12-quantum abandon/fallback cycle) that LFOC
+        // must have re-planned after at least one abandonment.
+        assert!(
+            s.replans() >= 2,
+            "expected a replan after fallback, got {}",
+            s.replans()
+        );
+    }
+
+    #[test]
     fn lfoc_partitions_the_machine_and_never_migrates() {
         let cfg = presets::small_machine(1);
         let (ways, cap) = (cfg.llc.ways, cfg.llc.capacity_mib);

@@ -1,0 +1,100 @@
+//! Failover bench: wall-clock of the epoch-driven fault-tolerant fleet
+//! loop — epoch slicing, health barriers, orphan re-dispatch — under the
+//! harshest swept fault cell, for both dispatchers.
+//!
+//! Two rows, both run in fast and full mode (the pair is cheap — the
+//! smoke fleet at a 10 s horizon — so `scripts/bench_check.sh` can guard
+//! both against the recorded reference):
+//!
+//! * `failover/quick_nofail` — the blind decayed-load baseline: same
+//!   epoch loop, same fault stream, no quarantine or re-dispatch. Its
+//!   recorded row carries `lost` (threads stranded on crashed machines)
+//!   and `arrivals`, so the artefact itself shows the baseline *loses*
+//!   work.
+//! * `failover/quick_fail` — the health-aware dispatcher. Its `lost`
+//!   extra is the tentpole claim: strictly below the baseline's at the
+//!   identical fault stream.
+//!
+//! With `DIKE_BENCH_JSON=<path>` set, results are also written as JSON —
+//! `scripts/bench.sh` records them into `results/BENCH_failover.json`.
+
+use dike_experiments::failover::{cell_config, FAILOVER_SEED};
+use dike_experiments::fleet::smoke_config;
+use dike_fleet::FleetRunner;
+use dike_util::bench::Bench;
+use dike_util::json::{Num, Value};
+use dike_util::{pool, Pool};
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::from_env();
+    let fast = std::env::var("DIKE_BENCH_FAST").is_ok_and(|v| v == "1");
+    let pool = Pool::from_env();
+    let runner = FleetRunner::new(smoke_config(FAILOVER_SEED));
+
+    // The harshest grid cell: crash 0.2 × brownout 0.15, budget 2.
+    // (name, lost, arrivals) per row, recorded into the JSON extras.
+    let mut extras: Vec<(String, u64, u64)> = Vec::new();
+    for (name, failover) in [
+        ("failover/quick_nofail", false),
+        ("failover/quick_fail", true),
+    ] {
+        let fo = cell_config(0.2, 0.15, 2, failover);
+        let mut lost = 0u64;
+        let mut arrivals = 0u64;
+        b.bench(name, || {
+            let r = runner.run_failover(&pool, &fo);
+            lost = r.ledger.lost;
+            arrivals = r.ledger.dispatched;
+            black_box(r.mean_windowed_fairness)
+        });
+        extras.push((name.to_string(), lost, arrivals));
+    }
+
+    if let Ok(path) = std::env::var("DIKE_BENCH_JSON") {
+        let benches: Vec<Value> = b
+            .results()
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("name".into(), Value::Str(r.name.clone())),
+                    (
+                        "iters_per_sample".into(),
+                        Value::Num(Num::U(r.iters_per_sample)),
+                    ),
+                    ("min_ns".into(), Value::Num(Num::F(r.min_ns))),
+                    ("median_ns".into(), Value::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Value::Num(Num::F(r.mean_ns))),
+                ];
+                // The fault-tolerance extras (ignored by bench_check's
+                // median comparison, read by EXPERIMENTS.md): threads
+                // offered and threads lost at the harsh cell.
+                if let Some((_, lost, arrivals)) =
+                    extras.iter().find(|(name, _, _)| *name == r.name)
+                {
+                    fields.push(("arrivals".into(), Value::Num(Num::U(*arrivals))));
+                    fields.push(("lost".into(), Value::Num(Num::U(*lost))));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "host_threads".into(),
+                Value::Num(Num::U(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+                )),
+            ),
+            (
+                "pool_threads".into(),
+                Value::Num(Num::U(pool::num_threads() as u64)),
+            ),
+            ("fast_mode".into(), Value::Bool(fast)),
+            ("benches".into(), Value::Array(benches)),
+        ]);
+        std::fs::write(&path, doc.render() + "\n").expect("write DIKE_BENCH_JSON");
+        println!("wrote {path}");
+    }
+
+    b.finish();
+}

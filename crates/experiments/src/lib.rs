@@ -20,6 +20,7 @@
 //! | [`scale`] | beyond-paper: 40/160/320-vcore NUMA scale sweep |
 //! | [`open`] | beyond-paper: open-system arrivals/departures |
 //! | [`fleet`] | beyond-paper: fleet-scale multi-tenancy roll-up |
+//! | [`failover`] | beyond-paper: fleet fault tolerance (crash/brownout sweep) |
 //! | [`robustness`] | beyond-paper: fault-injection degradation curves |
 //! | [`cachepart`] | beyond-paper: LLC way-partitioning actuator comparison |
 //!
@@ -29,6 +30,7 @@
 pub mod ablations;
 pub mod cachepart;
 pub mod cli;
+pub mod failover;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

@@ -17,7 +17,7 @@
 
 use dike_experiments::runner::run_cells;
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{cachepart, fig6, robustness, table3, RunOptions, SchedKind};
+use dike_experiments::{cachepart, failover, fig6, robustness, table3, RunOptions, SchedKind};
 use dike_machine::{presets, FaultConfig};
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -153,4 +153,15 @@ fn migration_only_policies_reproduce_the_fig6_golden_with_partitioning_compiled_
         }
     }
     check_golden("golden_fig6_wl1.json", &json::to_string(&fig));
+}
+
+/// The failover grid's quick pair, pinned: this golden holds the
+/// epoch-driven loop's routing decisions, the machine-fault stream, the
+/// orphan/retry accounting and the conservation ledger byte for byte.
+/// Any change to the epoch barrier order, health scoring, or the fault
+/// hash channels shows up here as a byte diff.
+#[test]
+fn failover_quick_pair_is_byte_identical_to_golden() {
+    let points = failover::run_quick_pool(failover::FAILOVER_SEED, &Pool::new(1));
+    check_golden("golden_failover.json", &json::to_string(&points));
 }

@@ -4,7 +4,9 @@
 //! wall-clock knob with no effect on any recorded figure or fixture.
 
 use dike_experiments::sweep::sweep_workload_pool;
-use dike_experiments::{cachepart, fig6, fleet, open, robustness, scale, table3, RunOptions};
+use dike_experiments::{
+    cachepart, failover, fig6, fleet, open, robustness, scale, table3, RunOptions,
+};
 use dike_machine::presets;
 use dike_util::{json, Pool};
 use dike_workloads::paper;
@@ -168,6 +170,28 @@ fn fleet_rollup_is_thread_count_invariant() {
             serial_json,
             json::to_string(&parallel),
             "{threads}-thread fleet JSON must be byte-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn failover_grid_is_thread_count_invariant() {
+    // The failover loop interleaves pool fan-out (one epoch per machine)
+    // with serial barrier decisions (health, routing, orphan
+    // re-dispatch); worker count must not leak into any of them.
+    let serial = failover::run_quick_pool(failover::FAILOVER_SEED, &Pool::new(1));
+    let serial_json = json::to_string(&serial);
+    assert!(serial_json.contains("\"lost\""), "failover serializes");
+    assert!(
+        serial.iter().any(|p| p.crashes > 0),
+        "quick pair must exercise crashes"
+    );
+    for threads in [2usize, 8] {
+        let parallel = failover::run_quick_pool(failover::FAILOVER_SEED, &Pool::new(threads));
+        assert_eq!(
+            serial_json,
+            json::to_string(&parallel),
+            "{threads}-thread failover JSON must be byte-identical to serial"
         );
     }
 }

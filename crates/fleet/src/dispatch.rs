@@ -79,6 +79,17 @@ pub fn dispatch(cfg: &FleetConfig, traces: &[ArrivalTrace]) -> DispatchPlan {
     let m = cfg.machines.len();
     assert!(m > 0, "cannot dispatch over an empty fleet");
     assert_eq!(traces.len(), cfg.tenants.len(), "one trace per tenant");
+    // Zero tenants, or tenants whose traces drew no events, dispatch to
+    // an empty plan (every machine idles) instead of tripping over the
+    // scorer's empty merged stream.
+    if traces.iter().all(|t| t.events.is_empty()) {
+        return DispatchPlan {
+            merged: Vec::new(),
+            assignment: Vec::new(),
+            tenant_of_event: Vec::new(),
+            per_machine: vec![Vec::new(); m],
+        };
+    }
     let vcores: Vec<f64> = cfg
         .machines
         .iter()
@@ -204,6 +215,45 @@ mod tests {
         let home = home_machine(0, 4);
         assert!(!plan.assignment.is_empty());
         assert!(plan.assignment.iter().all(|&a| a == home));
+    }
+
+    #[test]
+    fn zero_tenant_fleet_dispatches_to_an_empty_plan() {
+        // `FleetConfig::uniform` refuses zero tenants, but a hand-built
+        // config (e.g. a fleet spun up before its tenants onboard) is
+        // legal and must dispatch to an all-idle plan, not panic.
+        let cfg = FleetConfig {
+            machines: fleet(2, 1).machines,
+            tenants: Vec::new(),
+            dispatch: Default::default(),
+            scale: 0.02,
+            deadline_s: 10.0,
+        };
+        let plan = dispatch(&cfg, &[]);
+        assert!(plan.merged.is_empty());
+        assert!(plan.assignment.is_empty());
+        assert!(plan.tenant_of_event.is_empty());
+        assert_eq!(plan.per_machine.len(), 2);
+        assert!(plan.per_machine.iter().all(Vec::is_empty));
+        assert_eq!(plan.total_threads(), 0);
+    }
+
+    #[test]
+    fn all_empty_traces_dispatch_to_an_empty_plan() {
+        // Tenants exist but every trace drew zero events (a horizon
+        // shorter than any plausible inter-arrival draw): same empty
+        // plan, one slot per machine, nothing routed.
+        let mut cfg = fleet(3, 2);
+        for t in &mut cfg.tenants {
+            t.arrivals.horizon_ms = 0;
+        }
+        let traces = tenant_traces(&cfg);
+        assert!(traces.iter().all(|t| t.events.is_empty()));
+        assert_eq!(traces.len(), 2);
+        let plan = dispatch(&cfg, &traces);
+        assert!(plan.merged.is_empty());
+        assert_eq!(plan.per_machine.len(), 3);
+        assert!(plan.per_machine.iter().all(Vec::is_empty));
     }
 
     #[test]

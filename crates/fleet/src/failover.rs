@@ -1,0 +1,1009 @@
+//! Epoch-driven fleet dispatch with machine-fault tolerance.
+//!
+//! The one-shot dispatcher in [`crate::dispatch`] routes every arrival
+//! before any machine simulates a tick — perfect for a healthy fleet,
+//! blind to machines that die mid-run. This module restructures the run
+//! into *epochs*: simulate every machine up to an epoch barrier, observe
+//! per-machine health (alive/brownout/down state, queue depth, running
+//! count), route the next epoch's arrivals with a health-aware scorer
+//! that quarantines failed machines, re-dispatch orphaned work from
+//! crashed machines to healthy peers under a bounded per-arrival retry
+//! budget with linear backoff, and re-admit recovered machines with
+//! decayed trust that warms back up over epochs.
+//!
+//! Machine faults come from [`MachineFaultConfig`] — the same seeded
+//! stateless hashing as the per-thread channels, drawn once per
+//! `(machine, epoch)` at the barrier, so the whole run stays a pure
+//! function of its config and is byte-identical at any worker count
+//! (health is only ever observed at barriers; machines never communicate
+//! inside an epoch).
+//!
+//! ## Failure semantics
+//!
+//! * **Crash**: the machine freezes at the barrier — it stops accepting
+//!   and stops draining. Its *queued* (never-spawned) arrivals are
+//!   orphaned for re-dispatch (whole events only: an event with some
+//!   threads already admitted keeps its queued remainder, because
+//!   barrier siblings must never split across machines); its admitted
+//!   threads are stranded in flight until recovery. On recovery every
+//!   alive thread is stalled by exactly the outage length, so no work
+//!   progresses while the box is down, and the machine re-enters routing
+//!   with `readmit_trust` that recovers toward 1 per epoch.
+//! * **Brownout**: the machine keeps its queue and keeps (slowly)
+//!   draining — every alive thread stalls `brownout_stall_ms` per epoch
+//!   — but the health-aware scorer stops routing new work to it.
+//! * **Lost, never dropped**: an arrival whose retry budget is exhausted
+//!   (or that cannot be routed because no machine is healthy) is counted
+//!   in the [`ConservationLedger`]; `dispatched = drained + in_flight +
+//!   lost` holds at every fault level.
+//!
+//! With `failover: false` the same epoch loop runs the PR-8-style blind
+//! decayed-load scorer over *all* machines: arrivals routed into a dead
+//! machine are lost, stranded queues are lost, nothing is re-dispatched
+//! — the baseline the failover experiment compares against.
+
+use crate::dispatch::{home_machine, tenant_traces};
+use crate::run::{FleetRunner, WINDOW_S, WINDOW_STEP_S};
+use dike_machine::{AppId, BarrierId, MachineFaultConfig, SimTime, ThreadId};
+use dike_metrics::{
+    fairness_summary, mean_sojourn, merge_spans, windowed_fairness, ConservationLedger, ThreadSpan,
+};
+use dike_sched_core::{run_open_epoch_pooled, Scheduler, TimedSpawn};
+use dike_scheduler::{Dike, SchedConfig};
+use dike_util::{json_struct, Pool};
+use dike_workloads::ArrivalTrace;
+use std::sync::Mutex;
+
+/// Knobs of one failover run (passed per run, never stored in the fleet
+/// config, so the zero-fault one-shot path is untouched).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverConfig {
+    /// Epoch length in milliseconds — the health-observation cadence.
+    pub epoch_ms: u64,
+    /// Health-aware routing + orphan re-dispatch on. Off = the blind
+    /// baseline: same epoch loop, same faults, decayed-load scoring over
+    /// all machines, no quarantine, no re-dispatch.
+    pub failover: bool,
+    /// Re-dispatch attempts each arrival event may consume before it is
+    /// counted as lost. Zero means an orphaned event is lost immediately.
+    pub retry_budget: u32,
+    /// Trust a recovered machine re-enters routing with, in (0, 1]. The
+    /// scorer divides effective load by trust, so low trust makes the
+    /// machine look loaded and it warms up gradually.
+    pub readmit_trust: f64,
+    /// Per-epoch trust recovery rate in [0, 1]:
+    /// `trust += (1 - trust) * trust_recovery`.
+    pub trust_recovery: f64,
+    /// The seeded machine-scope fault stream.
+    pub faults: MachineFaultConfig,
+}
+
+json_struct!(FailoverConfig {
+    epoch_ms,
+    failover,
+    retry_budget,
+    readmit_trust,
+    trust_recovery,
+    faults,
+});
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            epoch_ms: 2_000,
+            failover: true,
+            retry_budget: 2,
+            readmit_trust: 0.25,
+            trust_recovery: 0.5,
+            faults: MachineFaultConfig::default(),
+        }
+    }
+}
+
+impl FailoverConfig {
+    /// Validate knobs and the embedded fault config.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_ms == 0 {
+            return Err("epoch_ms must be > 0".into());
+        }
+        if !(self.readmit_trust > 0.0 && self.readmit_trust <= 1.0) {
+            return Err(format!(
+                "readmit_trust must be in (0,1], got {}",
+                self.readmit_trust
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.trust_recovery) {
+            return Err(format!(
+                "trust_recovery must be in [0,1], got {}",
+                self.trust_recovery
+            ));
+        }
+        self.faults.validate()
+    }
+}
+
+/// One machine's health as seen at epoch barriers.
+#[derive(Debug, Clone, Copy)]
+struct MachineHealth {
+    /// Routing trust in (0, 1]; 1 = fully trusted.
+    trust: f64,
+    /// `Some(epoch)` while down (recovers at that barrier), with
+    /// `u64::MAX` for a permanent crash; `None` while up.
+    down_until: Option<u64>,
+    /// First epoch after the current brownout window (exclusive).
+    brown_until: u64,
+    /// The machine recovered and must be clock-caught-up (all alive
+    /// threads stalled by the outage length) before it next runs.
+    needs_catchup: bool,
+    crashes: u64,
+    brownouts: u64,
+}
+
+impl MachineHealth {
+    fn new() -> Self {
+        MachineHealth {
+            trust: 1.0,
+            down_until: None,
+            brown_until: 0,
+            needs_catchup: false,
+            crashes: 0,
+            brownouts: 0,
+        }
+    }
+
+    fn is_down(&self) -> bool {
+        self.down_until.is_some()
+    }
+
+    /// Routable under the health-aware scorer: up and not browned out.
+    fn routable(&self, epoch: u64) -> bool {
+        !self.is_down() && self.brown_until <= epoch
+    }
+}
+
+/// An orphaned arrival event awaiting re-dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Orphan {
+    /// Global merged-event index (also its `AppId`/`BarrierId`).
+    event: u32,
+    /// Original arrival instant (re-dispatch never back-dates it).
+    at: SimTime,
+    /// First epoch this orphan may be re-dispatched (linear backoff:
+    /// each failed attempt pushes eligibility one epoch further out).
+    eligible: u64,
+}
+
+/// Retry/loss bookkeeping shared by the crash and routing paths.
+struct OrphanBook {
+    /// Re-dispatch attempts consumed per global event — persists across
+    /// repeated orphanings of the same event.
+    retries: Vec<u32>,
+    orphans: Vec<Orphan>,
+    orphaned: u64,
+    redispatched: u64,
+    lost_threads: u64,
+    lost_by_tenant: Vec<u64>,
+}
+
+impl OrphanBook {
+    fn new(n_events: usize, n_tenants: usize) -> Self {
+        OrphanBook {
+            retries: vec![0; n_events],
+            orphans: Vec::new(),
+            orphaned: 0,
+            redispatched: 0,
+            lost_threads: 0,
+            lost_by_tenant: vec![0; n_tenants],
+        }
+    }
+
+    fn lose(&mut self, nthreads: u32, tenant: u32) {
+        self.lost_threads += u64::from(nthreads);
+        self.lost_by_tenant[tenant as usize] += u64::from(nthreads);
+    }
+
+    /// Orphan event `g` at epoch `e`, or count it lost when its budget is
+    /// already exhausted. Never drops silently.
+    fn orphan_or_lose(
+        &mut self,
+        g: u32,
+        nthreads: u32,
+        tenant: u32,
+        at: SimTime,
+        epoch: u64,
+        budget: u32,
+    ) {
+        if self.retries[g as usize] >= budget {
+            self.lose(nthreads, tenant);
+        } else {
+            self.orphans.push(Orphan {
+                event: g,
+                at,
+                eligible: epoch + 1 + u64::from(self.retries[g as usize]),
+            });
+            self.orphaned += 1;
+        }
+    }
+}
+
+/// One machine's contribution to a failover run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverMachineSummary {
+    /// Machine index in the fleet.
+    pub machine: u32,
+    /// Threads ever admitted (spawned) on this machine.
+    pub admitted: u64,
+    /// Admitted threads that finished.
+    pub drained: u64,
+    /// Threads still queued (never spawned) at run end.
+    pub queued: u64,
+    /// Hard crashes suffered.
+    pub crashes: u64,
+    /// Brownout windows entered.
+    pub brownouts: u64,
+    /// Whether the machine ended the run down.
+    pub down_at_end: bool,
+    /// The machine's own clock at run end, seconds.
+    pub makespan_s: f64,
+}
+
+/// One tenant's roll-up, tolerant of partial-machine results: threads
+/// stranded on a dead machine still appear (unfinished, charged to the
+/// fleet wall), and lost threads are reported explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverTenantPoint {
+    /// Tenant index.
+    pub tenant: u32,
+    /// Tenant name.
+    pub name: String,
+    /// Threads the tenant offered.
+    pub offered: u64,
+    /// Threads that finished somewhere in the fleet.
+    pub drained: u64,
+    /// Threads lost (budget exhausted or routed into a dead machine).
+    pub lost: u64,
+    /// Mean sojourn over the tenant's *admitted* threads, unfinished
+    /// charged to the fleet wall. Lost threads never ran and are excluded
+    /// (they are accounted in `lost`, not smeared into sojourn).
+    pub mean_sojourn_s: f64,
+}
+
+/// A whole epoch-driven fleet run, rolled up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverResult {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Whether health-aware failover routing was on.
+    pub failover: bool,
+    /// Epochs actually executed (the loop exits early once drained).
+    pub epochs: u64,
+    /// Per-machine summaries, in machine order.
+    pub machines: Vec<FailoverMachineSummary>,
+    /// Per-tenant roll-ups, in tenant order.
+    pub tenants: Vec<FailoverTenantPoint>,
+    /// The conservation balance sheet:
+    /// `dispatched = drained + in_flight + lost`.
+    pub ledger: ConservationLedger,
+    /// Machines quarantined at a barrier (crash + brownout entries).
+    pub quarantines: u64,
+    /// Recovered machines re-admitted to routing.
+    pub readmissions: u64,
+    /// Events orphaned off crashed machines (or un-routable arrivals).
+    pub orphaned: u64,
+    /// Orphaned events successfully re-dispatched to a healthy peer.
+    pub redispatched: u64,
+    /// Mean of the per-window fleet fairness scores (Eqn 4 per window
+    /// over the merged span set, grouped by tenant).
+    pub mean_windowed_fairness: f64,
+    /// Worst window.
+    pub min_windowed_fairness: f64,
+    /// Latest machine clock — the fleet wall, seconds.
+    pub makespan_s: f64,
+    /// Mean sojourn over every admitted thread, unfinished charged to the
+    /// wall.
+    pub mean_sojourn_s: f64,
+}
+
+json_struct!(FailoverMachineSummary {
+    machine,
+    admitted,
+    drained,
+    queued,
+    crashes,
+    brownouts,
+    down_at_end,
+    makespan_s,
+});
+json_struct!(FailoverTenantPoint {
+    tenant,
+    name,
+    offered,
+    drained,
+    lost,
+    mean_sojourn_s,
+});
+json_struct!(FailoverResult {
+    scheduler,
+    failover,
+    epochs,
+    machines,
+    tenants,
+    ledger,
+    quarantines,
+    readmissions,
+    orphaned,
+    redispatched,
+    mean_windowed_fairness,
+    min_windowed_fairness,
+    makespan_s,
+    mean_sojourn_s,
+});
+
+impl FleetRunner {
+    /// Run the epoch-driven fault-tolerant fleet under the default Dike
+    /// policy. See [`FleetRunner::run_failover_with`].
+    pub fn run_failover(&self, pool: &Pool, fo: &FailoverConfig) -> FailoverResult {
+        self.run_failover_with(pool, fo, "dike", |_| {
+            Box::new(Dike::fixed(SchedConfig::DEFAULT))
+        })
+    }
+
+    /// Run the epoch-driven loop: simulate an epoch on every up machine
+    /// (fanning over the pool in machine order), observe health at the
+    /// barrier, route the next epoch's arrivals, re-dispatch orphans.
+    /// Scheduler state persists across epochs (one policy instance per
+    /// machine for the whole run). Deterministic at any worker count:
+    /// all cross-machine decisions happen serially at barriers.
+    ///
+    /// After the arrival window closes, the loop keeps running *drain*
+    /// epochs — orphans become immediately eligible, recoverable machines
+    /// come back and catch up, permanently-down machines never run — and
+    /// exits as soon as no machine can make further progress, or at the
+    /// fleet deadline (rounded up to the epoch grid).
+    ///
+    /// # Panics
+    /// Panics on an invalid [`FailoverConfig`] or an empty fleet.
+    pub fn run_failover_with<F>(
+        &self,
+        pool: &Pool,
+        fo: &FailoverConfig,
+        label: &str,
+        make: F,
+    ) -> FailoverResult
+    where
+        F: Fn(usize) -> Box<dyn Scheduler + Send> + Sync,
+    {
+        fo.validate().expect("invalid failover config");
+        let cfg = &self.cfg;
+        let n = self.machines.len();
+        assert!(n > 0, "cannot run failover over an empty fleet");
+        let n_tenants = cfg.tenants.len();
+
+        let traces = tenant_traces(cfg);
+        let merged = ArrivalTrace::merge_order(&traces);
+        let tenant_of: Vec<u32> = merged.iter().map(|m| m.tenant).collect();
+        let threads_of: Vec<u32> = merged
+            .iter()
+            .map(|m| traces[m.tenant as usize].events[m.event as usize].nthreads)
+            .collect();
+        let total_offered: u64 = threads_of.iter().map(|&t| u64::from(t)).sum();
+        let spec_of = |g: usize| {
+            let ev = &merged[g];
+            let event = &traces[ev.tenant as usize].events[ev.event as usize];
+            event
+                .app
+                .thread_spec(AppId(g as u32), cfg.scale, BarrierId(g as u32))
+        };
+
+        let epoch_ms = fo.epoch_ms;
+        let deadline_ms = (cfg.deadline_s * 1_000.0).ceil() as u64;
+        // Faults are drawn over the arrival window; drain epochs past it
+        // only recover, re-dispatch and finish work.
+        let fault_epochs = merged.last().map_or(0, |m| m.at_ms) / epoch_ms + 1;
+        let total_epochs = deadline_ms.div_ceil(epoch_ms).max(fault_epochs);
+
+        for m in &self.machines {
+            m.lock().expect("fleet machine lock").reset();
+        }
+        let scheds: Vec<Mutex<Box<dyn Scheduler + Send>>> =
+            (0..n).map(|i| Mutex::new(make(i))).collect();
+        // Per-machine pending work (queued leftovers + this epoch's
+        // routed arrivals). Lives in mutexes so epoch closures can take
+        // and refill it; barriers are the only other accessor.
+        let slots: Vec<Mutex<Vec<TimedSpawn>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+
+        let vcores: Vec<f64> = cfg
+            .machines
+            .iter()
+            .map(|mc| mc.topology.num_vcores() as f64)
+            .collect();
+        let homes: Vec<u32> = (0..n_tenants as u32).map(|t| home_machine(t, n)).collect();
+
+        let mut health: Vec<MachineHealth> = vec![MachineHealth::new(); n];
+        // Alive (admitted, unfinished) thread count per machine, observed
+        // at the previous barrier; frozen while a machine is down.
+        let mut running: Vec<u64> = vec![0; n];
+        let mut book = OrphanBook::new(merged.len(), n_tenants);
+        // Blind decayed-load estimator for the no-failover baseline (the
+        // PR-8 pre-pass scorer, fed epoch by epoch).
+        let mut blind_load = vec![0.0f64; n];
+        let mut blind_last = vec![0u64; n];
+        let tau = cfg.dispatch.decay_tau_ms.max(1.0);
+
+        let mut quarantines = 0u64;
+        let mut readmissions = 0u64;
+        let mut next_event = 0usize;
+        let mut epochs_run = 0u64;
+
+        for e in 0..total_epochs {
+            let e_start = SimTime::from_ms(e * epoch_ms);
+            let e_end = SimTime::from_ms((e + 1) * epoch_ms);
+
+            // ---- barrier: health transitions + fault draws ----
+            for i in 0..n {
+                let h = &mut health[i];
+                if let Some(u) = h.down_until {
+                    if u == u64::MAX || e < u {
+                        continue; // still down: no draws, no trust motion
+                    }
+                    h.down_until = None;
+                    h.trust = fo.readmit_trust;
+                    h.needs_catchup = true;
+                    readmissions += 1;
+                } else {
+                    h.trust = (h.trust + (1.0 - h.trust) * fo.trust_recovery).min(1.0);
+                }
+                if e >= fault_epochs {
+                    continue;
+                }
+                if fo.faults.crash_at(i as u32, e) {
+                    h.crashes += 1;
+                    quarantines += 1;
+                    h.down_until = Some(if fo.faults.recovery_epochs == 0 {
+                        u64::MAX
+                    } else {
+                        e + u64::from(fo.faults.recovery_epochs)
+                    });
+                    h.needs_catchup = false; // re-set at the next recovery
+                    let stranded =
+                        std::mem::take(&mut *slots[i].lock().expect("failover slot lock"));
+                    if stranded.is_empty() {
+                        continue;
+                    }
+                    if fo.failover {
+                        // Orphan whole events only: an event with threads
+                        // already admitted here keeps its queued remainder
+                        // (barrier siblings never split across machines);
+                        // it resumes if the machine recovers.
+                        let machine = self.machines[i].lock().expect("fleet machine lock");
+                        let admitted_of = |g: u32| {
+                            (0..machine.num_threads())
+                                .any(|t| machine.app_of(ThreadId(t as u32)).0 == g)
+                        };
+                        let mut keep = Vec::new();
+                        let mut j = 0;
+                        while j < stranded.len() {
+                            let g = stranded[j].spec.app.0;
+                            let mut k = j;
+                            while k < stranded.len() && stranded[k].spec.app.0 == g {
+                                k += 1;
+                            }
+                            if admitted_of(g) {
+                                keep.extend_from_slice(&stranded[j..k]);
+                            } else {
+                                book.orphan_or_lose(
+                                    g,
+                                    (k - j) as u32,
+                                    tenant_of[g as usize],
+                                    stranded[j].at,
+                                    e,
+                                    fo.retry_budget,
+                                );
+                            }
+                            j = k;
+                        }
+                        *slots[i].lock().expect("failover slot lock") = keep;
+                    } else {
+                        // Blind baseline: the stranded queue is lost.
+                        for ts in &stranded {
+                            book.lose(1, tenant_of[ts.spec.app.0 as usize]);
+                        }
+                    }
+                } else if e >= h.brown_until && fo.faults.brownout_at(i as u32, e) {
+                    h.brownouts += 1;
+                    quarantines += 1;
+                    h.brown_until = e + u64::from(fo.faults.brownout_epochs);
+                }
+            }
+
+            // ---- barrier: route orphans + this epoch's fresh arrivals ----
+            let drain = next_event >= merged.len();
+            let routable: Vec<usize> = (0..n).filter(|&i| health[i].routable(e)).collect();
+            // Effective-backlog estimate (threads) per machine: queued +
+            // running at the last barrier + assigned this barrier.
+            let mut backlog: Vec<f64> = (0..n)
+                .map(|i| {
+                    slots[i].lock().expect("failover slot lock").len() as f64 + running[i] as f64
+                })
+                .collect();
+            let route_healthy = |g: u32, at: SimTime, backlog: &mut [f64]| -> usize {
+                let home = homes[tenant_of[g as usize] as usize];
+                let mut best = routable[0];
+                let mut best_eff = f64::INFINITY;
+                for &i in &routable {
+                    let mut eff = backlog[i] / vcores[i] / health[i].trust;
+                    if i as u32 == home {
+                        eff -= cfg.dispatch.affinity_bonus;
+                    }
+                    // Strict `<` keeps the lowest index on ties.
+                    if eff < best_eff {
+                        best_eff = eff;
+                        best = i;
+                    }
+                }
+                let nthreads = threads_of[g as usize];
+                backlog[best] += f64::from(nthreads);
+                let mut slot = slots[best].lock().expect("failover slot lock");
+                for _ in 0..nthreads {
+                    slot.push(TimedSpawn {
+                        at,
+                        spec: spec_of(g as usize),
+                    });
+                }
+                best
+            };
+
+            if fo.failover && !book.orphans.is_empty() {
+                let mut pending = std::mem::take(&mut book.orphans);
+                // Deterministic processing order regardless of how
+                // orphanings interleaved across machines.
+                pending.sort_by_key(|o| o.event);
+                for mut o in pending {
+                    // Drain epochs force-dispatch: backoff no longer buys
+                    // anything once no new faults can fire.
+                    if !drain && o.eligible > e {
+                        book.orphans.push(o);
+                        continue;
+                    }
+                    let g = o.event as usize;
+                    book.retries[g] += 1;
+                    if routable.is_empty() {
+                        // The attempt is consumed even when nobody is
+                        // healthy — this bounds the loop and turns a
+                        // fleet-wide outage into explicit losses.
+                        if book.retries[g] > fo.retry_budget {
+                            book.lose(threads_of[g], tenant_of[g]);
+                        } else {
+                            o.eligible = e + 1 + u64::from(book.retries[g]);
+                            book.orphans.push(o);
+                        }
+                        continue;
+                    }
+                    let at = if o.at < e_start { e_start } else { o.at };
+                    route_healthy(o.event, at, &mut backlog);
+                    book.redispatched += 1;
+                }
+            }
+
+            while next_event < merged.len() && merged[next_event].at_ms < (e + 1) * epoch_ms {
+                let g = next_event as u32;
+                let at = SimTime::from_ms(merged[next_event].at_ms);
+                let tenant = tenant_of[next_event];
+                if fo.failover {
+                    if routable.is_empty() {
+                        book.orphan_or_lose(
+                            g,
+                            threads_of[next_event],
+                            tenant,
+                            at,
+                            e,
+                            fo.retry_budget,
+                        );
+                    } else {
+                        route_healthy(g, at, &mut backlog);
+                    }
+                } else {
+                    // Blind decayed-load scorer over ALL machines — the
+                    // exact pre-pass rule, unaware of machine health.
+                    let at_ms = merged[next_event].at_ms;
+                    let home = homes[tenant as usize];
+                    let mut best = 0usize;
+                    let mut best_eff = f64::INFINITY;
+                    for i in 0..n {
+                        let decayed =
+                            blind_load[i] * (-((at_ms - blind_last[i]) as f64) / tau).exp();
+                        let mut eff = decayed / vcores[i];
+                        if i as u32 == home {
+                            eff -= cfg.dispatch.affinity_bonus;
+                        }
+                        if eff < best_eff {
+                            best_eff = eff;
+                            best = i;
+                        }
+                    }
+                    let nthreads = threads_of[next_event];
+                    blind_load[best] = blind_load[best]
+                        * (-((at_ms - blind_last[best]) as f64) / tau).exp()
+                        + f64::from(nthreads);
+                    blind_last[best] = at_ms;
+                    if health[best].is_down() {
+                        // Routed into a dead machine: the work is lost —
+                        // the cost of dispatching blind.
+                        book.lose(nthreads, tenant);
+                    } else {
+                        let mut slot = slots[best].lock().expect("failover slot lock");
+                        for _ in 0..nthreads {
+                            slot.push(TimedSpawn {
+                                at,
+                                spec: spec_of(next_event),
+                            });
+                        }
+                    }
+                }
+                next_event += 1;
+            }
+
+            // ---- epoch plan: who runs, with what entry stalls ----
+            // (catchup, brownout) per machine; None = down, skipped.
+            let plan: Vec<Option<(bool, bool)>> = (0..n)
+                .map(|i| {
+                    let h = &mut health[i];
+                    if h.is_down() {
+                        return None;
+                    }
+                    let catchup = h.needs_catchup;
+                    if catchup {
+                        h.needs_catchup = false;
+                        // The queue slept through the outage with the
+                        // machine: nothing admits before the recovery
+                        // barrier.
+                        for ts in slots[i].lock().expect("failover slot lock").iter_mut() {
+                            if ts.at < e_start {
+                                ts.at = e_start;
+                            }
+                        }
+                    }
+                    Some((catchup, h.brown_until > e))
+                })
+                .collect();
+
+            // ---- simulate the epoch: machines fan out, no cross-talk ----
+            pool.map_indexed(n, |i| {
+                let Some((catchup, brown)) = plan[i] else {
+                    return;
+                };
+                let mut machine = self.machines[i].lock().expect("fleet machine lock");
+                let mut sched = scheds[i].lock().expect("failover sched lock");
+                if catchup {
+                    // Freeze semantics: alive threads made no progress
+                    // while the box was down, so stall them by exactly
+                    // the outage length before the clock catches up.
+                    let gap = e_start.saturating_sub(machine.now());
+                    if gap > SimTime::ZERO {
+                        let ids: Vec<ThreadId> = machine.alive_ids().collect();
+                        for t in ids {
+                            machine.stall(t, gap);
+                        }
+                    }
+                }
+                if brown {
+                    let dur = SimTime::from_ms(fo.faults.brownout_stall_ms);
+                    let ids: Vec<ThreadId> = machine.alive_ids().collect();
+                    for t in ids {
+                        machine.stall(t, dur);
+                    }
+                }
+                let arrivals = std::mem::take(&mut *slots[i].lock().expect("failover slot lock"));
+                let (_, leftovers) =
+                    run_open_epoch_pooled(&mut machine, &mut **sched, e_end, arrivals);
+                *slots[i].lock().expect("failover slot lock") = leftovers;
+            });
+
+            // ---- barrier: observe drain state ----
+            epochs_run = e + 1;
+            for i in 0..n {
+                if !health[i].is_down() {
+                    running[i] = self.machines[i]
+                        .lock()
+                        .expect("fleet machine lock")
+                        .alive_ids()
+                        .count() as u64;
+                }
+            }
+            if next_event >= merged.len() && book.orphans.is_empty() {
+                let settled = (0..n).all(|i| {
+                    if health[i].down_until == Some(u64::MAX) {
+                        return true; // never runs again; its work is in_flight
+                    }
+                    running[i] == 0 && slots[i].lock().expect("failover slot lock").is_empty()
+                });
+                if settled {
+                    break;
+                }
+            }
+        }
+
+        // ---- roll-up: query machines directly, tolerating partial
+        // results (a frozen machine's threads count as unfinished) ----
+        let mut machines_out = Vec::with_capacity(n);
+        let mut span_lists: Vec<Vec<ThreadSpan>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let machine = self.machines[i].lock().expect("fleet machine lock");
+            let mut spans = Vec::with_capacity(machine.num_threads());
+            let mut drained = 0u64;
+            for t in 0..machine.num_threads() {
+                let id = ThreadId(t as u32);
+                let fin = machine.finish_time(id);
+                drained += u64::from(fin.is_some());
+                spans.push(ThreadSpan {
+                    app: tenant_of[machine.app_of(id).0 as usize],
+                    spawned_at: machine.spawn_time(id).as_secs_f64(),
+                    finished_at: fin.map(|f| f.as_secs_f64()),
+                });
+            }
+            machines_out.push(FailoverMachineSummary {
+                machine: i as u32,
+                admitted: machine.num_threads() as u64,
+                drained,
+                queued: slots[i].lock().expect("failover slot lock").len() as u64,
+                crashes: health[i].crashes,
+                brownouts: health[i].brownouts,
+                down_at_end: health[i].is_down(),
+                makespan_s: machine.now().as_secs_f64(),
+            });
+            span_lists.push(spans);
+        }
+
+        let drained: u64 = machines_out.iter().map(|m| m.drained).sum();
+        let admitted: u64 = machines_out.iter().map(|m| m.admitted).sum();
+        let queued: u64 = machines_out.iter().map(|m| m.queued).sum();
+        let orphan_threads: u64 = book
+            .orphans
+            .iter()
+            .map(|o| u64::from(threads_of[o.event as usize]))
+            .sum();
+        let ledger = ConservationLedger {
+            dispatched: total_offered,
+            drained,
+            in_flight: (admitted - drained) + queued + orphan_threads,
+            lost: book.lost_threads,
+        };
+
+        let merged_spans = merge_spans(&span_lists);
+        let wall = machines_out
+            .iter()
+            .map(|m| m.makespan_s)
+            .fold(0.0, f64::max);
+        let windows = windowed_fairness(&merged_spans, WINDOW_S, WINDOW_STEP_S, wall.max(WINDOW_S));
+        let (mean_fair, min_fair) = fairness_summary(&windows);
+
+        let offered_by_tenant: Vec<u64> = (0..n_tenants)
+            .map(|t| traces[t].num_threads() as u64)
+            .collect();
+        let tenants: Vec<FailoverTenantPoint> = (0..n_tenants as u32)
+            .map(|t| {
+                let spans: Vec<&ThreadSpan> = merged_spans.iter().filter(|s| s.app == t).collect();
+                let drained = spans.iter().filter(|s| s.finished_at.is_some()).count() as u64;
+                let sum: f64 = spans.iter().map(|s| s.sojourn(wall)).sum();
+                FailoverTenantPoint {
+                    tenant: t,
+                    name: cfg.tenants[t as usize].name.clone(),
+                    offered: offered_by_tenant[t as usize],
+                    drained,
+                    lost: book.lost_by_tenant[t as usize],
+                    mean_sojourn_s: if spans.is_empty() {
+                        0.0
+                    } else {
+                        sum / spans.len() as f64
+                    },
+                }
+            })
+            .collect();
+
+        FailoverResult {
+            scheduler: label.to_string(),
+            failover: fo.failover,
+            epochs: epochs_run,
+            machines: machines_out,
+            tenants,
+            ledger,
+            quarantines,
+            readmissions,
+            orphaned: book.orphaned,
+            redispatched: book.redispatched,
+            mean_windowed_fairness: mean_fair,
+            min_windowed_fairness: min_fair,
+            makespan_s: wall,
+            mean_sojourn_s: mean_sojourn(&merged_spans, wall),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetConfig;
+    use dike_util::json;
+    use dike_workloads::ArrivalConfig;
+
+    fn tiny_fleet(seed: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::uniform(
+            3,
+            4,
+            ArrivalConfig {
+                mean_interarrival_ms: 800.0,
+                horizon_ms: 6_000,
+                threads_min: 1,
+                threads_max: 2,
+            },
+            seed,
+        );
+        cfg.scale = 0.01;
+        cfg.deadline_s = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn failover_config_validation() {
+        assert!(FailoverConfig::default().validate().is_ok());
+        let bad = FailoverConfig {
+            epoch_ms: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = FailoverConfig {
+            readmit_trust: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = FailoverConfig {
+            faults: MachineFaultConfig {
+                crash_rate: 1.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let s = json::to_string(&FailoverConfig::default());
+        let back: FailoverConfig = json::from_str(&s).expect("parse");
+        assert_eq!(back, FailoverConfig::default());
+    }
+
+    #[test]
+    fn zero_fault_run_drains_conserves_and_is_reusable() {
+        let runner = FleetRunner::new(tiny_fleet(11));
+        let pool = Pool::new(1);
+        let fo = FailoverConfig::default();
+        assert!(!fo.faults.is_active());
+        let a = runner.run_failover(&pool, &fo);
+        let b = runner.run_failover(&pool, &fo);
+        assert_eq!(a, b, "machines reset per run: identical laps");
+        a.ledger.assert_holds("zero-fault");
+        assert_eq!(a.ledger.lost, 0);
+        assert_eq!(a.ledger.in_flight, 0, "light load drains fully");
+        assert_eq!(a.ledger.drained, a.ledger.dispatched);
+        assert_eq!(a.quarantines, 0);
+        assert_eq!(a.orphaned, 0);
+        assert!(a.ledger.dispatched > 0);
+        assert!(a.mean_windowed_fairness > 0.0);
+        assert_eq!(
+            a.ledger.dispatched,
+            a.tenants.iter().map(|t| t.offered).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn failover_result_is_worker_count_invariant() {
+        let runner = FleetRunner::new(tiny_fleet(13));
+        let fo = FailoverConfig {
+            faults: MachineFaultConfig::axis(0.25, 0.2, 7),
+            ..Default::default()
+        };
+        let serial = json::to_string(&runner.run_failover(&Pool::new(1), &fo));
+        for workers in [2, 8] {
+            let par = json::to_string(&runner.run_failover(&Pool::new(workers), &fo));
+            assert_eq!(serial, par, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn crashes_lose_work_blind_but_failover_recovers_it() {
+        let runner = FleetRunner::new(tiny_fleet(17));
+        let faults = MachineFaultConfig::axis(0.35, 0.0, 23);
+        let pool = Pool::new(1);
+        let with = runner.run_failover(
+            &pool,
+            &FailoverConfig {
+                failover: true,
+                faults,
+                ..Default::default()
+            },
+        );
+        let without = runner.run_failover(
+            &pool,
+            &FailoverConfig {
+                failover: false,
+                faults,
+                ..Default::default()
+            },
+        );
+        with.ledger.assert_holds("failover on");
+        without.ledger.assert_holds("failover off");
+        let crashes: u64 = with.machines.iter().map(|m| m.crashes).sum();
+        assert!(crashes > 0, "the seeded stream must actually crash");
+        assert!(
+            without.ledger.lost > 0,
+            "blind dispatch into a crashing fleet must lose work: {:?}",
+            without.ledger
+        );
+        assert!(
+            with.ledger.lost < without.ledger.lost,
+            "failover must lose strictly less: {:?} vs {:?}",
+            with.ledger,
+            without.ledger
+        );
+        assert!(with.redispatched > 0);
+    }
+
+    #[test]
+    fn permanent_fleet_wide_crash_loses_everything_explicitly() {
+        let runner = FleetRunner::new(tiny_fleet(19));
+        let fo = FailoverConfig {
+            faults: MachineFaultConfig {
+                crash_rate: 1.0,
+                recovery_epochs: 0, // permanent
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = runner.run_failover(&Pool::new(1), &fo);
+        r.ledger.assert_holds("fleet-wide permanent crash");
+        // Every machine died at the first barrier, before admitting
+        // anything: all offered work becomes explicit losses (bounded by
+        // the retry budget), never a silent drop.
+        assert_eq!(r.ledger.drained, 0);
+        assert_eq!(r.ledger.in_flight, 0);
+        assert_eq!(r.ledger.lost, r.ledger.dispatched);
+        assert!(r.machines.iter().all(|m| m.down_at_end));
+    }
+
+    #[test]
+    fn brownouts_conserve_and_quarantine_routing() {
+        let runner = FleetRunner::new(tiny_fleet(29));
+        let fo = FailoverConfig {
+            faults: MachineFaultConfig::axis(0.0, 0.5, 31),
+            ..Default::default()
+        };
+        let r = runner.run_failover(&Pool::new(1), &fo);
+        r.ledger.assert_holds("brownouts");
+        let brownouts: u64 = r.machines.iter().map(|m| m.brownouts).sum();
+        assert!(brownouts > 0, "the seeded stream must brown out");
+        assert!(r.quarantines >= brownouts);
+        // Brownouts slow machines but kill nothing: with a generous
+        // deadline everything still drains.
+        assert_eq!(r.ledger.drained, r.ledger.dispatched, "{:?}", r.ledger);
+    }
+
+    #[test]
+    fn recovered_machines_are_readmitted() {
+        let runner = FleetRunner::new(tiny_fleet(37));
+        let fo = FailoverConfig {
+            faults: MachineFaultConfig {
+                crash_rate: 0.4,
+                recovery_epochs: 1,
+                seed: 41,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = runner.run_failover(&Pool::new(1), &fo);
+        r.ledger.assert_holds("crash + fast recovery");
+        let crashes: u64 = r.machines.iter().map(|m| m.crashes).sum();
+        assert!(crashes > 0);
+        assert_eq!(
+            r.readmissions, crashes,
+            "every 1-epoch outage recovers within the run"
+        );
+        assert!(r.machines.iter().all(|m| !m.down_at_end));
+    }
+}

@@ -22,8 +22,10 @@
 
 pub mod config;
 pub mod dispatch;
+pub mod failover;
 pub mod run;
 
 pub use config::{DispatchConfig, FleetConfig, TenantSpec};
 pub use dispatch::{dispatch, home_machine, tenant_traces, DispatchPlan};
+pub use failover::{FailoverConfig, FailoverMachineSummary, FailoverResult, FailoverTenantPoint};
 pub use run::{FleetResult, FleetRunner, MachineSummary, TenantPoint, WINDOW_S, WINDOW_STEP_S};

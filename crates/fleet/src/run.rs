@@ -127,8 +127,8 @@ json_struct!(FleetResult {
 /// A reusable fleet: machines are built once and reset per run, so bench
 /// iterations pay construction cost only on the first lap.
 pub struct FleetRunner {
-    cfg: FleetConfig,
-    machines: Vec<Mutex<Machine>>,
+    pub(crate) cfg: FleetConfig,
+    pub(crate) machines: Vec<Mutex<Machine>>,
 }
 
 impl FleetRunner {

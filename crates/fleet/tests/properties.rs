@@ -3,8 +3,10 @@
 //! lost or duplicated, and the M=1 fleet degenerates *exactly* to a
 //! single-machine open run.
 
-use dike_fleet::{dispatch, tenant_traces, FleetConfig, FleetRunner, WINDOW_S, WINDOW_STEP_S};
-use dike_machine::{FaultConfig, Machine};
+use dike_fleet::{
+    dispatch, tenant_traces, FailoverConfig, FleetConfig, FleetRunner, WINDOW_S, WINDOW_STEP_S,
+};
+use dike_machine::{FaultConfig, Machine, MachineFaultConfig};
 use dike_metrics::{fairness_summary, windowed_fairness, ThreadSpan};
 use dike_sched_core::run_open;
 use dike_scheduler::{Dike, SchedConfig};
@@ -149,4 +151,108 @@ fn faulty_machines_still_drain_their_dispatch_share() {
     assert_eq!(a, b, "faulty fleet must still be deterministic");
     assert!(a.completed, "light load should drain even under faults");
     assert_eq!(a.total_arrivals, a.total_departures);
+}
+
+/// The failover loop's contract under *arbitrary* machine-fault regimes:
+/// every offered thread is accounted for exactly once
+/// (`dispatched = drained + in_flight + lost`), the per-tenant roll-up
+/// partitions the same totals, and the whole run — blind or health-aware
+/// — is a pure function of its config.
+#[test]
+fn failover_conserves_and_is_deterministic_under_random_faults() {
+    check(
+        "failover_conserves_and_is_deterministic_under_random_faults",
+        8,
+        |rng| {
+            let m = rng.gen_range(2u64..5) as usize;
+            let t = rng.gen_range(2u64..5) as usize;
+            let seed = rng.gen_range(0u64..1_000);
+            let mut cfg = FleetConfig::uniform(m, t, arrivals(800.0, 5_000), seed);
+            cfg.scale = 0.01;
+            cfg.deadline_s = 60.0;
+            let offered: u64 = tenant_traces(&cfg)
+                .iter()
+                .map(|tr| tr.num_threads() as u64)
+                .sum();
+            let runner = FleetRunner::new(cfg);
+
+            let fo = FailoverConfig {
+                failover: rng.gen_range(0u64..2) == 0,
+                retry_budget: rng.gen_range(0u64..4) as u32,
+                faults: MachineFaultConfig {
+                    crash_rate: rng.gen_range(0u64..500) as f64 / 1_000.0,
+                    recovery_epochs: rng.gen_range(0u64..4) as u32,
+                    brownout_rate: rng.gen_range(0u64..500) as f64 / 1_000.0,
+                    brownout_epochs: rng.gen_range(1u64..3) as u32,
+                    brownout_stall_ms: 1_500,
+                    seed: rng.gen_range(0u64..u64::MAX),
+                },
+                ..FailoverConfig::default()
+            };
+
+            let pool = Pool::new(1);
+            let a = runner.run_failover(&pool, &fo);
+            let b = runner.run_failover(&pool, &fo);
+            assert_eq!(a, b, "failover run must be deterministic");
+
+            // Conservation: nothing silently dropped, nothing counted
+            // twice — at any fault level, with or without failover.
+            assert!(a.ledger.holds(), "ledger imbalance: {:?}", a.ledger);
+            assert_eq!(a.ledger.dispatched, offered, "ledger covers all offered");
+
+            // The tenant roll-up partitions the same balance sheet.
+            let t_offered: u64 = a.tenants.iter().map(|p| p.offered).sum();
+            let t_drained: u64 = a.tenants.iter().map(|p| p.drained).sum();
+            let t_lost: u64 = a.tenants.iter().map(|p| p.lost).sum();
+            assert_eq!(t_offered, a.ledger.dispatched);
+            assert_eq!(t_drained, a.ledger.drained);
+            assert_eq!(t_lost, a.ledger.lost);
+
+            // Machine summaries agree with the drained total.
+            let m_drained: u64 = a.machines.iter().map(|s| s.drained).sum();
+            assert_eq!(m_drained, a.ledger.drained);
+        },
+    );
+}
+
+/// With no faults configured, the epoch-driven loop is just a sliced
+/// re-phrasing of the one-shot fleet: everything offered drains, nothing
+/// is lost or quarantined, and the blind and health-aware dispatchers
+/// agree with each other exactly (no fault ever differentiates them).
+#[test]
+fn zero_fault_failover_matches_blind_and_drains_everything() {
+    check(
+        "zero_fault_failover_matches_blind_and_drains_everything",
+        6,
+        |rng| {
+            let m = rng.gen_range(1u64..4) as usize;
+            let t = rng.gen_range(1u64..4) as usize;
+            let seed = rng.gen_range(0u64..1_000);
+            let mut cfg = FleetConfig::uniform(m, t, arrivals(900.0, 4_000), seed);
+            cfg.scale = 0.01;
+            cfg.deadline_s = 60.0;
+            let runner = FleetRunner::new(cfg);
+            let pool = Pool::new(1);
+
+            let on = runner.run_failover(&pool, &FailoverConfig::default());
+            let off = runner.run_failover(
+                &pool,
+                &FailoverConfig {
+                    failover: false,
+                    ..FailoverConfig::default()
+                },
+            );
+            for r in [&on, &off] {
+                assert!(r.ledger.holds());
+                assert_eq!(r.ledger.lost, 0, "no faults, nothing lost");
+                assert_eq!(r.ledger.in_flight, 0, "light load fully drains");
+                assert_eq!(r.ledger.drained, r.ledger.dispatched);
+                assert_eq!(r.quarantines, 0);
+                assert_eq!(r.orphaned, 0);
+            }
+            // The scorers may route differently (backlog vs decayed-load
+            // estimates), but fault-free both balance the same sheet.
+            assert_eq!(on.ledger, off.ledger);
+        },
+    );
 }

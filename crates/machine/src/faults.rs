@@ -46,6 +46,19 @@ pub enum FaultKind {
     MigrationDelay,
     /// The thread makes no progress for a transient window.
     Stall,
+    /// Machine-scope: the whole machine hard-crashes — it stops accepting
+    /// and stops draining from the drawn fleet epoch onward. (For
+    /// machine-scope kinds the event's `thread` field carries the machine
+    /// index.)
+    MachineCrash,
+    /// Machine-scope: a transient brownout — the machine keeps its queue
+    /// but its throughput collapses (every thread stalls) for a window of
+    /// fleet epochs.
+    Brownout,
+    /// Machine-scope: a crashed machine comes back after its recovery
+    /// delay (emitted by [`MachineFaultConfig::timeline`] so archived
+    /// schedules show the outage window, not just its start).
+    MachineRecover,
 }
 
 json_enum!(FaultKind {
@@ -56,7 +69,10 @@ json_enum!(FaultKind {
     Stale,
     MigrationFail,
     MigrationDelay,
-    Stall
+    Stall,
+    MachineCrash,
+    Brownout,
+    MachineRecover
 } {});
 
 /// Per-channel fault rates. All rates are per-(thread, quantum)
@@ -129,6 +145,8 @@ const SALT_CORRUPT_KIND: u64 = 0xFA01_C022_0000_0002;
 const SALT_NOISE: u64 = 0xFA01_A015_0000_0003;
 const SALT_MIGRATION: u64 = 0xFA01_316A_0000_0004;
 const SALT_STALL: u64 = 0xFA01_57A1_0000_0005;
+const SALT_CRASH: u64 = 0xFA01_C4A5_0000_0006;
+const SALT_BROWNOUT: u64 = 0xFA01_B07E_0000_0007;
 
 /// Three-round SplitMix64 mix of `(seed, salt, thread, quantum)`.
 fn mix(seed: u64, salt: u64, thread: u32, quantum: u64) -> u64 {
@@ -431,6 +449,166 @@ impl FaultHasher {
     }
 }
 
+/// Whole-machine fault process, drawn once per *fleet epoch* per machine
+/// at the dispatcher's barrier.
+///
+/// The unit of failure here is a machine, not a thread: a hard crash
+/// freezes the whole box (it stops accepting and stops draining), a
+/// brownout collapses its throughput for a window of epochs while it
+/// keeps its queue, and a crashed machine recovers after a fixed delay
+/// (or never, when `recovery_epochs` is zero). Draws are the same
+/// chained-SplitMix64 construction as the per-thread channels with the
+/// machine index in the thread slot and the fleet epoch in the quantum
+/// slot, under fresh salts — enabling machine faults never shifts any
+/// existing channel's stream, and an all-zero config short-circuits every
+/// draw ([`MachineFaultConfig::is_active`] is false) so fault-free fleets
+/// take the exact pre-fault code path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineFaultConfig {
+    /// Per-(machine, epoch) probability the machine hard-crashes at that
+    /// epoch's barrier.
+    pub crash_rate: f64,
+    /// Epochs a crashed machine stays down before recovering. Zero means
+    /// a crash is permanent for the rest of the run.
+    pub recovery_epochs: u32,
+    /// Per-(machine, epoch) probability a brownout starts at that epoch's
+    /// barrier (draws while already browned out extend nothing — the
+    /// fleet's health state machine folds them).
+    pub brownout_rate: f64,
+    /// Epochs one brownout lasts.
+    pub brownout_epochs: u32,
+    /// Per-epoch stall applied to every thread of a browned-out machine,
+    /// milliseconds — the throughput-collapse knob.
+    pub brownout_stall_ms: u64,
+    /// Machine-fault stream seed, mixed per channel/machine/epoch.
+    pub seed: u64,
+}
+
+json_struct!(MachineFaultConfig {
+    crash_rate,
+    recovery_epochs,
+    brownout_rate,
+    brownout_epochs,
+    brownout_stall_ms,
+    seed,
+});
+
+impl Default for MachineFaultConfig {
+    fn default() -> Self {
+        MachineFaultConfig {
+            crash_rate: 0.0,
+            recovery_epochs: 3,
+            brownout_rate: 0.0,
+            brownout_epochs: 1,
+            brownout_stall_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+impl MachineFaultConfig {
+    /// True when any machine-scope channel can fire. An inactive config
+    /// makes every draw below return `false` without hashing, so the
+    /// fleet's zero-fault path is byte-identical to the pre-fault one.
+    pub fn is_active(&self) -> bool {
+        self.crash_rate > 0.0 || self.brownout_rate > 0.0
+    }
+
+    /// Validate rates and window parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, r) in [
+            ("crash_rate", self.crash_rate),
+            ("brownout_rate", self.brownout_rate),
+        ] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("{name} must be in [0,1], got {r}"));
+            }
+        }
+        if self.brownout_rate > 0.0 && self.brownout_epochs == 0 {
+            return Err("brownout_epochs must be >= 1 when brownouts are enabled".into());
+        }
+        if self.brownout_rate > 0.0 && self.brownout_stall_ms == 0 {
+            return Err("brownout_stall_ms must be > 0 when brownouts are enabled".into());
+        }
+        Ok(())
+    }
+
+    /// Whether `machine` hard-crashes at `epoch`'s barrier.
+    pub fn crash_at(&self, machine: u32, epoch: u64) -> bool {
+        self.crash_rate > 0.0 && unit(mix(self.seed, SALT_CRASH, machine, epoch)) < self.crash_rate
+    }
+
+    /// Whether a brownout starts on `machine` at `epoch`'s barrier.
+    pub fn brownout_at(&self, machine: u32, epoch: u64) -> bool {
+        self.brownout_rate > 0.0
+            && unit(mix(self.seed, SALT_BROWNOUT, machine, epoch)) < self.brownout_rate
+    }
+
+    /// Crash-and-brownout axis preset for the failover experiment: crash
+    /// probability `c` and brownout probability `b` per (machine, epoch),
+    /// with the default recovery/brownout windows.
+    pub fn axis(c: f64, b: f64, seed: u64) -> MachineFaultConfig {
+        MachineFaultConfig {
+            crash_rate: c,
+            brownout_rate: b,
+            seed,
+            ..MachineFaultConfig::default()
+        }
+    }
+
+    /// Expand the machine-fault stream over a `machines × epochs` grid
+    /// into an archivable event list, folding raw draws through the same
+    /// state machine the fleet applies: crash draws while a machine is
+    /// already down are ignored, each crash emits a [`FaultKind::MachineRecover`]
+    /// at its recovery epoch (when finite and inside the grid), and
+    /// brownout draws while already browned out extend nothing. The
+    /// event's `thread` field carries the machine index.
+    pub fn timeline(&self, machines: u32, epochs: u64) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for m in 0..machines {
+            // Down-until / brownout-until epoch (exclusive); u64::MAX is
+            // a permanent crash.
+            let mut down_until = 0u64;
+            let mut brown_until = 0u64;
+            for e in 0..epochs {
+                if e < down_until {
+                    continue;
+                }
+                if down_until != 0 && e == down_until {
+                    events.push(FaultEvent {
+                        quantum: e,
+                        thread: m,
+                        kind: FaultKind::MachineRecover,
+                    });
+                    down_until = 0;
+                }
+                if self.crash_at(m, e) {
+                    events.push(FaultEvent {
+                        quantum: e,
+                        thread: m,
+                        kind: FaultKind::MachineCrash,
+                    });
+                    down_until = if self.recovery_epochs == 0 {
+                        u64::MAX
+                    } else {
+                        e + u64::from(self.recovery_epochs)
+                    };
+                    continue;
+                }
+                if e >= brown_until && self.brownout_at(m, e) {
+                    events.push(FaultEvent {
+                        quantum: e,
+                        thread: m,
+                        kind: FaultKind::Brownout,
+                    });
+                    brown_until = e + u64::from(self.brownout_epochs);
+                }
+            }
+        }
+        events
+    }
+}
+
 /// One materialized fault event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -719,6 +897,172 @@ mod tests {
         // Telemetry-only configs never fault partitions.
         let tel = FaultConfig::telemetry_axis(0.3, 13);
         assert!((0..100).all(|q| tel.partition_fault(q).is_none()));
+    }
+
+    #[test]
+    fn machine_fault_default_is_inert_and_valid() {
+        let cfg = MachineFaultConfig::default();
+        assert!(!cfg.is_active());
+        cfg.validate().unwrap();
+        for e in 0..200 {
+            for m in 0..32 {
+                assert!(!cfg.crash_at(m, e));
+                assert!(!cfg.brownout_at(m, e));
+            }
+        }
+        assert!(cfg.timeline(32, 200).is_empty());
+        // A non-zero seed alone keeps the channel inert: zero rates must
+        // short-circuit to the exact current path.
+        let seeded = MachineFaultConfig {
+            seed: 0xDEAD_BEEF,
+            ..MachineFaultConfig::default()
+        };
+        assert!(!seeded.is_active());
+        assert!(seeded.timeline(32, 200).is_empty());
+    }
+
+    #[test]
+    fn machine_fault_validation_rejects_nonsense() {
+        let c = MachineFaultConfig {
+            crash_rate: 1.5,
+            ..MachineFaultConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MachineFaultConfig {
+            brownout_rate: f64::NAN,
+            ..MachineFaultConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MachineFaultConfig {
+            brownout_rate: 0.2,
+            brownout_epochs: 0,
+            ..MachineFaultConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = MachineFaultConfig {
+            brownout_rate: 0.2,
+            brownout_stall_ms: 0,
+            ..MachineFaultConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(MachineFaultConfig::axis(0.1, 0.2, 7).validate().is_ok());
+    }
+
+    #[test]
+    fn machine_fault_rates_are_approximately_honoured() {
+        let cfg = MachineFaultConfig {
+            crash_rate: 0.1,
+            brownout_rate: 0.15,
+            seed: 21,
+            ..MachineFaultConfig::default()
+        };
+        let (mut crashes, mut brownouts) = (0usize, 0usize);
+        let cells = 64.0 * 500.0;
+        for e in 0..500 {
+            for m in 0..64 {
+                crashes += usize::from(cfg.crash_at(m, e));
+                brownouts += usize::from(cfg.brownout_at(m, e));
+            }
+        }
+        assert!((crashes as f64 / cells - 0.1).abs() < 0.02);
+        assert!((brownouts as f64 / cells - 0.15).abs() < 0.02);
+    }
+
+    #[test]
+    fn machine_fault_channels_are_independent_of_thread_channels() {
+        // Turning the machine-scope channel on must not shift any
+        // per-thread channel's draws (fresh salts), and vice versa the
+        // machine draws only depend on the machine-fault seed.
+        let base = FaultConfig {
+            dropout_rate: 0.2,
+            migration_fail_rate: 0.1,
+            seed: 5,
+            ..FaultConfig::default()
+        };
+        let machine = MachineFaultConfig::axis(0.3, 0.2, 5);
+        for q in 0..100 {
+            for t in 0..8 {
+                assert_eq!(base.telemetry_fault(t, q), base.telemetry_fault(t, q));
+                // Same (seed, index, epoch) but different salts: the
+                // crash/brownout draws are distinct streams from each
+                // other and from the migration channel.
+                let crash = machine.crash_at(t, q);
+                let brown = machine.brownout_at(t, q);
+                let _ = (crash, brown);
+            }
+        }
+        let a: Vec<bool> = (0..400).map(|e| machine.crash_at(3, e)).collect();
+        let b: Vec<bool> = (0..400).map(|e| machine.brownout_at(3, e)).collect();
+        assert_ne!(a, b, "crash and brownout must be independent streams");
+    }
+
+    #[test]
+    fn machine_fault_timeline_folds_the_outage_state_machine() {
+        let cfg = MachineFaultConfig {
+            crash_rate: 0.15,
+            recovery_epochs: 3,
+            brownout_rate: 0.2,
+            brownout_epochs: 2,
+            seed: 33,
+            ..MachineFaultConfig::default()
+        };
+        let tl = cfg.timeline(16, 80);
+        assert!(!tl.is_empty());
+        // Regenerating is identical, and per machine: no crash event
+        // inside another crash's outage window, every finite recovery
+        // emitted exactly recovery_epochs after its crash.
+        assert_eq!(tl, cfg.timeline(16, 80));
+        for m in 0..16u32 {
+            let mine: Vec<&FaultEvent> = tl.iter().filter(|e| e.thread == m).collect();
+            let mut down_until = None::<u64>;
+            for ev in mine {
+                match ev.kind {
+                    FaultKind::MachineCrash => {
+                        assert!(
+                            down_until.is_none_or(|d| ev.quantum >= d),
+                            "machine {m} crashed while already down at {}",
+                            ev.quantum
+                        );
+                        down_until = Some(ev.quantum + 3);
+                    }
+                    FaultKind::MachineRecover => {
+                        assert_eq!(Some(ev.quantum), down_until, "recovery delay wrong");
+                        down_until = None;
+                    }
+                    FaultKind::Brownout => {
+                        assert!(
+                            down_until.is_none_or(|d| ev.quantum >= d),
+                            "brownout drawn during an outage"
+                        );
+                    }
+                    _ => panic!("unexpected kind in machine timeline"),
+                }
+            }
+        }
+        // Permanent crashes (recovery 0) never emit a recovery.
+        let perm = MachineFaultConfig {
+            recovery_epochs: 0,
+            ..cfg
+        };
+        let tl = perm.timeline(16, 80);
+        assert!(tl.iter().any(|e| e.kind == FaultKind::MachineCrash));
+        assert!(!tl.iter().any(|e| e.kind == FaultKind::MachineRecover));
+        // At most one crash per machine: the first one is forever.
+        for m in 0..16u32 {
+            let crashes = tl
+                .iter()
+                .filter(|e| e.thread == m && e.kind == FaultKind::MachineCrash)
+                .count();
+            assert!(crashes <= 1, "machine {m} crashed {crashes} times");
+        }
+    }
+
+    #[test]
+    fn machine_fault_config_round_trips_through_json() {
+        let cfg = MachineFaultConfig::axis(0.08, 0.15, 99);
+        let s = json::to_string(&cfg);
+        let back: MachineFaultConfig = json::from_str(&s).expect("parse");
+        assert_eq!(cfg, back);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use contention::{
     NumaDemand, NumaSolution, NumaWarmSolver,
 };
 pub use engine::{Machine, MachineEvent};
-pub use faults::{FaultConfig, FaultEvent, FaultHasher, FaultKind, FaultPlan};
+pub use faults::{FaultConfig, FaultEvent, FaultHasher, FaultKind, FaultPlan, MachineFaultConfig};
 pub use ids::{AppId, BarrierId, DomainId, PCoreId, SimTime, ThreadId, VCoreId};
 pub use partition::PartitionPlan;
 pub use phase::{Phase, PhaseProgram, PhaseRepeat};

@@ -9,12 +9,14 @@
 //!   [`TimeSeries`];
 //! * plain-text/CSV table rendering for the experiment binaries.
 
+pub mod conservation;
 pub mod fairness;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
 pub mod windowed;
 
+pub use conservation::ConservationLedger;
 pub use fairness::{relative_improvement, speedup, RuntimeMatrix};
 pub use stats::{coefficient_of_variation, geometric_mean, mean, std_dev, Summary};
 pub use table::{pct, ratio, TextTable};

@@ -326,8 +326,56 @@ pub fn run_open_with_scratch(
     scheduler: &mut dyn Scheduler,
     deadline: SimTime,
     arrivals: Vec<TimedSpawn>,
+    observer: impl FnMut(&SystemView),
+    scratch: &mut DriverScratch,
+) -> RunResult {
+    run_open_core(
+        machine, scheduler, deadline, arrivals, observer, scratch, None,
+    )
+}
+
+/// One *epoch* of an open-system run: [`run_open_pooled`] with the
+/// deadline as an epoch cutoff, returning the undrained remainder instead
+/// of dropping it. Queued-but-unadmitted specs come back first (due
+/// immediately at the cutoff, FIFO order preserved), followed by plan
+/// entries whose arrival instant lies beyond the cutoff, so a fleet can
+/// feed them into the machine's next epoch — or re-dispatch them to a
+/// peer when the machine failed. The returned [`RunResult`] is cumulative
+/// over the machine's whole life since its last reset (thread lists grow
+/// across epochs), exactly what the machine itself reports.
+pub fn run_open_epoch_pooled(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    until: SimTime,
+    arrivals: Vec<TimedSpawn>,
+) -> (RunResult, Vec<TimedSpawn>) {
+    POOLED_SCRATCH.with(|s| {
+        let mut leftovers = Vec::new();
+        let result = run_open_core(
+            machine,
+            scheduler,
+            until,
+            arrivals,
+            |_| {},
+            &mut s.borrow_mut(),
+            Some(&mut leftovers),
+        );
+        (result, leftovers)
+    })
+}
+
+/// The single driver loop behind every run mode. With `leftovers` set,
+/// undrained work at the deadline is drained into it instead of being
+/// dropped (the epoch path); with `None` the behaviour is byte-identical
+/// to the pre-epoch driver.
+fn run_open_core(
+    machine: &mut Machine,
+    scheduler: &mut dyn Scheduler,
+    deadline: SimTime,
+    arrivals: Vec<TimedSpawn>,
     mut observer: impl FnMut(&SystemView),
     scratch: &mut DriverScratch,
+    leftovers: Option<&mut Vec<TimedSpawn>>,
 ) -> RunResult {
     scratch.reset();
     let tick = machine.config().tick_us;
@@ -735,6 +783,16 @@ pub fn run_open_with_scratch(
         if let Some(q) = scratch.actions.set_quantum {
             quantum = clamp_quantum(q);
         }
+    }
+
+    if let Some(out) = leftovers {
+        // Undrained work at the cutoff: queued specs already arrived, so
+        // they are due immediately (FIFO order preserved — equal arrival
+        // instants keep insertion order through the driver's stable
+        // sort); not-yet-due plan entries keep their original instants.
+        let now = machine.now();
+        out.extend(waiting.drain(..).map(|spec| TimedSpawn { at: now, spec }));
+        out.extend(pending.drain(..));
     }
 
     let migrations = machine.total_migrations() - migrations_before;

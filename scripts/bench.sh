@@ -28,6 +28,7 @@ if [[ "${DIKE_BENCH_FAST:-0}" == "1" ]]; then
     out_robustness="$PWD/target/BENCH_robustness_smoke.json"
     out_cachepart="$PWD/target/BENCH_cachepart_smoke.json"
     out_fleet="$PWD/target/BENCH_fleet_smoke.json"
+    out_failover="$PWD/target/BENCH_failover_smoke.json"
     export DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}"
     export DIKE_BENCH_WARMUP_MS="${DIKE_BENCH_WARMUP_MS:-20}"
     export DIKE_BENCH_SAMPLE_MS="${DIKE_BENCH_SAMPLE_MS:-20}"
@@ -38,6 +39,7 @@ else
     out_robustness="$PWD/results/BENCH_robustness.json"
     out_cachepart="$PWD/results/BENCH_cachepart.json"
     out_fleet="$PWD/results/BENCH_fleet.json"
+    out_failover="$PWD/results/BENCH_failover.json"
 fi
 
 DIKE_BENCH_JSON="$out_sweep" cargo bench -q --offline -p dike-bench --bench sweep_parallel
@@ -50,5 +52,8 @@ DIKE_BENCH_JSON="$out_cachepart" cargo bench -q --offline -p dike-bench --bench 
 # bound the recording run without hurting the median.
 DIKE_BENCH_JSON="$out_fleet" DIKE_BENCH_SAMPLES="${DIKE_BENCH_SAMPLES:-3}" \
     cargo bench -q --offline -p dike-bench --bench fleet
+# The failover pair (blind vs health-aware at the harshest fault cell)
+# also records its `lost` counts — the recorded fault-tolerance claim.
+DIKE_BENCH_JSON="$out_failover" cargo bench -q --offline -p dike-bench --bench failover
 
-echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness, $out_cachepart, $out_fleet)"
+echo "bench: OK ($out_sweep, $out_scale, $out_open, $out_robustness, $out_cachepart, $out_fleet, $out_failover)"

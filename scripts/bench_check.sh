@@ -80,6 +80,20 @@ for row in wl1_dike wl1_dike_lfoc wl13_dike wl13_dike_lfoc; do
         fail=1
     fi
 done
+# The failover pair must stay present in both the smoke run and the
+# recorded reference: the reference's `lost` extras are the recorded
+# fault-tolerance claim (blind loses work, failover recovers it), so
+# losing a row silently would unrecord the claim.
+for row in quick_nofail quick_fail; do
+    if ! grep -q "\"failover/$row\"" target/BENCH_failover_smoke.json; then
+        echo "bench_check: failover smoke is missing row $row"
+        fail=1
+    fi
+    if ! grep -q "\"failover/$row\"" results/BENCH_failover.json; then
+        echo "bench_check: failover reference lost row $row"
+        fail=1
+    fi
+done
 
 if [[ "$fail" != 0 ]]; then
     echo "bench_check: FAIL"

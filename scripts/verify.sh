@@ -58,6 +58,12 @@ step "robustness-smoke" bash -c \
 step "fleet-smoke" bash -c \
     'cargo run -q --release --offline -p dike-experiments --bin fleet -- --quick > /dev/null'
 
+# Failover smoke: the epoch-driven fault-tolerant fleet at the harshest
+# swept fault cell, both dispatchers — health barriers, quarantine,
+# orphan re-dispatch and the conservation ledger (asserted per cell).
+step "failover-smoke" bash -c \
+    'cargo run -q --release --offline -p dike-experiments --bin failover -- --quick > /dev/null'
+
 # Cache-partitioning smoke: both actuators end to end at a tiny scale —
 # LFOC classification and plan building, the engine's partitioned
 # contention solve, and the partition actuation channel, across clean and
@@ -82,5 +88,22 @@ step "scale-smoke-coverage" grep -q '"scale/dike_26dom_1040c"' target/BENCH_scal
 # (plan build → fault channel → partitioned contention solve) runs under
 # the bench harness too.
 step "cachepart-smoke-coverage" grep -q '"cachepart/wl1_dike_lfoc"' target/BENCH_cachepart_smoke.json
+
+# …and the failover pair, proving the fault-tolerant loop runs under the
+# bench harness with both dispatchers.
+step "failover-smoke-coverage" grep -q '"failover/quick_fail"' target/BENCH_failover_smoke.json
+
+# Long-churn soak (NON-BLOCKING): the fleet under worst-case per-machine
+# faults plus heavy machine-scope crash/brownout churn, both dispatchers,
+# a 30 s arrival window. Conservation is asserted inside the run; a trip
+# here is a signal to investigate, not a merge gate (the blocking
+# equivalents run at smaller scale in the test suite above).
+soak_t0=$SECONDS
+echo "==> failover-soak (non-blocking)"
+if cargo run -q --release --offline -p dike-experiments --bin failover -- --soak > /dev/null; then
+    echo "<== failover-soak: OK ($((SECONDS - soak_t0))s)"
+else
+    echo "<== failover-soak: FAILED (non-blocking, $((SECONDS - soak_t0))s) — investigate" >&2
+fi
 
 echo "verify: OK ($((SECONDS - total_t0))s total)"
